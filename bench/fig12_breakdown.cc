@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Reproduces Fig. 12: (a) the area/power breakdown of the
+ * LEGO-MNICOC chip (paper: 1.76 mm^2 / 285 mW; buffers dominate area
+ * at 86%, FU array + NoC dominate power at 83%, PPUs are tiny); and
+ * (b) the end-to-end latency share of post-processing (paper:
+ * 0.5%-7.2% across models). Also reports the instruction-stream
+ * overhead of Section VI-B(e).
+ */
+
+#include <cstdio>
+
+#include "lego.hh"
+
+using namespace lego;
+
+int
+main()
+{
+    HardwareConfig hw;
+    hw.rows = hw.cols = 16;
+    hw.l1Kb = 256;
+    hw.dram.bandwidthGBs = 16.0;
+    hw.dataflows = {DataflowTag::MN, DataflowTag::ICOC};
+
+    ChipCost c = archCost(hw);
+    std::printf("=== Fig. 12(a): LEGO-MNICOC breakdown ===\n");
+    std::printf("total: %.2f mm^2 (paper 1.76), %.0f mW (paper "
+                "285)\n", c.totalAreaMm2(), c.totalPowerMw());
+    double ta = c.totalAreaMm2() * 1e6, tp = c.totalPowerMw() * 1e3;
+    std::printf("%-10s | %8s (paper) | %8s (paper)\n", "block",
+                "area", "power");
+    std::printf("%-10s | %6.1f%% (7%%)    | %6.1f%% (57%%)\n",
+                "FU array", 100 * c.fuArrayAreaUm2 / ta,
+                100 * c.fuArrayPowerUw / tp);
+    std::printf("%-10s | %6.1f%% (86%%)   | %6.1f%% (12%%)\n",
+                "buffers", 100 * c.buffersAreaUm2 / ta,
+                100 * c.buffersPowerUw / tp);
+    std::printf("%-10s | %6.1f%% (5%%)    | %6.1f%% (26%%)\n", "NoC",
+                100 * c.nocAreaUm2 / ta, 100 * c.nocPowerUw / tp);
+    std::printf("%-10s | %6.1f%% (2%%)    | %6.1f%% (5%%)\n", "PPUs",
+                100 * c.ppusAreaUm2 / ta, 100 * c.ppusPowerUw / tp);
+
+    std::printf("\n=== Fig. 12(b): post-processing latency share "
+                "(paper 0.5%% - 7.2%%) ===\n");
+    std::printf("%-16s | %10s | %12s\n", "model", "PPU share",
+                "bound");
+    for (const Model &m : fig11Models()) {
+        ScheduleResult r = scheduleModel(hw, m);
+        double share = double(r.summary.ppuCycles) /
+                       double(std::max<Int>(1, r.summary.totalCycles));
+        std::printf("%-16s | %9.1f%% | %12s\n", m.name.c_str(),
+                    100 * share,
+                    share < 0.075 ? "within paper" : "HIGH");
+    }
+
+    // Section VI-B(e): instruction overhead. One configuration
+    // instruction per layer tile; cycles per instruction and the
+    // instruction-fetch bandwidth.
+    std::printf("\n=== Instruction overhead (paper: >2000 "
+                "cycles/instr, 0.05-0.13 GB/s) ===\n");
+    for (const Model &m : fig11Models()) {
+        ScheduleResult r = scheduleModel(hw, m);
+        Int instrs = 0;
+        for (size_t i = 0; i < m.layers.size(); i++)
+            instrs += m.layers[i].repeat * 4; // cfg+tiles+sync.
+        double cpi = double(r.summary.totalCycles) /
+                     double(std::max<Int>(1, instrs));
+        double gbps = double(instrs) * 16.0 /
+                      (double(r.summary.totalCycles) /
+                       (hw.freqGhz * 1e9)) /
+                      1e9;
+        std::printf("%-16s | %8.0f cycles/instr | %.3f GB/s\n",
+                    m.name.c_str(), cpi, gbps);
+    }
+    return 0;
+}

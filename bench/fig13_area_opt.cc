@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Reproduces Fig. 13: per-pass area-saving breakdown of the back end
+ * (reduction tree extraction, broadcast rewiring, pin reusing) on the
+ * eleven kernel-dataflow designs. Paper geomean: 35% total area
+ * saving (15% + 15% + 5%).
+ */
+
+#include <cmath>
+#include <cstdio>
+
+#include "kernels.hh"
+
+using namespace lego;
+
+int
+main()
+{
+    std::printf("=== Fig. 13: area-saving breakdown per backend "
+                "pass ===\n");
+    std::printf("%-16s | %8s %8s %8s | %8s (paper total 35%%)\n",
+                "design", "reduce", "rewire", "pin", "total");
+
+    auto designs = fig10Designs();
+    double rp = 1, wp = 1, pp = 1, tp = 1;
+    for (auto &d : designs) {
+        BackendReport rep = buildDesign(d);
+        double base = rep.baseline.totalArea();
+        double r = 1.0 - rep.afterReduce.totalArea() / base;
+        double w = 1.0 - rep.afterRewire.totalArea() /
+                             rep.afterReduce.totalArea();
+        double p = 1.0 - rep.afterPinReuse.totalArea() /
+                             rep.afterRewire.totalArea();
+        double t = 1.0 - rep.final.totalArea() / base;
+        std::printf("%-16s | %7.1f%% %7.1f%% %7.1f%% | %7.1f%%\n",
+                    d.name.c_str(), 100 * r, 100 * w, 100 * p,
+                    100 * t);
+        rp *= 1.0 - r;
+        wp *= 1.0 - w;
+        pp *= 1.0 - p;
+        tp *= 1.0 - t;
+    }
+    double n = double(designs.size());
+    std::printf("%-16s | %7.1f%% %7.1f%% %7.1f%% | %7.1f%%  "
+                "(paper 15/15/5 -> 35%%)\n", "GEOMEAN",
+                100 * (1 - std::pow(rp, 1 / n)),
+                100 * (1 - std::pow(wp, 1 / n)),
+                100 * (1 - std::pow(pp, 1 / n)),
+                100 * (1 - std::pow(tp, 1 / n)));
+    return 0;
+}

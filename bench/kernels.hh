@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Shared kernel-dataflow design constructors for the Fig. 10/13/14
+ * benches: the paper's eleven Operation-Dataflow designs on an 8x8
+ * FU array (M and N denote runtime-switchable fused dataflows).
+ */
+
+#ifndef LEGO_BENCH_KERNELS_HH
+#define LEGO_BENCH_KERNELS_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "lego.hh"
+
+namespace lego
+{
+
+/** A named design: one or more fused (workload, dataflow) configs. */
+struct NamedDesign
+{
+    std::string name;
+    /** Heap-pinned workloads: FusedConfig keeps raw pointers. */
+    std::vector<std::unique_ptr<Workload>> workloads;
+    std::vector<FusedConfig> configs;
+};
+
+inline void
+addConfig(NamedDesign &d, Workload w, const DataflowSpec &spec)
+{
+    d.workloads.push_back(std::make_unique<Workload>(std::move(w)));
+    Workload &ref = *d.workloads.back();
+    d.configs.push_back({&ref, buildDataflow(ref, spec)});
+}
+
+/** The eleven designs of Fig. 10 (8x8 arrays). */
+inline std::vector<NamedDesign>
+fig10Designs()
+{
+    std::vector<NamedDesign> out;
+    const Int p = 8;
+
+    auto gemm = [&](const std::string &name,
+                    std::vector<LoopSpec> spatial, bool systolic) {
+        NamedDesign d;
+        d.name = name;
+        Workload w = makeGemm(32, 32, 32);
+        addConfig(d, w, makeSimpleSpec(w, name, spatial, systolic));
+        out.push_back(std::move(d));
+    };
+    auto conv = [&](const std::string &name,
+                    std::vector<LoopSpec> spatial) {
+        NamedDesign d;
+        d.name = name;
+        Workload w = makeConv2d(1, 8, 8, 8, 8, 3, 3);
+        addConfig(d, w, makeSimpleSpec(w, name, spatial, false));
+        out.push_back(std::move(d));
+    };
+    auto mttkrp = [&](const std::string &name,
+                      std::vector<LoopSpec> spatial) {
+        NamedDesign d;
+        d.name = name;
+        Workload w = makeMttkrp(16, 16, 16, 16);
+        addConfig(d, w, makeSimpleSpec(w, name, spatial, false));
+        out.push_back(std::move(d));
+    };
+
+    // Attention: score-stationary fusion of QK^T and AV.
+    {
+        NamedDesign d;
+        d.name = "Attention";
+        Workload s = makeAttentionScore(16, 16);
+        addConfig(d, s,
+                  makeSimpleSpec(s, "score_ij", {{"i", p}, {"j", p}},
+                                 false));
+        Workload c = makeAttentionContext(16, 16);
+        addConfig(d, c,
+                  makeSimpleSpec(c, "ctx_ik", {{"i", p}, {"k", p}},
+                                 false));
+        out.push_back(std::move(d));
+    }
+
+    conv("Conv2d-ICOC", {{"ic", p}, {"oc", p}});
+    // Conv2d-MNICOC: switchable pixel-channel / channel-channel.
+    {
+        NamedDesign d;
+        d.name = "Conv2d-MNICOC";
+        Workload w1 = makeConv2d(1, 8, 8, 8, 8, 3, 3);
+        addConfig(d, w1,
+                  makeSimpleSpec(w1, "mn", {{"ow", p}, {"oc", p}},
+                                 false));
+        Workload w2 = makeConv2d(1, 8, 8, 8, 8, 3, 3);
+        addConfig(d, w2,
+                  makeSimpleSpec(w2, "icoc", {{"ic", p}, {"oc", p}},
+                                 false));
+        out.push_back(std::move(d));
+    }
+    conv("Conv2d-OHOW", {{"oh", p}, {"ow", p}});
+
+    gemm("GEMM-IJ", {{"i", p}, {"j", p}}, false);
+    gemm("GEMM-IK", {{"i", p}, {"k", p}}, false);
+    gemm("GEMM-KJ", {{"k", p}, {"j", p}}, true);
+    {
+        NamedDesign d;
+        d.name = "GEMM-MJ";
+        Workload w1 = makeGemm(32, 32, 32);
+        addConfig(d, w1,
+                  makeSimpleSpec(w1, "ij", {{"i", p}, {"j", p}},
+                                 false));
+        Workload w2 = makeGemm(32, 32, 32);
+        addConfig(d, w2,
+                  makeSimpleSpec(w2, "kj", {{"k", p}, {"j", p}},
+                                 false));
+        out.push_back(std::move(d));
+    }
+
+    mttkrp("MTTKRP-IJ", {{"i", p}, {"j", p}});
+    mttkrp("MTTKRP-KJ", {{"k", p}, {"j", p}});
+    {
+        NamedDesign d;
+        d.name = "MTTKRP-MJ";
+        Workload w1 = makeMttkrp(16, 16, 16, 16);
+        addConfig(d, w1,
+                  makeSimpleSpec(w1, "ij", {{"i", p}, {"j", p}},
+                                 false));
+        Workload w2 = makeMttkrp(16, 16, 16, 16);
+        addConfig(d, w2,
+                  makeSimpleSpec(w2, "kj", {{"k", p}, {"j", p}},
+                                 false));
+        out.push_back(std::move(d));
+    }
+    return out;
+}
+
+/** Lower + optimize one design, returning the backend report. */
+inline BackendReport
+buildDesign(NamedDesign &d, CodegenResult *gen_out = nullptr,
+            Adg *adg_out = nullptr, const BackendOptions &opt = {})
+{
+    Adg adg = generateArchitecture(d.configs);
+    CodegenResult gen = codegen(adg);
+    BackendReport rep = runBackend(gen, opt);
+    if (gen_out)
+        *gen_out = std::move(gen);
+    if (adg_out)
+        *adg_out = std::move(adg);
+    return rep;
+}
+
+} // namespace lego
+
+#endif // LEGO_BENCH_KERNELS_HH

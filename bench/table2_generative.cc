@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Reproduces Table II: large generative models on LEGO-ICOC-1K
+ * (1024 FUs, 576 KB buffers, 32 PPUs, 32 GB/s). Paper rows: DDPM
+ * 92.9% util / 1903 GOP/s / 3165 GOP/s/W; Stable Diffusion 80.2% /
+ * 1642 / 2731; LLaMA-7B bs=1 3.1% / 63 / 105; bs=32 42.9% / 878 /
+ * 1461. On-chip envelope: 3.95 mm^2, 601 mW.
+ */
+
+#include <cstdio>
+
+#include "lego.hh"
+
+using namespace lego;
+
+int
+main()
+{
+    HardwareConfig hw;
+    hw.name = "LEGO-ICOC-1K";
+    hw.rows = hw.cols = 32;
+    hw.l1Kb = 576;
+    hw.numPpus = 32;
+    hw.dram.bandwidthGBs = 32.0;
+    hw.dataflows = {DataflowTag::ICOC, DataflowTag::MN};
+
+    ChipCost cc = archCost(hw);
+    std::printf("=== Table II: generative models on LEGO-ICOC-1K "
+                "===\n");
+    std::printf("on-chip: %.2f mm^2 (paper 3.95), %.0f mW (paper "
+                "601)\n", cc.totalAreaMm2(), cc.totalPowerMw());
+
+    struct Row
+    {
+        Model model;
+        double paperUtil, paperGops, paperEff;
+    };
+    Row rows[] = {
+        {makeDdpm(), 92.9, 1903, 3165},
+        {makeStableDiffusionUNet(), 80.2, 1642, 2731},
+        {makeLlama7b(1), 3.1, 63, 105},
+        {makeLlama7b(32), 42.9, 878, 1461},
+    };
+
+    std::printf("%-22s | %16s | %18s | %18s\n", "model",
+                "util (paper)", "GOP/s (paper)", "GOP/s/W (paper)");
+    for (Row &r : rows) {
+        ScheduleResult res = scheduleModel(hw, r.model);
+        double gops = res.summary.gops(hw.freqGhz);
+        double util = gops / hw.peakGops();
+        double eff = gops / (cc.totalPowerMw() / 1e3);
+        std::printf("%-22s | %6.1f%% (%5.1f%%) | %7.0f (%7.0f) | "
+                    "%7.0f (%7.0f)\n", r.model.name.c_str(),
+                    100 * util, r.paperUtil, gops, r.paperGops, eff,
+                    r.paperEff);
+    }
+    return 0;
+}

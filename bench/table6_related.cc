@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Reproduces Table VI: summary comparison against related generators.
+ * The related-work factors are their published configurations (see
+ * comparators.hh); the LEGO-side control-sharing evidence is measured
+ * on a generated systolic design: one shared counter + forwarded
+ * control versus the per-FU counters/address-generators that
+ * polyhedral/STT representations require (Section III-D).
+ */
+
+#include <cstdio>
+
+#include "../bench/kernels.hh"
+
+using namespace lego;
+
+int
+main()
+{
+    // Measure control sharing on a generated 8x8 systolic GEMM.
+    Workload w = makeGemm(32, 32, 32);
+    DataflowSpec spec =
+        makeSimpleSpec(w, "kj", {{"k", 8}, {"j", 8}}, true);
+    Adg adg = generateArchitecture({{&w, buildDataflow(w, spec)}});
+    CodegenResult gen = codegen(adg);
+    runBackend(gen);
+    DagCost cost = dagCost(gen.dag);
+
+    // Per-FU-control baseline: every FU instantiates its own counter
+    // and address generators (what a global-timestamp representation
+    // generates). Model: one counter + 3 addrgens per FU.
+    int fus = adg.numFus();
+    int counters = int(gen.dag.nodesOf(PrimOp::Counter).size());
+    int addrgens = int(gen.dag.nodesOf(PrimOp::AddrGen).size());
+    double shared_ctrl = cost.ctrlArea;
+    double per_fu_ctrl =
+        shared_ctrl / double(counters + addrgens) * double(4 * fus);
+    double ctrl_area_saving = per_fu_ctrl / shared_ctrl;
+
+    std::printf("=== Table VI: LEGO vs related work ===\n");
+    std::printf("measured control sharing on GEMM-KJ 8x8: %d counter,"
+                " %d addrgens for %d FUs\n", counters, addrgens, fus);
+    std::printf("  -> control logic saving vs per-FU control: %.1fx "
+                "(paper: 2.0x area / 2.6x power vs TensorLib)\n",
+                ctrl_area_saving);
+
+    GeneratorOverheads g = generatorOverheads();
+    std::printf("\n%-22s | %s\n", "related work",
+                "LEGO improvement (published comparison)");
+    std::printf("%-22s | %.1fx power, %.1fx area\n", "DSAGen [43]",
+                g.dsagenPower, g.dsagenArea);
+    std::printf("%-22s | %.1fx power, %.1fx area\n", "TensorLib [16]",
+                g.tensorlibPower, g.tensorlibArea);
+    std::printf("%-22s | %.1fx FF, %.1fx LUT (see table8_autosa)\n",
+                "AutoSA [42]", g.autosaFf, g.autosaLut);
+    std::printf("%-22s | %.0fx speedup, %.0fx energy eff. (see "
+                "table7_soda)\n", "SODA [1]", g.sodaSpeed, g.sodaEff);
+    return 0;
+}

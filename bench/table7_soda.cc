@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Reproduces Table VII: LEGO MNICOC-Tiny (16 FUs) vs the SODA+MLIR+
+ * Bambu HLS toolchain at FreePDK45, 500 MHz. Paper: LEGO 0.945 mm^2,
+ * 10.23/14.21/15.03 GFLOPS and 52/73/77 GFLOPS/W on LeNet / MBV2 /
+ * ResNet50; SODA reaches <1 GFLOPS at ~3 GFLOPS/W.
+ */
+
+#include <cstdio>
+
+#include "lego.hh"
+
+using namespace lego;
+
+int
+main()
+{
+    HardwareConfig hw;
+    hw.name = "MNICOC-Tiny";
+    hw.rows = hw.cols = 4; // 16 FUs.
+    hw.l1Kb = 64;
+    hw.freqGhz = 0.5;
+    hw.numPpus = 2;
+    hw.dram.bandwidthGBs = 8.0;
+    hw.dataflows = {DataflowTag::MN, DataflowTag::ICOC};
+
+    // FreePDK45 projection from the 28 nm model.
+    ChipCost cc = archCost(hw);
+    double area45 = cc.totalAreaMm2() * areaScale(28.0, 45.0);
+    double escale = 1.0 / powerScale(45.0, 28.0);
+
+    std::printf("=== Table VII: LEGO MNICOC-Tiny (16 FUs) vs SODA "
+                "@ FreePDK45, 500 MHz ===\n");
+    std::printf("LEGO area: %.3f mm^2 (paper 0.945)\n", area45);
+    std::printf("%-12s | %18s | %22s\n", "model",
+                "GFLOPS (paper)", "GFLOPS/W (paper)");
+
+    Model models[] = {makeLeNet(), makeMobileNetV2(), makeResNet50()};
+    double paperPerf[] = {10.23, 14.21, 15.03};
+    double paperEff[] = {52.33, 72.69, 76.88};
+    auto soda = sodaPoints();
+    for (int i = 0; i < 3; i++) {
+        ScheduleResult r = scheduleModel(hw, models[i]);
+        double gops = r.summary.gops(hw.freqGhz);
+        // Efficiency from full energy (incl. DRAM), scaled to 45 nm.
+        double eff = 2.0 * double(r.summary.totalMacs) /
+                     (r.summary.totalEnergyPj / escale * 1e-12) /
+                     1e9;
+        std::printf("%-12s | %6.2f (%6.2f)  | %6.1f (%6.2f)   "
+                    "[SODA: %.2f GF, %.2f GF/W]\n",
+                    models[i].name.c_str(), gops, paperPerf[i],
+                    eff, paperEff[i], soda[i].gflops,
+                    soda[i].gflopsPerWatt);
+    }
+    return 0;
+}

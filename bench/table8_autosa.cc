@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Reproduces Table VIII: FPGA resources (FF / LUT) of LEGO-generated
+ * designs vs AutoSA on a Xilinx U280, 8x8 arrays, for GEMM-IJ,
+ * Conv2d-OCOH and MTTKRP-IJ. Paper LEGO: 3.9K/4.8K, 4.9K/4.2K,
+ * 4.9K/4.7K — an order of magnitude below AutoSA's polyhedral
+ * control logic.
+ */
+
+#include <cstdio>
+#include <memory>
+
+#include "lego.hh"
+
+using namespace lego;
+
+namespace
+{
+
+FpgaCost
+buildFpga(Workload w, const DataflowSpec &spec)
+{
+    auto wp = std::make_unique<Workload>(std::move(w));
+    Adg adg = generateArchitecture({{wp.get(), buildDataflow(*wp, spec)}});
+    CodegenResult gen = codegen(adg);
+    runBackend(gen);
+    return fpgaCost(gen.dag);
+}
+
+} // namespace
+
+int
+main()
+{
+    const Int p = 8;
+    std::printf("=== Table VIII: LEGO vs AutoSA on U280 (8x8 "
+                "arrays) ===\n");
+    std::printf("%-14s | %18s | %18s\n", "kernel",
+                "AutoSA FF / LUT", "LEGO FF / LUT (paper)");
+
+    auto autosa = autosaFpgaPoints();
+
+    Workload g = makeGemm(32, 32, 32);
+    FpgaCost f1 =
+        buildFpga(g, makeSimpleSpec(g, "ij", {{"i", p}, {"j", p}},
+                                    false));
+    Workload c = makeConv2d(1, 8, 8, 8, 8, 3, 3);
+    FpgaCost f2 =
+        buildFpga(c, makeSimpleSpec(c, "ocoh", {{"oc", p}, {"oh", p}},
+                                    false));
+    Workload m = makeMttkrp(16, 16, 16, 16);
+    FpgaCost f3 =
+        buildFpga(m, makeSimpleSpec(m, "ij", {{"i", p}, {"j", p}},
+                                    false));
+
+    FpgaCost ours[] = {f1, f2, f3};
+    const char *paper[] = {"3.9K / 4.8K", "4.9K / 4.2K",
+                           "4.9K / 4.7K"};
+    for (int i = 0; i < 3; i++) {
+        std::printf("%-14s | %7.1fK / %6.1fK | %5.1fK / %5.1fK  "
+                    "(%s)\n", autosa[size_t(i)].kernel.c_str(),
+                    double(autosa[size_t(i)].ff) / 1e3,
+                    double(autosa[size_t(i)].lut) / 1e3,
+                    double(ours[i].ff) / 1e3,
+                    double(ours[i].lut) / 1e3, paper[i]);
+    }
+    std::printf("(LEGO's shared control + forwarded operands stay an "
+                "order of magnitude below AutoSA's per-PE polyhedral "
+                "control)\n");
+    return 0;
+}

@@ -1,0 +1,174 @@
+#include "backend/bitwidth.hh"
+
+#include <algorithm>
+
+namespace lego
+{
+
+namespace
+{
+
+struct Range
+{
+    Int lo = 0;
+    Int hi = 0;
+};
+
+Range
+unite(Range a, Range b)
+{
+    return {std::min(a.lo, b.lo), std::max(a.hi, b.hi)};
+}
+
+/** Two's-complement bits for a range. */
+int
+bitsFor(Range r)
+{
+    int bits = 1;
+    while (bits < 48) {
+        Int lo = -(Int(1) << (bits - 1));
+        Int hi = (Int(1) << (bits - 1)) - 1;
+        if (r.lo >= lo && r.hi <= hi)
+            return bits;
+        bits++;
+    }
+    return 48;
+}
+
+} // namespace
+
+BitwidthStats
+inferBitwidths(Dag &dag, int dataBits)
+{
+    BitwidthStats stats;
+    for (int e = 0; e < dag.numEdges(); e++)
+        if (!dag.edge(e).dead)
+            stats.bitsBefore += dag.edge(e).width;
+
+    const Int dlo = -(Int(1) << (dataBits - 1));
+    const Int dhi = (Int(1) << (dataBits - 1)) - 1;
+
+    std::vector<Range> range(size_t(dag.numNodes()), Range{0, 0});
+    std::vector<bool> seen(size_t(dag.numNodes()), false);
+
+    for (int c = 0; c < dag.numConfigs(); c++) {
+        for (int v : dag.topoOrder(c)) {
+            const DagNode &n = dag.node(v);
+            if (n.dead)
+                continue;
+            auto in = [&](int pin) -> Range {
+                int e = dag.inEdgeAt(v, pin);
+                if (e < 0 || dag.edge(e).dead)
+                    return {0, 0};
+                return range[size_t(dag.edge(e).from)];
+            };
+            Range r{0, 0};
+            switch (n.op) {
+              case PrimOp::Const:
+                r = {n.constValue, n.constValue};
+                break;
+              case PrimOp::Counter:
+              case PrimOp::Tap: {
+                Int max_t = 1;
+                for (const IntVec &rad : n.radix)
+                    max_t = std::max(max_t, product(rad));
+                if (n.op == PrimOp::Tap)
+                    r = in(0);
+                if (r.hi < max_t)
+                    r.hi = max_t;
+                break;
+              }
+              case PrimOp::AddrGen: {
+                // Bound per config: bias + sum coef * (radix - 1).
+                Int max_addr = 0;
+                for (int cc = 0; cc < dag.numConfigs(); cc++) {
+                    const AffineAddr &a = n.addr[size_t(cc)];
+                    if (!a.valid)
+                        continue;
+                    Int mm = a.bias;
+                    const IntVec &rad = n.radix[size_t(cc)];
+                    for (size_t i = 0; i < a.coefT.size(); i++)
+                        if (a.coefT[i] > 0)
+                            mm += a.coefT[i] * (rad[i] - 1);
+                    max_addr = std::max(max_addr, mm);
+                }
+                r = {-1, max_addr};
+                break;
+              }
+              case PrimOp::Valid:
+                r = {0, 1};
+                break;
+              case PrimOp::MemRead:
+                r = {dlo, dhi};
+                break;
+              case PrimOp::MemWrite:
+                r = in(0);
+                break;
+              case PrimOp::Mul: {
+                Range a = in(0), b = in(1);
+                Int c1 = a.lo * b.lo, c2 = a.lo * b.hi;
+                Int c3 = a.hi * b.lo, c4 = a.hi * b.hi;
+                r = {std::min({c1, c2, c3, c4}),
+                     std::max({c1, c2, c3, c4})};
+                break;
+              }
+              case PrimOp::Add:
+                r = {in(0).lo + in(1).lo, in(0).hi + in(1).hi};
+                break;
+              case PrimOp::Shl:
+                r = {in(0).lo << 3, in(0).hi << 3};
+                break;
+              case PrimOp::Max:
+                r = unite(in(0), in(1));
+                break;
+              case PrimOp::Mux: {
+                bool first = true;
+                for (int e : dag.inEdges(v)) {
+                    const DagEdge &edge = dag.edge(e);
+                    if (edge.dead || edge.toPin == n.selPin)
+                        continue;
+                    Range s = range[size_t(edge.from)];
+                    r = first ? s : unite(r, s);
+                    first = false;
+                }
+                break;
+              }
+              case PrimOp::Reduce: {
+                Range acc{0, 0};
+                for (int e : dag.inEdges(v)) {
+                    if (dag.edge(e).dead)
+                        continue;
+                    Range s = range[size_t(dag.edge(e).from)];
+                    acc = {acc.lo + std::min<Int>(0, s.lo),
+                           acc.hi + std::max<Int>(0, s.hi)};
+                }
+                r = acc;
+                break;
+              }
+              case PrimOp::Fifo:
+              case PrimOp::Sink:
+                r = in(0);
+                break;
+            }
+            range[size_t(v)] =
+                seen[size_t(v)] ? unite(range[size_t(v)], r) : r;
+            seen[size_t(v)] = true;
+        }
+    }
+
+    for (int v = 0; v < dag.numNodes(); v++) {
+        if (dag.node(v).dead || !seen[size_t(v)])
+            continue;
+        dag.node(v).width = bitsFor(range[size_t(v)]);
+    }
+    for (int e = 0; e < dag.numEdges(); e++) {
+        DagEdge &edge = dag.edge(e);
+        if (edge.dead)
+            continue;
+        edge.width = dag.node(edge.from).width;
+        stats.bitsAfter += edge.width;
+    }
+    return stats;
+}
+
+} // namespace lego

@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Bit-width inference (paper Section V-D): forward interval analysis
+ * over every config's active subgraph determines the value range of
+ * each signal; node and edge widths shrink to the bits actually
+ * needed, which directly reduces register and arithmetic cost.
+ */
+
+#ifndef LEGO_BACKEND_BITWIDTH_HH
+#define LEGO_BACKEND_BITWIDTH_HH
+
+#include "backend/dag.hh"
+
+namespace lego
+{
+
+/** Pass statistics. */
+struct BitwidthStats
+{
+    Int bitsBefore = 0; //!< Sum of edge widths before inference.
+    Int bitsAfter = 0;
+};
+
+/**
+ * Infer and apply widths. `dataBits` is the input operand precision
+ * (the paper evaluates 8-bit MACs).
+ */
+BitwidthStats inferBitwidths(Dag &dag, int dataBits = 8);
+
+} // namespace lego
+
+#endif // LEGO_BACKEND_BITWIDTH_HH

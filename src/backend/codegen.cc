@@ -1,0 +1,537 @@
+#include "backend/codegen.hh"
+
+#include <algorithm>
+#include <map>
+
+namespace lego
+{
+
+namespace
+{
+
+/** Row-major strides for a tensor shape. */
+IntVec
+rowMajorStrides(const IntVec &shape)
+{
+    IntVec st(shape.size(), 1);
+    for (int i = int(shape.size()) - 2; i >= 0; i--)
+        st[size_t(i)] = st[size_t(i) + 1] * shape[size_t(i) + 1];
+    return st;
+}
+
+/**
+ * Affine address expression for (config, port tensor, fu): the flat
+ * row-major element index as a function of the timestamp digits.
+ */
+AffineAddr
+addrExprFor(const Workload &w, int tensor, const DataflowMapping &map,
+            int fu)
+{
+    const DataMapping &dm = w.mappings.at(size_t(tensor));
+    IntVec strides = rowMajorStrides(w.tensorShape(tensor));
+    // addr = strides . (M_D (M_TI t + M_SI s) + bias)
+    //      = (strides^T M_D M_TI) t + strides . (M_D M_SI s + bias).
+    IntMat md_ti = dm.m * map.mTI;
+    IntVec coef(size_t(map.tDims()), 0);
+    for (int j = 0; j < map.tDims(); j++)
+        for (int r = 0; r < dm.m.rows(); r++)
+            coef[size_t(j)] += strides[size_t(r)] * md_ti.at(r, j);
+    IntVec s = map.fuCoord(fu);
+    IntVec base = dm.m * (map.mSI * s);
+    if (!dm.bias.empty())
+        base = addVec(base, dm.bias);
+    Int bias = dot(strides, base);
+    AffineAddr a;
+    a.coefT = coef;
+    a.bias = bias;
+    a.valid = true;
+    return a;
+}
+
+} // namespace
+
+CodegenResult
+codegen(const Adg &adg)
+{
+    const int nc = adg.numConfigs();
+    const int num_fus = adg.numFus();
+    const int num_ports = int(adg.inputPorts.size());
+
+    CodegenResult res;
+    res.dag = Dag(nc);
+    Dag &dag = res.dag;
+
+    // ---------------- control unit -----------------------------------
+    {
+        DagNode counter;
+        counter.op = PrimOp::Counter;
+        counter.name = "ctrl_counter";
+        counter.width = 32;
+        for (int c = 0; c < nc; c++)
+            counter.radix.push_back(adg.configs[size_t(c)].map.rT);
+        res.counter = dag.addNode(std::move(counter));
+    }
+
+    // Per-FU control tap, created lazily (only data nodes need one).
+    std::vector<int> tap(size_t(num_fus), -1);
+    auto tapFor = [&](int fu) {
+        if (tap[size_t(fu)] >= 0)
+            return tap[size_t(fu)];
+        DagNode t;
+        t.op = PrimOp::Tap;
+        t.name = "tap_fu" + std::to_string(fu);
+        t.fu = fu;
+        t.width = 32;
+        int id = dag.addNode(std::move(t));
+        DagEdge e;
+        e.from = res.counter;
+        e.to = id;
+        e.toPin = 0;
+        e.width = 32;
+        e.cfgDelay.assign(size_t(nc), 0);
+        for (int c = 0; c < nc; c++) {
+            const DataflowMapping &m = adg.configs[size_t(c)].map;
+            e.cfgDelay[size_t(c)] = m.tbias(m.fuCoord(fu));
+        }
+        dag.addEdge(std::move(e));
+        tap[size_t(fu)] = id;
+        return id;
+    };
+
+    // Shared zero constant.
+    int zero;
+    {
+        DagNode z;
+        z.op = PrimOp::Const;
+        z.name = "const_zero";
+        z.constValue = 0;
+        z.width = 1;
+        zero = dag.addNode(std::move(z));
+    }
+
+    // ---------------- input operand paths -----------------------------
+    res.operandMux.assign(size_t(num_ports),
+                          std::vector<int>(size_t(num_fus), -1));
+    res.memRead.assign(size_t(num_ports),
+                       std::vector<int>(size_t(num_fus), -1));
+
+    // Pass 1: create every operand mux node (peer edges need them).
+    for (int p = 0; p < num_ports; p++) {
+        for (int fu = 0; fu < num_fus; fu++) {
+            DagNode mux;
+            mux.op = PrimOp::Mux;
+            mux.name =
+                "op" + std::to_string(p) + "_fu" + std::to_string(fu);
+            mux.fu = fu;
+            mux.width = 8;
+            mux.muxSel.assign(size_t(nc), -1);
+            res.operandMux[size_t(p)][size_t(fu)] =
+                dag.addNode(std::move(mux));
+        }
+    }
+
+    // Pass 2: wire memory ports and peer edges into the muxes.
+    for (int p = 0; p < num_ports; p++) {
+        const PortPlan &plan = adg.inputPorts[size_t(p)];
+        // Which configs make `fu` a data node for this port?
+        std::vector<std::vector<int>> dn_configs{size_t(num_fus)};
+        for (int c = 0; c < nc; c++)
+            for (int fu : plan.dataNodes[size_t(c)])
+                dn_configs[size_t(fu)].push_back(c);
+        // Configs in which `fu` is fed by a FIFO (delay) link: its
+        // operand needs the memory fallback outside the FIFO's valid
+        // window, selected by a Valid comparator (the paper's data
+        // valid/invalid control signal).
+        std::vector<std::vector<int>> dly_configs{size_t(num_fus)};
+        for (int c = 0; c < nc; c++) {
+            if (plan.links[size_t(c)].empty())
+                continue;
+            for (int fu = 0; fu < num_fus; fu++)
+                if (plan.links[size_t(c)][size_t(fu)].kind ==
+                    FuLink::Kind::Delay)
+                    dly_configs[size_t(fu)].push_back(c);
+        }
+
+        for (int fu = 0; fu < num_fus; fu++) {
+            int mux = res.operandMux[size_t(p)][size_t(fu)];
+            int next_pin = 0;
+
+            // Dynamic-select pin first, when any config delay-feeds
+            // this operand.
+            if (!dly_configs[size_t(fu)].empty()) {
+                DagNode vn;
+                vn.op = PrimOp::Valid;
+                vn.name = "vld_in" + std::to_string(p) + "_fu" +
+                          std::to_string(fu);
+                vn.fu = fu;
+                vn.width = 1;
+                vn.validDt.assign(size_t(nc), IntVec{});
+                vn.radix.assign(size_t(nc), IntVec{});
+                for (int c : dly_configs[size_t(fu)]) {
+                    vn.validDt[size_t(c)] =
+                        plan.links[size_t(c)][size_t(fu)].dt;
+                    vn.radix[size_t(c)] = adg.configs[size_t(c)].map.rT;
+                }
+                int vid = dag.addNode(std::move(vn));
+                DagEdge te;
+                te.from = tapFor(fu);
+                te.to = vid;
+                te.toPin = 0;
+                te.width = 32;
+                dag.addEdge(std::move(te));
+
+                dag.node(mux).selPin = 0;
+                dag.node(mux).dynPins.assign(size_t(nc), {-1, -1});
+                DagEdge se;
+                se.from = vid;
+                se.to = mux;
+                se.toPin = next_pin++;
+                se.width = 1;
+                dag.addEdge(std::move(se));
+            }
+
+            const bool needs_mem = !dn_configs[size_t(fu)].empty() ||
+                                   !dly_configs[size_t(fu)].empty();
+            int mem_pin = -1;
+            if (needs_mem) {
+                // AddrGen + MemRead pinned to this FU.
+                DagNode ag;
+                ag.op = PrimOp::AddrGen;
+                ag.name = "ag_in" + std::to_string(p) + "_fu" +
+                          std::to_string(fu);
+                ag.fu = fu;
+                ag.width = 24;
+                ag.addr.assign(size_t(nc), AffineAddr{});
+                ag.radix.assign(size_t(nc), IntVec{});
+                std::vector<int> mem_cfgs = dn_configs[size_t(fu)];
+                mem_cfgs.insert(mem_cfgs.end(),
+                                dly_configs[size_t(fu)].begin(),
+                                dly_configs[size_t(fu)].end());
+                for (int c : mem_cfgs) {
+                    int tensor = adg.tensorOfPort(c, p, false);
+                    ag.addr[size_t(c)] = addrExprFor(
+                        *adg.configs[size_t(c)].workload, tensor,
+                        adg.configs[size_t(c)].map, fu);
+                    ag.radix[size_t(c)] =
+                        adg.configs[size_t(c)].map.rT;
+                }
+                int agid = dag.addNode(std::move(ag));
+                DagEdge te;
+                te.from = tapFor(fu);
+                te.to = agid;
+                te.toPin = 0;
+                te.width = 32;
+                dag.addEdge(std::move(te));
+
+                DagNode mr;
+                mr.op = PrimOp::MemRead;
+                mr.name = "rd_in" + std::to_string(p) + "_fu" +
+                          std::to_string(fu);
+                mr.fu = fu;
+                mr.memPort = p;
+                mr.width = 8;
+                int mrid = dag.addNode(std::move(mr));
+                res.memRead[size_t(p)][size_t(fu)] = mrid;
+                DagEdge ae;
+                ae.from = agid;
+                ae.to = mrid;
+                ae.toPin = 0;
+                ae.width = 24;
+                dag.addEdge(std::move(ae));
+
+                DagEdge de;
+                de.from = mrid;
+                de.to = mux;
+                de.toPin = next_pin;
+                de.width = 8;
+                de.active.assign(size_t(nc), false);
+                for (int c : mem_cfgs)
+                    de.active[size_t(c)] = true;
+                for (int c : dn_configs[size_t(fu)])
+                    dag.node(mux).muxSel[size_t(c)] = next_pin;
+                mem_pin = next_pin;
+                dag.addEdge(std::move(de));
+                next_pin++;
+            }
+
+            // Peer edges: group by source FU so one physical wire
+            // serves every config using that source.
+            struct PeerUse
+            {
+                int config;
+                Int depth;
+                bool isDelay;
+            };
+            std::map<int, std::vector<PeerUse>> peers;
+            for (int c = 0; c < nc; c++) {
+                if (plan.links[size_t(c)].empty())
+                    continue;
+                const FuLink &l = plan.links[size_t(c)][size_t(fu)];
+                if (l.kind == FuLink::Kind::Memory || l.peer < 0)
+                    continue;
+                peers[l.peer].push_back(
+                    {c, l.depth, l.kind == FuLink::Kind::Delay});
+            }
+            for (const auto &[peer, uses] : peers) {
+                DagEdge pe;
+                pe.from = res.operandMux[size_t(p)][size_t(peer)];
+                pe.to = mux;
+                pe.toPin = next_pin;
+                pe.width = 8;
+                pe.active.assign(size_t(nc), false);
+                pe.cfgDelay.assign(size_t(nc), 0);
+                for (const PeerUse &u : uses) {
+                    pe.active[size_t(u.config)] = true;
+                    pe.cfgDelay[size_t(u.config)] = u.depth;
+                    if (u.isDelay) {
+                        // Dynamic select: FIFO data when valid, else
+                        // the memory fallback pin.
+                        dag.node(mux).muxSel[size_t(u.config)] = -2;
+                        dag.node(mux).dynPins[size_t(u.config)] =
+                            {next_pin, mem_pin};
+                    } else {
+                        dag.node(mux).muxSel[size_t(u.config)] =
+                            next_pin;
+                    }
+                }
+                dag.addEdge(std::move(pe));
+                next_pin++;
+            }
+        }
+    }
+
+    // ---------------- compute body ------------------------------------
+    std::vector<int> body(size_t(num_fus), -1);
+    for (int fu = 0; fu < num_fus; fu++) {
+        auto opIn = [&](int p) {
+            return res.operandMux[size_t(p)][size_t(fu)];
+        };
+        auto connect = [&](int from, int to, int pin, int width) {
+            DagEdge e;
+            e.from = from;
+            e.to = to;
+            e.toPin = pin;
+            e.width = width;
+            dag.addEdge(std::move(e));
+        };
+        int out = -1;
+        switch (adg.fuOp) {
+          case OpKind::Mac: {
+            DagNode mul;
+            mul.op = PrimOp::Mul;
+            mul.name = "mul_fu" + std::to_string(fu);
+            mul.fu = fu;
+            mul.width = 16;
+            out = dag.addNode(std::move(mul));
+            connect(opIn(0), out, 0, 8);
+            connect(opIn(1), out, 1, 8);
+            break;
+          }
+          case OpKind::MulMulAdd: {
+            DagNode m1;
+            m1.op = PrimOp::Mul;
+            m1.name = "mul1_fu" + std::to_string(fu);
+            m1.fu = fu;
+            m1.width = 16;
+            int m1id = dag.addNode(std::move(m1));
+            connect(opIn(0), m1id, 0, 8);
+            connect(opIn(1), m1id, 1, 8);
+            DagNode m2;
+            m2.op = PrimOp::Mul;
+            m2.name = "mul2_fu" + std::to_string(fu);
+            m2.fu = fu;
+            m2.width = 24;
+            out = dag.addNode(std::move(m2));
+            connect(m1id, out, 0, 16);
+            connect(opIn(2), out, 1, 8);
+            break;
+          }
+          case OpKind::MulShiftAdd: {
+            DagNode mul;
+            mul.op = PrimOp::Mul;
+            mul.name = "mul_fu" + std::to_string(fu);
+            mul.fu = fu;
+            mul.width = 16;
+            int mid = dag.addNode(std::move(mul));
+            connect(opIn(0), mid, 0, 8);
+            connect(opIn(1), mid, 1, 8);
+            DagNode sh;
+            sh.op = PrimOp::Shl;
+            sh.name = "shl_fu" + std::to_string(fu);
+            sh.fu = fu;
+            sh.width = 20;
+            out = dag.addNode(std::move(sh));
+            connect(mid, out, 0, 16);
+            connect(opIn(2), out, 1, 4);
+            break;
+          }
+          case OpKind::MaxReduce: {
+            // Body is the operand itself; reduction via Max chain.
+            out = opIn(0);
+            break;
+          }
+        }
+        body[size_t(fu)] = out;
+    }
+
+    // ---------------- partial-sum cascade ------------------------------
+    // Incoming spatial-reduction edges per FU (from the output plan).
+    const PortPlan &oplan = adg.outputPort;
+    std::vector<std::map<int, std::vector<std::pair<int, Int>>>> yin{
+        size_t(num_fus)};
+    for (int c = 0; c < nc; c++) {
+        if (oplan.links[size_t(c)].empty())
+            continue;
+        for (int fu = 0; fu < num_fus; fu++) {
+            const FuLink &l = oplan.links[size_t(c)][size_t(fu)];
+            if (l.kind == FuLink::Kind::Memory || l.peer < 0)
+                continue;
+            // fu sends its psum to l.peer.
+            yin[size_t(l.peer)][fu].emplace_back(c, l.depth);
+        }
+    }
+
+    res.psum.assign(size_t(num_fus), -1);
+    // Two passes again: create the final psum node chain lazily. We
+    // need psum[peer] edges, so build cascades after reserving adder
+    // chains: process FUs in topological order of the y-forwarding
+    // graph (acyclic per config; the union is acyclic for planned
+    // trees, else we fall back to edge insertion after creation).
+    // Simpler: create all Add cascades first with placeholder pins,
+    // wiring psum sources afterwards.
+    struct PendingEdge
+    {
+        int fromFu;
+        int to;
+        int pin;
+        std::vector<std::pair<int, Int>> uses;
+    };
+    std::vector<PendingEdge> pending;
+
+    for (int fu = 0; fu < num_fus; fu++) {
+        int current = body[size_t(fu)];
+        bool is_max = adg.fuOp == OpKind::MaxReduce;
+        int pin_width = is_max ? 8 : 24;
+        for (const auto &[src, uses] : yin[size_t(fu)]) {
+            // Gate each incoming partial with a mux against zero.
+            DagNode g;
+            g.op = PrimOp::Mux;
+            g.name = "yin_fu" + std::to_string(fu) + "_s" +
+                     std::to_string(src);
+            g.fu = fu;
+            g.width = pin_width;
+            g.muxSel.assign(size_t(nc), 0); // Default: zero.
+            int gid = dag.addNode(std::move(g));
+            DagEdge ze;
+            ze.from = zero;
+            ze.to = gid;
+            ze.toPin = 0;
+            ze.width = 1;
+            dag.addEdge(std::move(ze));
+            for (auto [c, depth] : uses)
+                dag.node(gid).muxSel[size_t(c)] = 1;
+            pending.push_back({src, gid, 1, uses});
+
+            DagNode add;
+            add.op = is_max ? PrimOp::Max : PrimOp::Add;
+            add.name = (is_max ? "max_fu" : "acc_fu") +
+                       std::to_string(fu) + "_s" + std::to_string(src);
+            add.fu = fu;
+            add.width = pin_width;
+            int aid = dag.addNode(std::move(add));
+            DagEdge e1;
+            e1.from = current;
+            e1.to = aid;
+            e1.toPin = 0;
+            e1.width = pin_width;
+            dag.addEdge(std::move(e1));
+            DagEdge e2;
+            e2.from = gid;
+            e2.to = aid;
+            e2.toPin = 1;
+            e2.width = pin_width;
+            dag.addEdge(std::move(e2));
+            current = aid;
+        }
+        res.psum[size_t(fu)] = current;
+    }
+    for (const PendingEdge &pe : pending) {
+        DagEdge e;
+        e.from = res.psum[size_t(pe.fromFu)];
+        e.to = pe.to;
+        e.toPin = pe.pin;
+        e.width = dag.node(pe.to).width;
+        e.active.assign(size_t(nc), false);
+        e.cfgDelay.assign(size_t(nc), 0);
+        for (auto [c, depth] : pe.uses) {
+            e.active[size_t(c)] = true;
+            e.cfgDelay[size_t(c)] = depth;
+        }
+        dag.addEdge(std::move(e));
+    }
+
+    // ---------------- output commits -----------------------------------
+    res.memWrite.assign(size_t(num_fus), -1);
+    std::vector<std::vector<int>> commit_configs{size_t(num_fus)};
+    for (int c = 0; c < nc; c++)
+        for (int fu : oplan.dataNodes[size_t(c)])
+            commit_configs[size_t(fu)].push_back(c);
+
+    for (int fu = 0; fu < num_fus; fu++) {
+        if (commit_configs[size_t(fu)].empty())
+            continue;
+        DagNode ag;
+        ag.op = PrimOp::AddrGen;
+        ag.name = "ag_out_fu" + std::to_string(fu);
+        ag.fu = fu;
+        ag.width = 24;
+        ag.addr.assign(size_t(nc), AffineAddr{});
+        ag.radix.assign(size_t(nc), IntVec{});
+        for (int c : commit_configs[size_t(fu)]) {
+            int tensor = adg.tensorOfPort(c, 0, true);
+            ag.addr[size_t(c)] = addrExprFor(
+                *adg.configs[size_t(c)].workload, tensor,
+                adg.configs[size_t(c)].map, fu);
+            ag.radix[size_t(c)] = adg.configs[size_t(c)].map.rT;
+        }
+        int agid = dag.addNode(std::move(ag));
+        DagEdge te;
+        te.from = tapFor(fu);
+        te.to = agid;
+        te.toPin = 0;
+        te.width = 32;
+        dag.addEdge(std::move(te));
+
+        DagNode mw;
+        mw.op = PrimOp::MemWrite;
+        mw.name = "wr_out_fu" + std::to_string(fu);
+        mw.fu = fu;
+        mw.memPort = -1;
+        mw.accumulate = true;
+        mw.maxAccum = adg.fuOp == OpKind::MaxReduce;
+        mw.width = 24;
+        int mwid = dag.addNode(std::move(mw));
+        res.memWrite[size_t(fu)] = mwid;
+
+        DagEdge de;
+        de.from = res.psum[size_t(fu)];
+        de.to = mwid;
+        de.toPin = 0;
+        de.width = 24;
+        de.active.assign(size_t(nc), false);
+        for (int c : commit_configs[size_t(fu)])
+            de.active[size_t(c)] = true;
+        dag.addEdge(std::move(de));
+        DagEdge ae;
+        ae.from = agid;
+        ae.to = mwid;
+        ae.toPin = 1;
+        ae.width = 24;
+        dag.addEdge(std::move(ae));
+    }
+
+    dag.validate();
+    return res;
+}
+
+} // namespace lego

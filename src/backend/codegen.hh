@@ -1,0 +1,55 @@
+/**
+ * @file
+ * ADG -> DAG translation (the paper's codegen pass, Section V).
+ *
+ * Lowers the FU-level architecture into primitives:
+ *
+ *  - One mixed-radix Counter (the single control unit of Section
+ *    III-D) distributing the local timestamp to per-FU Taps; the
+ *    per-config tap delay equals the control skew t_bias = s . c.
+ *  - AddrGen + MemRead/MemWrite at every data node; addresses are
+ *    affine in the timestamp digits, so switching dataflows only
+ *    reprograms matrix constants (paper Section V).
+ *  - Per-FU operand Mux (the operand register point): selects among
+ *    the memory port and peer forwarding edges per config; peer
+ *    edges carry per-config programmed delays (direct skew or FIFO).
+ *  - The compute body (Mul/Shl/Max chains per the FU OpKind) and a
+ *    partial-sum Add cascade combining incoming spatial-reduction
+ *    edges (later collapsed by reduction-tree extraction).
+ *  - Output commits via accumulating MemWrite (in-place read-modify-
+ *    write in the output buffer, as the PPU sharing demands).
+ */
+
+#ifndef LEGO_BACKEND_CODEGEN_HH
+#define LEGO_BACKEND_CODEGEN_HH
+
+#include "backend/dag.hh"
+#include "frontend/adg.hh"
+
+namespace lego
+{
+
+/** The DAG plus bindings needed by the interpreter and reports. */
+struct CodegenResult
+{
+    Dag dag;
+    int counter = -1;
+
+    /** [port][fu] operand mux node (-1 when port unused). */
+    std::vector<std::vector<int>> operandMux;
+    /** [port][fu] memory read port (-1 when fu is not a data node). */
+    std::vector<std::vector<int>> memRead;
+    /** [fu] final partial-sum node. */
+    std::vector<int> psum;
+    /** [fu] output write port (-1 when fu never commits). */
+    std::vector<int> memWrite;
+
+    CodegenResult() : dag(0) {}
+};
+
+/** Lower an ADG to the primitive-level DAG. */
+CodegenResult codegen(const Adg &adg);
+
+} // namespace lego
+
+#endif // LEGO_BACKEND_CODEGEN_HH

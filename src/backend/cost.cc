@@ -1,0 +1,212 @@
+#include "backend/cost.hh"
+
+#include <algorithm>
+#include <sstream>
+
+namespace lego
+{
+
+std::string
+DagCost::describe() const
+{
+    std::ostringstream os;
+    os << "area " << totalArea() << " um^2 (reg " << regArea
+       << ", arith " << arithArea << ", mux " << muxArea << ", ctrl "
+       << ctrlArea << ", port " << portArea << "); power "
+       << totalPower() << " uW";
+    return os.str();
+}
+
+DagCost
+dagCost(const Dag &dag, int activeCfg, const CostParams &p)
+{
+    DagCost c;
+    const int nc = std::max(1, dag.numConfigs());
+
+    // ---- nodes -------------------------------------------------------
+    for (int v = 0; v < dag.numNodes(); v++) {
+        const DagNode &n = dag.node(v);
+        if (n.dead)
+            continue;
+        double w = n.width;
+        switch (n.op) {
+          case PrimOp::Const:
+            break;
+          case PrimOp::Counter: {
+            // Digit registers + carry incrementers, worst config.
+            Int bits = 0;
+            for (const IntVec &rad : n.radix) {
+                Int b = 0;
+                for (Int r : rad) {
+                    Int x = 1;
+                    while ((Int(1) << x) < r)
+                        x++;
+                    b += x;
+                }
+                bits = std::max(bits, b);
+            }
+            c.ctrlArea += double(bits) *
+                          (p.regAreaPerBit + p.addAreaPerBit);
+            c.ctrlPower += double(bits) *
+                           (p.regPowerPerBit + p.addPowerPerBit);
+            break;
+          }
+          case PrimOp::Tap:
+            // Bus repeater: wiring only; registers live on edges.
+            break;
+          case PrimOp::AddrGen: {
+            // Constant-coefficient MACs over the timestamp digits:
+            // one shift-add cluster per non-zero coefficient.
+            int terms = 0;
+            for (const AffineAddr &a : n.addr)
+                if (a.valid)
+                    for (Int co : a.coefT)
+                        terms += co != 0 ? 1 : 0;
+            terms = std::max(1, terms / std::max(1, int(n.addr.size())));
+            c.ctrlArea += double(terms) * w * p.addAreaPerBit;
+            c.ctrlPower += double(terms) * w * p.addPowerPerBit;
+            break;
+          }
+          case PrimOp::Valid:
+            c.ctrlArea += 8.0 * p.cmpAreaPerBit;
+            c.ctrlPower += 8.0 * p.cmpPowerPerBit;
+            break;
+          case PrimOp::MemRead:
+          case PrimOp::MemWrite:
+            c.portArea += w * p.portAreaPerBit;
+            c.portPower += w * p.portPowerPerBit;
+            break;
+          case PrimOp::Mul:
+            c.arithArea += w * w * p.mulAreaPerBit2 / 4.0;
+            c.arithPower += w * w * p.mulPowerPerBit2 / 4.0;
+            break;
+          case PrimOp::Add:
+          case PrimOp::Max:
+          case PrimOp::Shl:
+            c.arithArea += w * p.addAreaPerBit;
+            c.arithPower += w * p.addPowerPerBit;
+            break;
+          case PrimOp::Mux: {
+            int ins = 0;
+            for (int e : dag.inEdges(v))
+                if (!dag.edge(e).dead &&
+                    dag.edge(e).toPin != n.selPin)
+                    ins++;
+            if (ins > 1) {
+                c.muxArea += w * double(ins) * p.muxAreaPerBitIn;
+                c.muxPower += w * double(ins) * p.muxPowerPerBitIn;
+            }
+            break;
+          }
+          case PrimOp::Reduce: {
+            int pins = std::max(1, n.reducePins);
+            c.arithArea += w * double(pins - 1) * p.addAreaPerBit;
+            c.arithPower += w * double(pins - 1) * p.addPowerPerBit;
+            break;
+          }
+          case PrimOp::Fifo:
+          case PrimOp::Sink:
+            break;
+        }
+    }
+
+    // ---- edges (pipeline registers + programmable FIFOs) -------------
+    for (int e = 0; e < dag.numEdges(); e++) {
+        const DagEdge &edge = dag.edge(e);
+        if (edge.dead)
+            continue;
+        Int depth = edge.regs;
+        for (Int d : edge.cfgDelay)
+            depth = std::max(depth, edge.regs + d);
+        if (depth <= 0)
+            continue;
+        double bits = double(depth) * edge.width;
+        c.regArea += bits * p.regAreaPerBit;
+
+        // Power: active configs toggle fully; idle configs keep a
+        // fraction unless the edge is clock-gated.
+        double act = 0.0;
+        for (int cfg = 0; cfg < nc; cfg++) {
+            if (activeCfg >= 0 && cfg != activeCfg)
+                continue;
+            double f = edge.activeFor(cfg)
+                           ? 1.0
+                           : (edge.gated ? p.gatedFraction
+                                         : p.idleToggleFraction);
+            act += f;
+        }
+        act /= (activeCfg >= 0 ? 1.0 : double(nc));
+        c.regPower += bits * p.regPowerPerBit * act;
+    }
+    return c;
+}
+
+FpgaCost
+fpgaCost(const Dag &dag)
+{
+    FpgaCost f;
+    for (int e = 0; e < dag.numEdges(); e++) {
+        const DagEdge &edge = dag.edge(e);
+        if (edge.dead)
+            continue;
+        Int depth = edge.regs;
+        for (Int d : edge.cfgDelay)
+            depth = std::max(depth, edge.regs + d);
+        f.ff += depth * edge.width;
+    }
+    for (int v = 0; v < dag.numNodes(); v++) {
+        const DagNode &n = dag.node(v);
+        if (n.dead)
+            continue;
+        switch (n.op) {
+          case PrimOp::Add:
+          case PrimOp::Max:
+          case PrimOp::Shl:
+            f.lut += n.width;
+            break;
+          case PrimOp::Mul:
+            // DSP-mapped; control LUTs only.
+            f.lut += 8;
+            break;
+          case PrimOp::Reduce:
+            f.lut += Int(n.width) * std::max(0, n.reducePins - 1);
+            break;
+          case PrimOp::Mux: {
+            int ins = 0;
+            for (int e : dag.inEdges(v))
+                if (!dag.edge(e).dead && dag.edge(e).toPin != n.selPin)
+                    ins++;
+            if (ins > 1)
+                f.lut += Int(n.width) * (ins - 1);
+            break;
+          }
+          case PrimOp::Counter: {
+            Int bits = 0;
+            for (const IntVec &rad : n.radix) {
+                Int b = 0;
+                for (Int r : rad) {
+                    Int x = 1;
+                    while ((Int(1) << x) < r)
+                        x++;
+                    b += x;
+                }
+                bits = std::max(bits, b);
+            }
+            f.ff += bits;
+            f.lut += bits;
+            break;
+          }
+          case PrimOp::AddrGen:
+            f.lut += n.width * 2;
+            break;
+          case PrimOp::Valid:
+            f.lut += 8;
+            break;
+          default:
+            break;
+        }
+    }
+    return f;
+}
+
+} // namespace lego

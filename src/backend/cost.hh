@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Analytic 28 nm standard-cell cost model (Synopsys DC + TSMC 28 nm
+ * substitute) plus an FPGA FF/LUT estimator (Vivado substitute for
+ * the Table VIII comparison).
+ *
+ * Constants are per-bit gate-count figures calibrated so that the
+ * paper's anchor designs land on the reported envelope (a 256-FU
+ * 8-bit MNICOC FU array around 0.12 mm^2 at 28 nm, 1 GHz). All
+ * evaluation tables/figures compare *ratios* across designs produced
+ * by the same model, which is the property the substitution must
+ * preserve.
+ */
+
+#ifndef LEGO_BACKEND_COST_HH
+#define LEGO_BACKEND_COST_HH
+
+#include <string>
+
+#include "backend/dag.hh"
+
+namespace lego
+{
+
+/** Area/power roll-up, broken down by resource class. */
+struct DagCost
+{
+    // Area in um^2.
+    double regArea = 0;
+    double arithArea = 0;
+    double muxArea = 0;
+    double ctrlArea = 0;
+    double portArea = 0;
+
+    // Power in uW at 1 GHz, nominal toggle rates.
+    double regPower = 0;
+    double arithPower = 0;
+    double muxPower = 0;
+    double ctrlPower = 0;
+    double portPower = 0;
+
+    double totalArea() const
+    {
+        return regArea + arithArea + muxArea + ctrlArea + portArea;
+    }
+    double totalPower() const
+    {
+        return regPower + arithPower + muxPower + ctrlPower + portPower;
+    }
+
+    std::string describe() const;
+};
+
+/** FPGA resource estimate (Table VIII). */
+struct FpgaCost
+{
+    Int ff = 0;
+    Int lut = 0;
+};
+
+/** Cost-model constants (28 nm, 1 GHz). */
+struct CostParams
+{
+    double regAreaPerBit = 2.2;    //!< um^2 per flip-flop bit.
+    double regPowerPerBit = 1.1;   //!< uW per bit at full toggle.
+    double addAreaPerBit = 2.8;
+    double addPowerPerBit = 0.55;
+    double mulAreaPerBit2 = 0.85;  //!< um^2 per bit^2.
+    double mulPowerPerBit2 = 0.42; //!< uW per bit^2.
+    double muxAreaPerBitIn = 0.7;
+    double muxPowerPerBitIn = 0.12;
+    double cmpAreaPerBit = 1.6;
+    double cmpPowerPerBit = 0.3;
+    double portAreaPerBit = 4.0;   //!< Memory-port periphery.
+    double portPowerPerBit = 1.2;
+    /** Idle-power fraction kept by an ungated idle register. */
+    double idleToggleFraction = 0.35;
+    /** Residual idle power of a clock-gated register. */
+    double gatedFraction = 0.05;
+};
+
+/**
+ * Roll up the DAG's silicon cost. `activeCfg` picks the dataflow for
+ * power accounting (gated storage idles when inactive); -1 averages
+ * over configs.
+ */
+DagCost dagCost(const Dag &dag, int activeCfg = -1,
+                const CostParams &p = {});
+
+/** Estimate FPGA FF/LUT resources for the DAG. */
+FpgaCost fpgaCost(const Dag &dag);
+
+} // namespace lego
+
+#endif // LEGO_BACKEND_COST_HH

@@ -1,0 +1,277 @@
+#include "backend/interp.hh"
+
+#include "core/lattice.hh"
+
+#include <algorithm>
+#include <limits>
+
+namespace lego
+{
+
+namespace
+{
+
+constexpr Int kUndef = std::numeric_limits<Int>::min() / 2;
+constexpr Int kInvalidAddr = -1;
+
+} // namespace
+
+InterpStats
+runOnHardware(const CodegenResult &gen, const Adg &adg, int cfg,
+              TensorSet &ts)
+{
+    const Dag &dag = gen.dag;
+    const DataflowMapping &map = adg.configs.at(size_t(cfg)).map;
+    const Workload &w = *adg.configs[size_t(cfg)].workload;
+    const Int steps = map.timeSteps();
+
+    std::vector<int> topo = dag.topoOrder(cfg);
+
+    // Static pipeline depth + max programmed delay bound the drain.
+    std::vector<Int> depth(size_t(dag.numNodes()), 0);
+    for (int v : topo) {
+        for (int e : dag.inEdges(v)) {
+            const DagEdge &edge = dag.edge(e);
+            if (edge.dead || !edge.activeFor(cfg))
+                continue;
+            depth[size_t(v)] = std::max(
+                depth[size_t(v)], depth[size_t(edge.from)] +
+                                      edge.delayFor(cfg) +
+                                      dag.node(v).latency);
+        }
+    }
+    Int pipe = 0;
+    for (Int d : depth)
+        pipe = std::max(pipe, d);
+    Int max_skew = 0;
+    for (int fu = 0; fu < adg.numFus(); fu++)
+        max_skew = std::max(max_skew, map.tbias(map.fuCoord(fu)));
+    const Int cycles = steps + pipe + max_skew + 4;
+
+    // Per-node output history.
+    std::vector<std::vector<Int>> hist(
+        size_t(dag.numNodes()),
+        std::vector<Int>(size_t(cycles), kUndef));
+
+    InterpStats stats;
+    stats.cycles = cycles;
+    stats.pipelineDepth = pipe;
+
+    // Tensor binding per memory port for this config.
+    auto tensorFor = [&](const DagNode &n) {
+        return n.memPort >= 0 ? adg.tensorOfPort(cfg, n.memPort, false)
+                              : w.outputTensor();
+    };
+
+    auto input = [&](int v, int pin, Int g) -> Int {
+        int e = -1;
+        for (int cand : dag.inEdges(v)) {
+            const DagEdge &edge = dag.edge(cand);
+            if (edge.dead || edge.toPin != pin)
+                continue;
+            e = cand;
+            break;
+        }
+        if (e < 0)
+            return kUndef;
+        const DagEdge &edge = dag.edge(e);
+        Int t = g - edge.delayFor(cfg);
+        if (t < 0)
+            return kUndef;
+        return hist[size_t(edge.from)][size_t(t)];
+    };
+
+    for (Int g = 0; g < cycles; g++) {
+        for (int v : topo) {
+            const DagNode &n = dag.node(v);
+            if (n.dead)
+                continue;
+            Int tin = g - n.latency; // Inputs sampled at this cycle.
+            Int out = kUndef;
+            switch (n.op) {
+              case PrimOp::Const:
+                out = n.constValue;
+                break;
+              case PrimOp::Counter:
+                out = tin >= 0 ? tin : kUndef;
+                break;
+              case PrimOp::Tap: {
+                if (tin >= 0)
+                    out = input(v, 0, tin);
+                break;
+              }
+              case PrimOp::AddrGen: {
+                if (tin < 0)
+                    break;
+                Int local = input(v, 0, tin);
+                const AffineAddr &a = n.addr.at(size_t(cfg));
+                if (local == kUndef || !a.valid || local < 0 ||
+                    local >= steps) {
+                    out = kInvalidAddr;
+                    break;
+                }
+                IntVec digits =
+                    mixedRadixDigits(local, n.radix.at(size_t(cfg)));
+                out = dot(a.coefT, digits) + a.bias;
+                break;
+              }
+              case PrimOp::Valid: {
+                if (tin < 0)
+                    break;
+                Int local = input(v, 0, tin);
+                const IntVec &dt = n.validDt.at(size_t(cfg));
+                if (local == kUndef || local < 0 || local >= steps) {
+                    out = 0;
+                    break;
+                }
+                if (dt.empty()) {
+                    out = 1; // No FIFO in this config: always valid.
+                    break;
+                }
+                // FIFO data valid iff t - dt is digit-wise in range.
+                const IntVec &radix = n.radix.at(size_t(cfg));
+                IntVec digits = mixedRadixDigits(local, radix);
+                out = 1;
+                for (size_t i = 0; i < digits.size(); i++) {
+                    Int d = digits[i] - dt[i];
+                    if (d < 0 || d >= radix[i])
+                        out = 0;
+                }
+                break;
+              }
+              case PrimOp::MemRead: {
+                if (tin < 0)
+                    break;
+                Int addr = input(v, 0, tin);
+                if (addr == kUndef || addr == kInvalidAddr)
+                    break;
+                int tensor = tensorFor(n);
+                out = ts[tensor].flat(size_t(addr));
+                stats.reads++;
+                break;
+              }
+              case PrimOp::MemWrite: {
+                if (tin < 0)
+                    break;
+                // Side effect at cycle g; no output.
+                int e = -1;
+                for (int cand : dag.inEdges(v))
+                    if (!dag.edge(cand).dead &&
+                        dag.edge(cand).toPin == 0 &&
+                        dag.edge(cand).activeFor(cfg))
+                        e = cand;
+                if (e < 0)
+                    break;
+                Int data = input(v, 0, tin);
+                Int addr = input(v, 1, tin);
+                if (addr == kUndef || addr == kInvalidAddr ||
+                    data == kUndef)
+                    break;
+                int tensor = tensorFor(n);
+                if (n.accumulate && n.maxAccum)
+                    ts[tensor].flat(size_t(addr)) =
+                        std::max(ts[tensor].flat(size_t(addr)), data);
+                else if (n.accumulate)
+                    ts[tensor].flat(size_t(addr)) += data;
+                else
+                    ts[tensor].flat(size_t(addr)) = data;
+                stats.writes++;
+                break;
+              }
+              case PrimOp::Mul: {
+                if (tin < 0)
+                    break;
+                Int a = input(v, 0, tin), b = input(v, 1, tin);
+                out = (a == kUndef || b == kUndef) ? kUndef : a * b;
+                break;
+              }
+              case PrimOp::Add: {
+                if (tin < 0)
+                    break;
+                Int a = input(v, 0, tin), b = input(v, 1, tin);
+                out = (a == kUndef || b == kUndef) ? kUndef : a + b;
+                break;
+              }
+              case PrimOp::Shl: {
+                if (tin < 0)
+                    break;
+                Int a = input(v, 0, tin), b = input(v, 1, tin);
+                out = (a == kUndef || b == kUndef)
+                          ? kUndef
+                          : a << (b & 0x3);
+                break;
+              }
+              case PrimOp::Max: {
+                if (tin < 0)
+                    break;
+                Int a = input(v, 0, tin), b = input(v, 1, tin);
+                out = (a == kUndef || b == kUndef) ? kUndef
+                                                   : std::max(a, b);
+                break;
+              }
+              case PrimOp::Mux: {
+                if (tin < 0)
+                    break;
+                int sel = n.muxSel.empty() ? 0
+                                           : n.muxSel.at(size_t(cfg));
+                if (sel == -2) {
+                    // Dynamic: FIFO data when the valid comparator
+                    // says so, memory fallback otherwise.
+                    Int ok = input(v, n.selPin, tin);
+                    auto [vp, ip] = n.dynPins.at(size_t(cfg));
+                    sel = (ok == 1) ? vp : ip;
+                }
+                if (sel < 0)
+                    break; // Operand unused in this config.
+                out = input(v, sel, tin);
+                break;
+              }
+              case PrimOp::Reduce: {
+                if (tin < 0)
+                    break;
+                // Sum over physical pins mapped for this config.
+                Int acc = 0;
+                bool any = false, undef = false;
+                const auto &pins = n.pinMap.at(size_t(cfg));
+                for (size_t p = 0; p < pins.size(); p++) {
+                    if (pins[p] < 0)
+                        continue;
+                    Int val = input(v, int(p), tin);
+                    if (val == kUndef)
+                        undef = true;
+                    else {
+                        acc += val;
+                        any = true;
+                    }
+                }
+                out = undef || !any ? kUndef : acc;
+                break;
+              }
+              case PrimOp::Fifo:
+              case PrimOp::Sink: {
+                if (tin >= 0)
+                    out = input(v, 0, tin);
+                break;
+              }
+            }
+            hist[size_t(v)][size_t(g)] = out;
+        }
+    }
+    return stats;
+}
+
+bool
+verifyAgainstReference(const CodegenResult &gen, const Adg &adg, int cfg,
+                       unsigned seed, InterpStats *stats)
+{
+    const Workload &w = *adg.configs.at(size_t(cfg)).workload;
+    TensorSet ref = makeInputs(w, seed);
+    TensorSet hw = makeInputs(w, seed);
+    runReference(w, ref);
+    InterpStats st = runOnHardware(gen, adg, cfg, hw);
+    if (stats)
+        *stats = st;
+    return ref[w.outputTensor()] == hw[w.outputTensor()];
+}
+
+} // namespace lego

@@ -1,0 +1,229 @@
+#include "backend/pin_reuse.hh"
+
+#include <algorithm>
+#include <map>
+
+#include "lp/ilp.hh"
+
+namespace lego
+{
+
+namespace
+{
+
+/**
+ * Solve the pin-mapping 0-1 program for one reducer: logical pins i,
+ * physical ports j, configs k. Variables C(i,j,k) place live pin i on
+ * port j in config k; W(i,j) marks the physical wire. Minimize total
+ * wires. Returns per-(config, logical pin) port assignment.
+ */
+std::vector<std::vector<int>>
+solveMapping(const std::vector<std::vector<bool>> &live, int ports)
+{
+    const int nc = int(live.size());
+    const int np = int(live[0].size());
+    const int c_vars = np * ports * nc;
+    BoolIlp ilp(c_vars + np * ports);
+    auto cvar = [&](int i, int j, int k) {
+        return (i * ports + j) * nc + k;
+    };
+    auto wvar = [&](int i, int j) { return c_vars + i * ports + j; };
+
+    for (int i = 0; i < np; i++)
+        for (int j = 0; j < ports; j++)
+            ilp.setObjective(wvar(i, j), 1.0);
+
+    for (int k = 0; k < nc; k++) {
+        for (int i = 0; i < np; i++) {
+            std::vector<std::pair<int, double>> row;
+            for (int j = 0; j < ports; j++)
+                row.emplace_back(cvar(i, j, k), 1.0);
+            // Live pins map exactly once; dead pins map nowhere.
+            ilp.addRowSparse(row, RowSense::EQ,
+                             live[size_t(k)][size_t(i)] ? 1.0 : 0.0);
+        }
+        for (int j = 0; j < ports; j++) {
+            std::vector<std::pair<int, double>> row;
+            for (int i = 0; i < np; i++)
+                row.emplace_back(cvar(i, j, k), 1.0);
+            ilp.addRowSparse(row, RowSense::LE, 1.0);
+        }
+    }
+    // Wire implication: C(i,j,k) <= W(i,j).
+    for (int i = 0; i < np; i++)
+        for (int j = 0; j < ports; j++)
+            for (int k = 0; k < nc; k++)
+                ilp.addRowSparse(
+                    {{cvar(i, j, k), 1.0}, {wvar(i, j), -1.0}},
+                    RowSense::LE, 0.0);
+
+    auto sol = ilp.solve();
+    std::vector<std::vector<int>> assign(
+        size_t(nc), std::vector<int>(size_t(np), -1));
+    if (!sol)
+        return assign; // Caller falls back to identity.
+    for (int k = 0; k < nc; k++)
+        for (int i = 0; i < np; i++)
+            for (int j = 0; j < ports; j++)
+                if ((*sol)[size_t(cvar(i, j, k))])
+                    assign[size_t(k)][size_t(i)] = j;
+    return assign;
+}
+
+/** Greedy fallback for large reducers: first-fit per config. */
+std::vector<std::vector<int>>
+greedyMapping(const std::vector<std::vector<bool>> &live, int ports)
+{
+    const int nc = int(live.size());
+    const int np = int(live[0].size());
+    std::vector<std::vector<int>> assign(
+        size_t(nc), std::vector<int>(size_t(np), -1));
+    // Prefer keeping a pin on the same port across configs.
+    std::vector<int> preferred(size_t(np), -1);
+    for (int k = 0; k < nc; k++) {
+        std::vector<bool> used(size_t(ports), false);
+        for (int i = 0; i < np; i++) {
+            if (!live[size_t(k)][size_t(i)])
+                continue;
+            int j = preferred[size_t(i)];
+            if (j < 0 || used[size_t(j)]) {
+                j = 0;
+                while (j < ports && used[size_t(j)])
+                    j++;
+            }
+            if (j >= ports)
+                panic("greedyMapping: port overflow");
+            used[size_t(j)] = true;
+            assign[size_t(k)][size_t(i)] = j;
+            if (preferred[size_t(i)] < 0)
+                preferred[size_t(i)] = j;
+        }
+    }
+    return assign;
+}
+
+} // namespace
+
+PinReuseStats
+reusePins(Dag &dag)
+{
+    PinReuseStats stats;
+    const int nc = dag.numConfigs();
+
+    for (int v : dag.nodesOf(PrimOp::Reduce)) {
+        DagNode &red = dag.node(v);
+        const int np = red.reducePins;
+        // Liveness table from the pin map.
+        std::vector<std::vector<bool>> live(
+            size_t(nc), std::vector<bool>(size_t(np), false));
+        int ports = 0;
+        for (int k = 0; k < nc; k++) {
+            int cnt = 0;
+            for (int i = 0; i < np; i++) {
+                bool l = red.pinMap[size_t(k)][size_t(i)] >= 0;
+                live[size_t(k)][size_t(i)] = l;
+                cnt += l ? 1 : 0;
+            }
+            ports = std::max(ports, cnt);
+        }
+        stats.pinsBefore += np;
+        if (ports >= np || ports == 0) {
+            stats.pinsAfter += np;
+            continue; // Nothing to reuse.
+        }
+
+        auto assign = (np * ports * nc <= 48)
+                          ? solveMapping(live, ports)
+                          : greedyMapping(live, ports);
+        // Validate; fall back to greedy on ILP failure.
+        bool ok = true;
+        for (int k = 0; k < nc && ok; k++)
+            for (int i = 0; i < np && ok; i++)
+                if (live[size_t(k)][size_t(i)] &&
+                    assign[size_t(k)][size_t(i)] < 0)
+                    ok = false;
+        if (!ok)
+            assign = greedyMapping(live, ports);
+
+        // Gather the original pin edges.
+        std::vector<int> pinEdge(size_t(np), -1);
+        for (int e : dag.inEdges(v))
+            if (!dag.edge(e).dead)
+                pinEdge[size_t(dag.edge(e).toPin)] = e;
+
+        // Which logical pins land on each physical port?
+        std::vector<std::vector<int>> port_pins{size_t(ports)};
+        for (int i = 0; i < np; i++) {
+            std::vector<int> used;
+            for (int k = 0; k < nc; k++)
+                if (assign[size_t(k)][size_t(i)] >= 0)
+                    used.push_back(assign[size_t(k)][size_t(i)]);
+            std::sort(used.begin(), used.end());
+            used.erase(std::unique(used.begin(), used.end()),
+                       used.end());
+            for (int j : used)
+                port_pins[size_t(j)].push_back(i);
+        }
+
+        // Rewire: single-source ports take the edge directly; shared
+        // ports go through a new MUX.
+        for (int j = 0; j < ports; j++) {
+            const auto &pins = port_pins[size_t(j)];
+            if (pins.empty())
+                continue;
+            if (pins.size() == 1) {
+                int e = pinEdge[size_t(pins[0])];
+                if (e >= 0)
+                    dag.edge(e).toPin = j;
+                continue;
+            }
+            DagNode mux;
+            mux.op = PrimOp::Mux;
+            mux.name = red.name + "_pinmux" + std::to_string(j);
+            mux.fu = red.fu;
+            mux.width = red.width;
+            mux.muxSel.assign(size_t(nc), -1);
+            int mid = dag.addNode(std::move(mux));
+            stats.muxesAdded++;
+            for (size_t s = 0; s < pins.size(); s++) {
+                int e = pinEdge[size_t(pins[s])];
+                if (e < 0)
+                    continue;
+                // Move the edge target onto the mux (edges lack a
+                // retarget-destination helper; kill and re-add).
+                DagEdge ne = dag.edge(e);
+                dag.killEdge(e);
+                ne.dead = false;
+                ne.to = mid;
+                ne.toPin = int(s);
+                dag.addEdge(std::move(ne));
+                for (int k = 0; k < nc; k++)
+                    if (assign[size_t(k)][size_t(pins[s])] == j)
+                        dag.node(mid).muxSel[size_t(k)] = int(s);
+            }
+            DagEdge me;
+            me.from = mid;
+            me.to = v;
+            me.toPin = j;
+            me.width = dag.node(mid).width;
+            dag.addEdge(std::move(me));
+        }
+
+        // Rebuild the pin map onto physical ports.
+        DagNode &red2 = dag.node(v);
+        red2.reducePins = ports;
+        red2.pinMap.assign(size_t(nc),
+                           std::vector<int>(size_t(ports), -1));
+        for (int k = 0; k < nc; k++)
+            for (int i = 0; i < np; i++) {
+                int j = assign[size_t(k)][size_t(i)];
+                if (j >= 0)
+                    red2.pinMap[size_t(k)][size_t(j)] = j;
+            }
+        stats.pinsAfter += ports;
+        stats.reducersOptimized++;
+    }
+    return stats;
+}
+
+} // namespace lego

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Reducer pin reusing (paper Section V-C, Fig. 9).
+ *
+ * After reduction-tree extraction, not every Reduce input pin is live
+ * in every dataflow configuration. A liveness table per (pin, config)
+ * determines the number of physical pins actually required — the
+ * maximum number of simultaneously-live pins — and a 0-1 integer
+ * program maps logical pins onto physical ports while minimizing the
+ * distinct wires (each shared port becomes a MUX, far cheaper than an
+ * adder port on ASIC).
+ */
+
+#ifndef LEGO_BACKEND_PIN_REUSE_HH
+#define LEGO_BACKEND_PIN_REUSE_HH
+
+#include "backend/dag.hh"
+
+namespace lego
+{
+
+/** Pass statistics. */
+struct PinReuseStats
+{
+    int reducersOptimized = 0;
+    int pinsBefore = 0;
+    int pinsAfter = 0;
+    int muxesAdded = 0;
+};
+
+/** Remap reducer pins; adds MUXes where ports are shared. */
+PinReuseStats reusePins(Dag &dag);
+
+} // namespace lego
+
+#endif // LEGO_BACKEND_PIN_REUSE_HH

@@ -1,0 +1,32 @@
+#include "backend/power_gate.hh"
+
+#include <algorithm>
+
+namespace lego
+{
+
+PowerGateStats
+applyPowerGating(Dag &dag)
+{
+    PowerGateStats stats;
+    for (int e = 0; e < dag.numEdges(); e++) {
+        DagEdge &edge = dag.edge(e);
+        if (edge.dead || edge.active.empty())
+            continue;
+        bool idle_somewhere = false;
+        for (int c = 0; c < dag.numConfigs(); c++)
+            if (!edge.activeFor(c))
+                idle_somewhere = true;
+        Int depth = edge.regs;
+        for (Int d : edge.cfgDelay)
+            depth = std::max(depth, edge.regs + d);
+        if (idle_somewhere && depth > 0) {
+            edge.gated = true;
+            stats.gatedEdges++;
+            stats.gatedRegBits += depth * edge.width;
+        }
+    }
+    return stats;
+}
+
+} // namespace lego

@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Power gating pass (paper Section V-D): clock-enable gating on
+ * delay blocks that are inactive in the currently selected dataflow,
+ * eliminating their toggle power.
+ */
+
+#ifndef LEGO_BACKEND_POWER_GATE_HH
+#define LEGO_BACKEND_POWER_GATE_HH
+
+#include "backend/dag.hh"
+
+namespace lego
+{
+
+/** Pass statistics. */
+struct PowerGateStats
+{
+    int gatedEdges = 0;
+    Int gatedRegBits = 0;
+};
+
+/**
+ * Mark every register-bearing edge that is idle in at least one
+ * config as clock-gated. The cost model derates the idle power of
+ * gated storage.
+ */
+PowerGateStats applyPowerGating(Dag &dag);
+
+} // namespace lego
+
+#endif // LEGO_BACKEND_POWER_GATE_HH

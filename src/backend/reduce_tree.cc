@@ -1,0 +1,307 @@
+#include "backend/reduce_tree.hh"
+
+#include <algorithm>
+
+namespace lego
+{
+
+namespace
+{
+
+/** Is the node a zero-gate Mux: pin 0 = Const 0, pin 1 = data? */
+bool
+isZeroGate(const Dag &dag, int v)
+{
+    const DagNode &n = dag.node(v);
+    if (n.dead || n.op != PrimOp::Mux || n.selPin >= 0)
+        return false;
+    int e0 = dag.inEdgeAt(v, 0);
+    if (e0 < 0 || dag.edge(e0).dead)
+        return false;
+    return dag.node(dag.edge(e0).from).op == PrimOp::Const;
+}
+
+/** Per-config activity vector of an edge. */
+std::vector<bool>
+edgeActivity(const Dag &dag, const DagEdge &e)
+{
+    std::vector<bool> a(size_t(dag.numConfigs()), true);
+    if (!e.active.empty())
+        a = e.active;
+    return a;
+}
+
+/**
+ * The local cascade base of an Add node: follow pin-0 through Adds
+ * down to the first non-Add (the FU body, e.g. the multiplier).
+ */
+int
+cascadeBase(const Dag &dag, int v)
+{
+    while (dag.node(v).op == PrimOp::Add) {
+        int e = dag.inEdgeAt(v, 0);
+        if (e < 0 || dag.edge(e).dead)
+            break;
+        v = dag.edge(e).from;
+    }
+    return v;
+}
+
+/**
+ * Configs in which the Add node `v`'s local cascade contributes
+ * anything beyond its base (i.e. some pin-1 gate is active).
+ */
+std::vector<bool>
+cascadeContributes(const Dag &dag, int v)
+{
+    std::vector<bool> any(size_t(dag.numConfigs()), false);
+    while (dag.node(v).op == PrimOp::Add) {
+        int e1 = dag.inEdgeAt(v, 1);
+        if (e1 >= 0 && !dag.edge(e1).dead) {
+            int g = dag.edge(e1).from;
+            int de = isZeroGate(dag, g) ? dag.inEdgeAt(g, 1) : e1;
+            if (de >= 0 && !dag.edge(de).dead) {
+                auto a = edgeActivity(dag, dag.edge(de));
+                for (int c = 0; c < dag.numConfigs(); c++)
+                    any[size_t(c)] =
+                        any[size_t(c)] || a[size_t(c)];
+            }
+        }
+        int e0 = dag.inEdgeAt(v, 0);
+        if (e0 < 0 || dag.edge(e0).dead)
+            break;
+        v = dag.edge(e0).from;
+    }
+    return any;
+}
+
+/** A leaf operand collected into a Reduce pin. */
+struct Pin
+{
+    int src;
+    int width;
+    std::vector<bool> active;
+    std::vector<Int> cfgDelay;
+};
+
+struct Collector
+{
+    Dag &dag;
+    std::vector<Pin> pins;
+    std::vector<int> absorbed;
+    /** (edge id, retarget node) for consumers that must bypass an
+     *  absorbed cascade in their own configs. */
+    std::vector<std::pair<int, int>> retargets;
+
+    /**
+     * Can the Add `src` be merged through edge `via`? All hops must
+     * be combinational where the chain is live, and src's other
+     * consumers must never observe the cascade's contribution (their
+     * active configs must avoid both the chain configs and any
+     * config where src's cascade adds something).
+     */
+    bool
+    absorbable(int src, const DagEdge &via,
+               const std::vector<bool> &chain_active)
+    {
+        if (dag.node(src).op != PrimOp::Add)
+            return false;
+        const int nc = dag.numConfigs();
+        for (int c = 0; c < nc; c++) {
+            if (!chain_active[size_t(c)])
+                continue;
+            if (via.delayFor(c) != 0)
+                return false;
+        }
+        std::vector<bool> contributes = cascadeContributes(dag, src);
+        for (int o : dag.outEdges(src)) {
+            const DagEdge &oe = dag.edge(o);
+            if (oe.dead || &oe == &via)
+                continue;
+            auto oa = edgeActivity(dag, oe);
+            for (int c = 0; c < nc; c++) {
+                if (!oa[size_t(c)])
+                    continue;
+                if (chain_active[size_t(c)])
+                    return false; // Observed inside the chain config.
+                if (contributes[size_t(c)])
+                    return false; // Cascade is live for this user.
+            }
+        }
+        return true;
+    }
+
+    void
+    scheduleBypasses(int src, const DagEdge &via)
+    {
+        int base = cascadeBase(dag, src);
+        for (int o : dag.outEdges(src)) {
+            const DagEdge &oe = dag.edge(o);
+            if (oe.dead || &oe == &via)
+                continue;
+            retargets.emplace_back(o, base);
+        }
+    }
+
+    void
+    collect(int v, const std::vector<bool> &path_active,
+            const std::vector<Int> &path_delay)
+    {
+        const int nc = dag.numConfigs();
+        auto combineActive = [&](const DagEdge &e) {
+            auto a = path_active;
+            for (int c = 0; c < nc; c++)
+                a[size_t(c)] = a[size_t(c)] && e.activeFor(c);
+            return a;
+        };
+        auto combineDelay = [&](const DagEdge &e) {
+            auto d = path_delay;
+            if (!e.cfgDelay.empty())
+                for (int c = 0; c < nc; c++)
+                    d[size_t(c)] += e.cfgDelay[size_t(c)];
+            return d;
+        };
+        auto leaf = [&](int src, int width,
+                        const std::vector<bool> &act,
+                        const std::vector<Int> &del) {
+            pins.push_back({src, width, act, del});
+        };
+
+        absorbed.push_back(v);
+        for (int pin = 0; pin < 2; pin++) {
+            int e = dag.inEdgeAt(v, pin);
+            if (e < 0 || dag.edge(e).dead)
+                continue;
+            int src = dag.edge(e).from;
+            auto act = combineActive(dag.edge(e));
+            auto del = combineDelay(dag.edge(e));
+            int width = dag.edge(e).width;
+            // See through zero-gate muxes.
+            if (isZeroGate(dag, src)) {
+                int de = dag.inEdgeAt(src, 1);
+                if (de < 0 || dag.edge(de).dead)
+                    continue;
+                absorbed.push_back(src);
+                int dsrc = dag.edge(de).from;
+                for (int c = 0; c < nc; c++)
+                    act[size_t(c)] = act[size_t(c)] &&
+                                     dag.edge(de).activeFor(c);
+                if (!dag.edge(de).cfgDelay.empty())
+                    for (int c = 0; c < nc; c++)
+                        del[size_t(c)] +=
+                            dag.edge(de).cfgDelay[size_t(c)];
+                width = dag.edge(de).width;
+                if (absorbable(dsrc, dag.edge(de), act)) {
+                    scheduleBypasses(dsrc, dag.edge(de));
+                    collect(dsrc, act, del);
+                } else {
+                    leaf(dsrc, width, act, del);
+                }
+                continue;
+            }
+            if (absorbable(src, dag.edge(e), act)) {
+                scheduleBypasses(src, dag.edge(e));
+                collect(src, act, del);
+            } else {
+                leaf(src, width, act, del);
+            }
+        }
+    }
+};
+
+int
+liveFanout(const Dag &dag, int v)
+{
+    int n = 0;
+    for (int e : dag.outEdges(v))
+        if (!dag.edge(e).dead)
+            n++;
+    return n;
+}
+
+} // namespace
+
+ReduceTreeStats
+extractReductionTrees(Dag &dag)
+{
+    ReduceTreeStats stats;
+    const int nc = dag.numConfigs();
+
+    for (int v = 0; v < dag.numNodes(); v++) {
+        const DagNode &n = dag.node(v);
+        if (n.dead || n.op != PrimOp::Add)
+            continue;
+        // Chain heads: Adds whose output is consumed by something
+        // other than a further combinational Add/zero-gate.
+        bool consumed_by_add = false;
+        if (liveFanout(dag, v) == 1) {
+            for (int e : dag.outEdges(v)) {
+                if (dag.edge(e).dead)
+                    continue;
+                const DagNode &to = dag.node(dag.edge(e).to);
+                bool comb = true;
+                for (Int d : dag.edge(e).cfgDelay)
+                    if (d != 0)
+                        comb = false;
+                if (comb && (to.op == PrimOp::Add ||
+                             isZeroGate(dag, dag.edge(e).to)))
+                    consumed_by_add = true;
+            }
+        }
+        if (consumed_by_add)
+            continue;
+
+        Collector col{dag, {}, {}, {}};
+        col.collect(v, std::vector<bool>(size_t(nc), true),
+                    std::vector<Int>(size_t(nc), 0));
+        int adds = 0;
+        for (int a : col.absorbed)
+            adds += dag.node(a).op == PrimOp::Add ? 1 : 0;
+        if (adds < 2 || col.pins.size() < 3)
+            continue; // A lone adder stays an adder.
+
+        DagNode red;
+        red.op = PrimOp::Reduce;
+        red.name = "red_" + dag.node(v).name;
+        red.fu = dag.node(v).fu;
+        red.width = dag.node(v).width;
+        red.reducePins = int(col.pins.size());
+        red.pinMap.assign(size_t(nc),
+                          std::vector<int>(col.pins.size(), -1));
+        for (int c = 0; c < nc; c++)
+            for (size_t p = 0; p < col.pins.size(); p++)
+                if (col.pins[p].active[size_t(c)])
+                    red.pinMap[size_t(c)][p] = int(p);
+        int rid = dag.addNode(std::move(red));
+
+        for (size_t p = 0; p < col.pins.size(); p++) {
+            DagEdge e;
+            e.from = col.pins[p].src;
+            e.to = rid;
+            e.toPin = int(p);
+            e.width = col.pins[p].width;
+            e.active = col.pins[p].active;
+            e.cfgDelay = col.pins[p].cfgDelay;
+            dag.addEdge(std::move(e));
+        }
+        // Bypass edges for consumers outside the chain configs, then
+        // hand the head's consumers to the Reduce, then kill the
+        // absorbed cascade.
+        for (auto [eid, base] : col.retargets)
+            if (!dag.edge(eid).dead)
+                dag.retargetEdgeSource(eid, base);
+        std::vector<int> outs = dag.outEdges(v);
+        for (int e : outs)
+            if (!dag.edge(e).dead)
+                dag.retargetEdgeSource(e, rid);
+        for (int a : col.absorbed)
+            dag.killNode(a);
+
+        stats.chainsCollapsed++;
+        stats.addersRemoved += adds;
+        stats.reduceNodes++;
+    }
+    return stats;
+}
+
+} // namespace lego

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Reduction tree extraction (paper Section V-C).
+ *
+ * The partial-sum cascades built by codegen are long adder chains;
+ * sequential chains force delay matching to insert registers at every
+ * stage. This pass identifies maximal chains of directly-connected
+ * adders and collapses each into a single balanced Reduce unit,
+ * greatly reducing logic levels and the registers the LP must insert.
+ */
+
+#ifndef LEGO_BACKEND_REDUCE_TREE_HH
+#define LEGO_BACKEND_REDUCE_TREE_HH
+
+#include "backend/dag.hh"
+
+namespace lego
+{
+
+/** Extraction statistics. */
+struct ReduceTreeStats
+{
+    int chainsCollapsed = 0;
+    int addersRemoved = 0;
+    int reduceNodes = 0;
+};
+
+/**
+ * Collapse adder chains into Reduce nodes. Dead gate muxes and adders
+ * are disconnected (left isolated; cost roll-ups skip unreachable
+ * nodes). Run before delay matching.
+ */
+ReduceTreeStats extractReductionTrees(Dag &dag);
+
+} // namespace lego
+
+#endif // LEGO_BACKEND_REDUCE_TREE_HH

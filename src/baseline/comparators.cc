@@ -1,0 +1,63 @@
+#include "baseline/comparators.hh"
+
+namespace lego
+{
+
+PublishedDesign
+eyerissDesign()
+{
+    // Eyeriss ISSCC'16 / JSSC'17 as cited by the paper's Table III.
+    return {"Eyeriss", "KH-OH", 168, 200.0, "65nm", 9.6, 278.0};
+}
+
+PublishedDesign
+nvdlaDesign()
+{
+    // NVDLA small config, projected to 28 nm per the paper's note.
+    return {"NVDLA", "IC-OC", 256, 1000.0, "28nm", 1.7, 300.0};
+}
+
+GeneratorOverheads
+generatorOverheads()
+{
+    return {};
+}
+
+std::vector<FpgaPoint>
+autosaFpgaPoints()
+{
+    // AutoSA on Xilinx U280, from the paper's Table VIII.
+    return {
+        {"GEMM-IJ", 25400, 23900},
+        {"Conv2d-OCOH", 108000, 120000},
+        {"MTTKRP-IJ", 96000, 92400},
+    };
+}
+
+std::vector<SodaPoint>
+sodaPoints()
+{
+    // SODA+MLIR+Bambu at FreePDK45, 500 MHz (paper Table VII).
+    return {
+        {"LeNet", 0.67, 0.90, 3.27},
+        {"MobileNetV2", 0.75, 0.87, 2.28},
+        {"ResNet50", 0.41, 0.65, 3.20},
+    };
+}
+
+double
+areaScale(double from_nm, double to_nm)
+{
+    // Density scales with the square of the feature size.
+    return (to_nm * to_nm) / (from_nm * from_nm);
+}
+
+double
+powerScale(double from_nm, double to_nm)
+{
+    // Roughly linear with feature size at iso-frequency (Dennard
+    // residue at these nodes).
+    return to_nm / from_nm;
+}
+
+} // namespace lego

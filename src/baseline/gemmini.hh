@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Gemmini baseline model (DAC'21): a 16x16 weight-stationary systolic
+ * array with a 256 KB scratchpad, accumulator SRAM and a 128-bit DMA,
+ * matched to the paper's comparison configuration (256 MACs, 256 KB,
+ * 16 GB/s).
+ *
+ * Architectural characteristics that drive the gap the paper reports:
+ *  - one fixed dataflow (WS systolic): GEMV-shaped layers (batch-1 FC
+ *    and decode projections) keep only one row of the array busy;
+ *  - convolutions run through im2col, inflating input traffic by the
+ *    kernel window (no sliding-window reuse);
+ *  - depthwise convolutions occupy one column per channel group.
+ */
+
+#ifndef LEGO_BASELINE_GEMMINI_HH
+#define LEGO_BASELINE_GEMMINI_HH
+
+#include "mapper/schedule.hh"
+
+namespace lego
+{
+
+/** Gemmini instance description. */
+struct GemminiConfig
+{
+    int dim = 16;         //!< Systolic array side.
+    Int scratchpadKb = 256;
+    double freqGhz = 1.0;
+    DramSpec dram;        //!< 16 GB/s default.
+};
+
+/** Simulate one layer on Gemmini. */
+LayerResult gemminiLayer(const GemminiConfig &g, const Layer &l);
+
+/** Simulate a full model (tensor kernels only, as in the paper). */
+RunSummary gemminiModel(const GemminiConfig &g, const Model &m);
+
+/** Chip power of the Gemmini instance (for GOPS/W). */
+double gemminiPowerMw(const GemminiConfig &g);
+
+} // namespace lego
+
+#endif // LEGO_BASELINE_GEMMINI_HH

@@ -1,0 +1,152 @@
+#include "core/dataflow.hh"
+
+#include <algorithm>
+#include <map>
+
+namespace lego
+{
+
+IntVec
+DataflowMapping::iterAt(const IntVec &t, const IntVec &s) const
+{
+    return addVec(mTI * t, mSI * s);
+}
+
+Int
+DataflowMapping::fuIndex(const IntVec &s) const
+{
+    Int idx = 0;
+    for (size_t i = 0; i < s.size(); i++)
+        idx = idx * rS[i] + s[i];
+    return idx;
+}
+
+IntVec
+DataflowMapping::fuCoord(Int idx) const
+{
+    IntVec s(rS.size(), 0);
+    for (int i = int(rS.size()) - 1; i >= 0; i--) {
+        s[i] = idx % rS[i];
+        idx /= rS[i];
+    }
+    return s;
+}
+
+DataflowMapping
+buildDataflow(const Workload &w, const DataflowSpec &spec)
+{
+    const int i_dims = int(w.iterDims.size());
+    const int t_dims = int(spec.temporal.size());
+    const int s_dims = int(spec.spatial.size());
+
+    if (int(spec.cflow.size()) != s_dims)
+        fatal("dataflow '" + spec.name + "': control flow size must equal "
+              "the number of spatial loops");
+
+    DataflowMapping m;
+    m.name = spec.name;
+    m.mTI = IntMat(i_dims, t_dims);
+    m.mSI = IntMat(i_dims, s_dims);
+    m.cflow = spec.cflow;
+    m.rT.resize(t_dims);
+    m.rS.resize(s_dims);
+    for (int j = 0; j < t_dims; j++)
+        m.rT[j] = spec.temporal[j].extent;
+    for (int j = 0; j < s_dims; j++)
+        m.rS[j] = spec.spatial[j].extent;
+
+    // Assign strides per iteration dim: spatial loops innermost (in
+    // reverse spec order), then temporal loops from innermost (last)
+    // to outermost (first).
+    for (int d = 0; d < i_dims; d++) {
+        const std::string &dim = w.iterDims[d];
+        Int stride = 1;
+
+        for (int j = s_dims - 1; j >= 0; j--) {
+            if (spec.spatial[j].dim != dim)
+                continue;
+            m.mSI.at(d, j) = stride;
+            stride *= spec.spatial[j].extent;
+        }
+        for (int j = t_dims - 1; j >= 0; j--) {
+            if (spec.temporal[j].dim != dim)
+                continue;
+            m.mTI.at(d, j) = stride;
+            stride *= spec.temporal[j].extent;
+        }
+        if (stride != w.iterSizes[d])
+            fatal("dataflow '" + spec.name + "': loops over dim '" + dim +
+                  "' cover " + std::to_string(stride) + " of " +
+                  std::to_string(w.iterSizes[d]) + " iterations");
+    }
+    return m;
+}
+
+DataflowSpec
+makeSimpleSpec(const Workload &w, const std::string &name,
+               const std::vector<LoopSpec> &spatial, bool systolic,
+               const std::vector<std::string> &order)
+{
+    DataflowSpec spec;
+    spec.name = name;
+    spec.spatial = spatial;
+    spec.cflow.assign(spatial.size(), systolic ? 1 : 0);
+
+    // Residual temporal extent per dim after the spatial split.
+    std::map<std::string, Int> residual;
+    for (size_t d = 0; d < w.iterDims.size(); d++)
+        residual[w.iterDims[d]] = w.iterSizes[d];
+    for (const auto &sl : spatial) {
+        Int &r = residual[sl.dim];
+        if (sl.extent <= 0 || r % sl.extent != 0)
+            fatal("dataflow '" + name + "': spatial extent " +
+                  std::to_string(sl.extent) + " does not divide dim '" +
+                  sl.dim + "'");
+        r /= sl.extent;
+    }
+
+    std::vector<std::string> loop_order = order;
+    if (loop_order.empty()) {
+        // Default: untouched dims outermost (workload order), then the
+        // residuals of the spatialized dims innermost.
+        std::vector<std::string> spatial_dims;
+        for (const auto &sl : spatial)
+            spatial_dims.push_back(sl.dim);
+        for (const auto &dim : w.iterDims)
+            if (std::find(spatial_dims.begin(), spatial_dims.end(), dim) ==
+                spatial_dims.end())
+                loop_order.push_back(dim);
+        for (const auto &dim : spatial_dims)
+            if (std::find(loop_order.begin(), loop_order.end(), dim) ==
+                loop_order.end())
+                loop_order.push_back(dim);
+    }
+
+    for (const auto &dim : loop_order) {
+        auto it = residual.find(dim);
+        if (it == residual.end())
+            fatal("dataflow '" + name + "': unknown dim '" + dim +
+                  "' in loop order");
+        if (it->second > 1)
+            spec.temporal.push_back({dim, it->second});
+        it->second = 1;
+    }
+    // Any dim not named in the order still needing iteration.
+    for (const auto &[dim, ext] : residual) {
+        if (ext > 1)
+            fatal("dataflow '" + name + "': dim '" + dim +
+                  "' missing from loop order");
+    }
+    if (spec.temporal.empty())
+        spec.temporal.push_back({w.iterDims[0], 1});
+    return spec;
+}
+
+IntVec
+tensorIndexAt(const Workload &w, int tensor_idx, const DataflowMapping &map,
+              const IntVec &t, const IntVec &s)
+{
+    return w.mappings[tensor_idx].apply(map.iterAt(t, s));
+}
+
+} // namespace lego

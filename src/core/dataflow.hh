@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Dataflow and control-flow representation (Sections III-B, III-C).
+ *
+ * A dataflow maps temporal/spatial loop instances back to the
+ * computation iteration domain: i = [M_{T->I} M_{S->I}] [t s]
+ * (Definition 2). Unlike polyhedral/STT notations, the mapping runs
+ * *from* (t, s) *to* i, which keeps the representation free of
+ * division and modulo and makes data-reuse analysis linear.
+ *
+ * The control-flow vector c (one entry per spatial dim) describes how
+ * control signals (valid, addresses) propagate through the FU array:
+ * positive/negative = store-and-forward along the dimension with one
+ * cycle delay per hop, zero = broadcast. The timestamp bias of an FU
+ * is t_bias = s . c (Eq. 4).
+ */
+
+#ifndef LEGO_CORE_DATAFLOW_HH
+#define LEGO_CORE_DATAFLOW_HH
+
+#include <string>
+#include <vector>
+
+#include "core/workload.hh"
+
+namespace lego
+{
+
+/** One (par)for loop: the iteration dim it scans and its extent. */
+struct LoopSpec
+{
+    std::string dim;
+    Int extent;
+};
+
+/**
+ * Declarative dataflow description: temporal loops outermost-first,
+ * spatial (parfor) loops in spatial-dimension order, and the control
+ * flow vector (one entry per spatial loop).
+ *
+ * Within one iteration dim, the loop appearing later (inner) gets the
+ * smaller stride; spatial loops are the innermost tiles of their dim.
+ * The per-dim extents must multiply to the workload's iteration size.
+ */
+struct DataflowSpec
+{
+    std::string name;
+    std::vector<LoopSpec> temporal;
+    std::vector<LoopSpec> spatial;
+    IntVec cflow;
+};
+
+/**
+ * The fully-elaborated affine dataflow mapping
+ * i = mTI * t + mSI * s (paper Definition 2).
+ */
+struct DataflowMapping
+{
+    std::string name;
+    IntMat mTI;  //!< (iter dims) x (temporal loops).
+    IntMat mSI;  //!< (iter dims) x (spatial loops).
+    IntVec rT;   //!< Temporal extents, outermost first (radix weights).
+    IntVec rS;   //!< Spatial extents (FU array shape).
+    IntVec cflow;
+
+    int tDims() const { return int(rT.size()); }
+    int sDims() const { return int(rS.size()); }
+
+    Int numFUs() const { return product(rS); }
+    Int timeSteps() const { return product(rT); }
+
+    /** [mTI | mSI], the matrix of Definition 2. */
+    IntMat mTSI() const { return mTI.hconcat(mSI); }
+
+    /** Timestamp bias of FU s (Eq. 4): t_bias = s . c. */
+    Int tbias(const IntVec &s) const { return dot(s, cflow); }
+
+    /** Computation iteration index for loop state (t, s). */
+    IntVec iterAt(const IntVec &t, const IntVec &s) const;
+
+    /** Linearize an FU coordinate (row-major over rS). */
+    Int fuIndex(const IntVec &s) const;
+
+    /** Inverse of fuIndex. */
+    IntVec fuCoord(Int idx) const;
+};
+
+/**
+ * Elaborate a declarative spec against a workload. Validates that
+ * per-dim loop extents factorize the iteration sizes exactly and
+ * assigns strides (inner loops first).
+ */
+DataflowMapping buildDataflow(const Workload &w, const DataflowSpec &spec);
+
+/**
+ * Convenience builder: parallelize `spatial` dims with the given array
+ * extents; all residual extents become one temporal loop per dim in
+ * `order` (outermost first; defaults to workload dim order with
+ * spatialized dims innermost). Control flow defaults to systolic
+ * (all ones) when `systolic`, else broadcast (all zeros).
+ */
+DataflowSpec makeSimpleSpec(const Workload &w, const std::string &name,
+                            const std::vector<LoopSpec> &spatial,
+                            bool systolic,
+                            const std::vector<std::string> &order = {});
+
+/**
+ * Evaluate f_{TS->D}: the tensor index accessed by FU s at loop state
+ * t for tensor `tensor_idx` (composition of Definitions 1 and 2).
+ */
+IntVec tensorIndexAt(const Workload &w, int tensor_idx,
+                     const DataflowMapping &map,
+                     const IntVec &t, const IntVec &s);
+
+} // namespace lego
+
+#endif // LEGO_CORE_DATAFLOW_HH

@@ -1,0 +1,536 @@
+#include "core/matrix.hh"
+
+#include <algorithm>
+#include <cstdarg>
+#include <iostream>
+
+namespace lego
+{
+
+namespace detail
+{
+
+std::string
+formatMessage(const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    char buf[1024];
+    vsnprintf(buf, sizeof(buf), fmt, args);
+    va_end(args);
+    return std::string(buf);
+}
+
+} // namespace detail
+
+void
+fatal(const std::string &msg)
+{
+    throw FatalError("fatal: " + msg);
+}
+
+void
+panic(const std::string &msg)
+{
+    throw PanicError("panic: " + msg);
+}
+
+void
+warn(const std::string &msg)
+{
+    std::cerr << "warn: " << msg << "\n";
+}
+
+std::string
+toString(const IntVec &v)
+{
+    std::string s = "(";
+    for (size_t i = 0; i < v.size(); i++) {
+        if (i)
+            s += ", ";
+        s += std::to_string(v[i]);
+    }
+    return s + ")";
+}
+
+// ---------------------------------------------------------------- Frac
+
+Frac::Frac(Int n, Int d)
+    : num_(n), den_(d)
+{
+    if (d == 0)
+        panic("Frac: zero denominator");
+    reduce();
+}
+
+void
+Frac::reduce()
+{
+    if (den_ < 0) {
+        num_ = -num_;
+        den_ = -den_;
+    }
+    Int g = gcdInt(num_, den_);
+    if (g > 1) {
+        num_ /= g;
+        den_ /= g;
+    }
+    if (num_ == 0)
+        den_ = 1;
+}
+
+Frac
+Frac::operator+(const Frac &o) const
+{
+    return Frac(num_ * o.den_ + o.num_ * den_, den_ * o.den_);
+}
+
+Frac
+Frac::operator-(const Frac &o) const
+{
+    return Frac(num_ * o.den_ - o.num_ * den_, den_ * o.den_);
+}
+
+Frac
+Frac::operator*(const Frac &o) const
+{
+    return Frac(num_ * o.num_, den_ * o.den_);
+}
+
+Frac
+Frac::operator/(const Frac &o) const
+{
+    if (o.num_ == 0)
+        panic("Frac: division by zero");
+    return Frac(num_ * o.den_, den_ * o.num_);
+}
+
+bool
+Frac::operator<(const Frac &o) const
+{
+    return num_ * o.den_ < o.num_ * den_;
+}
+
+Int
+Frac::asInt() const
+{
+    if (den_ != 1)
+        panic("Frac::asInt on non-integer " + toString());
+    return num_;
+}
+
+std::string
+Frac::toString() const
+{
+    if (den_ == 1)
+        return std::to_string(num_);
+    return std::to_string(num_) + "/" + std::to_string(den_);
+}
+
+// --------------------------------------------------------------- IntMat
+
+IntMat::IntMat(int rows, int cols)
+    : rows_(rows), cols_(cols), data_(size_t(rows) * cols, 0)
+{
+    if (rows < 0 || cols < 0)
+        panic("IntMat: negative shape");
+}
+
+IntMat::IntMat(std::initializer_list<std::initializer_list<Int>> init)
+{
+    rows_ = int(init.size());
+    cols_ = rows_ ? int(init.begin()->size()) : 0;
+    data_.reserve(size_t(rows_) * cols_);
+    for (const auto &row : init) {
+        if (int(row.size()) != cols_)
+            panic("IntMat: ragged initializer");
+        for (Int v : row)
+            data_.push_back(v);
+    }
+}
+
+IntMat
+IntMat::identity(int n)
+{
+    IntMat m(n, n);
+    for (int i = 0; i < n; i++)
+        m.at(i, i) = 1;
+    return m;
+}
+
+Int &
+IntMat::at(int r, int c)
+{
+    if (r < 0 || r >= rows_ || c < 0 || c >= cols_)
+        panic("IntMat::at out of range");
+    return data_[size_t(r) * cols_ + c];
+}
+
+Int
+IntMat::at(int r, int c) const
+{
+    if (r < 0 || r >= rows_ || c < 0 || c >= cols_)
+        panic("IntMat::at out of range");
+    return data_[size_t(r) * cols_ + c];
+}
+
+IntMat
+IntMat::operator*(const IntMat &o) const
+{
+    if (cols_ != o.rows_)
+        panic("IntMat::operator*: shape mismatch");
+    IntMat r(rows_, o.cols_);
+    for (int i = 0; i < rows_; i++) {
+        for (int k = 0; k < cols_; k++) {
+            Int a = at(i, k);
+            if (a == 0)
+                continue;
+            for (int j = 0; j < o.cols_; j++)
+                r.at(i, j) += a * o.at(k, j);
+        }
+    }
+    return r;
+}
+
+IntVec
+IntMat::operator*(const IntVec &v) const
+{
+    if (int(v.size()) != cols_)
+        panic("IntMat::operator* vec: shape mismatch");
+    IntVec r(rows_, 0);
+    for (int i = 0; i < rows_; i++)
+        for (int j = 0; j < cols_; j++)
+            r[i] += at(i, j) * v[j];
+    return r;
+}
+
+IntMat
+IntMat::operator+(const IntMat &o) const
+{
+    if (rows_ != o.rows_ || cols_ != o.cols_)
+        panic("IntMat::operator+: shape mismatch");
+    IntMat r(rows_, cols_);
+    for (size_t i = 0; i < data_.size(); i++)
+        r.data_[i] = data_[i] + o.data_[i];
+    return r;
+}
+
+IntMat
+IntMat::operator-(const IntMat &o) const
+{
+    if (rows_ != o.rows_ || cols_ != o.cols_)
+        panic("IntMat::operator-: shape mismatch");
+    IntMat r(rows_, cols_);
+    for (size_t i = 0; i < data_.size(); i++)
+        r.data_[i] = data_[i] - o.data_[i];
+    return r;
+}
+
+bool
+IntMat::operator==(const IntMat &o) const
+{
+    return rows_ == o.rows_ && cols_ == o.cols_ && data_ == o.data_;
+}
+
+IntMat
+IntMat::transpose() const
+{
+    IntMat r(cols_, rows_);
+    for (int i = 0; i < rows_; i++)
+        for (int j = 0; j < cols_; j++)
+            r.at(j, i) = at(i, j);
+    return r;
+}
+
+bool
+IntMat::isZero() const
+{
+    for (Int v : data_)
+        if (v != 0)
+            return false;
+    return true;
+}
+
+IntMat
+IntMat::hconcat(const IntMat &o) const
+{
+    if (rows_ != o.rows_)
+        panic("IntMat::hconcat: row mismatch");
+    IntMat r(rows_, cols_ + o.cols_);
+    for (int i = 0; i < rows_; i++) {
+        for (int j = 0; j < cols_; j++)
+            r.at(i, j) = at(i, j);
+        for (int j = 0; j < o.cols_; j++)
+            r.at(i, cols_ + j) = o.at(i, j);
+    }
+    return r;
+}
+
+IntMat
+IntMat::slice(int lo, int hi) const
+{
+    if (lo < 0 || hi > cols_ || lo > hi)
+        panic("IntMat::slice: bad range");
+    IntMat r(rows_, hi - lo);
+    for (int i = 0; i < rows_; i++)
+        for (int j = lo; j < hi; j++)
+            r.at(i, j - lo) = at(i, j);
+    return r;
+}
+
+namespace
+{
+
+/**
+ * Fraction-free style Gaussian elimination into row echelon form on a
+ * rational working copy. Returns pivot column per row (or -1).
+ */
+struct Echelon
+{
+    std::vector<FracVec> m;
+    std::vector<int> pivotCol;
+    int rank;
+};
+
+Echelon
+echelonForm(const IntMat &a, const IntVec *rhs)
+{
+    int rows = a.rows(), cols = a.cols();
+    Echelon e;
+    e.m.assign(rows, FracVec(cols + (rhs ? 1 : 0), Frac(0)));
+    for (int i = 0; i < rows; i++) {
+        for (int j = 0; j < cols; j++)
+            e.m[i][j] = Frac(a.at(i, j));
+        if (rhs)
+            e.m[i][cols] = Frac((*rhs)[i]);
+    }
+
+    int width = cols;
+    int row = 0;
+    e.pivotCol.assign(rows, -1);
+    for (int col = 0; col < width && row < rows; col++) {
+        int pivot = -1;
+        for (int i = row; i < rows; i++) {
+            if (!e.m[i][col].isZero()) {
+                pivot = i;
+                break;
+            }
+        }
+        if (pivot < 0)
+            continue;
+        std::swap(e.m[row], e.m[pivot]);
+        Frac inv = Frac(1) / e.m[row][col];
+        for (int j = col; j < int(e.m[row].size()); j++)
+            e.m[row][j] = e.m[row][j] * inv;
+        for (int i = 0; i < rows; i++) {
+            if (i == row || e.m[i][col].isZero())
+                continue;
+            Frac f = e.m[i][col];
+            for (int j = col; j < int(e.m[i].size()); j++)
+                e.m[i][j] = e.m[i][j] - f * e.m[row][j];
+        }
+        e.pivotCol[row] = col;
+        row++;
+    }
+    e.rank = row;
+    return e;
+}
+
+} // namespace
+
+int
+IntMat::rank() const
+{
+    return echelonForm(*this, nullptr).rank;
+}
+
+std::vector<IntVec>
+IntMat::nullspaceInt() const
+{
+    Echelon e = echelonForm(*this, nullptr);
+    std::vector<bool> is_pivot(cols_, false);
+    for (int r = 0; r < e.rank; r++)
+        is_pivot[e.pivotCol[r]] = true;
+
+    std::vector<IntVec> basis;
+    for (int free = 0; free < cols_; free++) {
+        if (is_pivot[free])
+            continue;
+        // Back-substitute with the free variable set to 1.
+        FracVec v(cols_, Frac(0));
+        v[free] = Frac(1);
+        for (int r = e.rank - 1; r >= 0; r--) {
+            int pc = e.pivotCol[r];
+            Frac sum(0);
+            for (int j = pc + 1; j < cols_; j++)
+                sum = sum + e.m[r][j] * v[j];
+            v[pc] = -sum;
+        }
+        // Scale to a primitive integer vector.
+        Int l = 1;
+        for (const Frac &f : v)
+            l = lcmInt(l, f.den());
+        IntVec iv(cols_);
+        for (int j = 0; j < cols_; j++)
+            iv[j] = v[j].num() * (l / v[j].den());
+        Int c = content(iv);
+        if (c > 1)
+            for (Int &x : iv)
+                x /= c;
+        basis.push_back(std::move(iv));
+    }
+    return basis;
+}
+
+std::optional<FracVec>
+IntMat::solve(const IntVec &b) const
+{
+    if (int(b.size()) != rows_)
+        panic("IntMat::solve: rhs size mismatch");
+    Echelon e = echelonForm(*this, &b);
+    // Inconsistency: a zero row with non-zero rhs.
+    for (int i = e.rank; i < rows_; i++)
+        if (!e.m[i][cols_].isZero())
+            return std::nullopt;
+
+    FracVec x(cols_, Frac(0));
+    for (int r = e.rank - 1; r >= 0; r--) {
+        int pc = e.pivotCol[r];
+        Frac sum = e.m[r][cols_];
+        for (int j = pc + 1; j < cols_; j++)
+            sum = sum - e.m[r][j] * x[j];
+        x[pc] = sum;
+    }
+    return x;
+}
+
+FracVec
+IntMat::SolutionSpace::solveFor(const IntVec &free_vals) const
+{
+    if (free_vals.size() != freeCols.size())
+        panic("SolutionSpace::solveFor: free value count mismatch");
+    FracVec x(size_t(cols), Frac(0));
+    for (size_t f = 0; f < freeCols.size(); f++)
+        x[size_t(freeCols[f])] = Frac(free_vals[f]);
+    for (int r = int(pivotCol.size()) - 1; r >= 0; r--) {
+        int pc = pivotCol[size_t(r)];
+        Frac sum = reduced[size_t(r)][size_t(cols)]; // rhs column.
+        for (int j = pc + 1; j < cols; j++)
+            sum = sum - reduced[size_t(r)][size_t(j)] * x[size_t(j)];
+        x[size_t(pc)] = sum;
+    }
+    return x;
+}
+
+IntMat::SolutionSpace
+IntMat::solutionSpace(const IntVec &b) const
+{
+    if (int(b.size()) != rows_)
+        panic("IntMat::solutionSpace: rhs size mismatch");
+    Echelon e = echelonForm(*this, &b);
+    SolutionSpace s;
+    s.cols = cols_;
+    for (int i = e.rank; i < rows_; i++)
+        if (!e.m[i][size_t(cols_)].isZero())
+            return s; // Inconsistent (consistent = false).
+    s.consistent = true;
+    std::vector<bool> is_pivot(size_t(cols_), false);
+    for (int r = 0; r < e.rank; r++) {
+        s.pivotCol.push_back(e.pivotCol[size_t(r)]);
+        s.reduced.push_back(e.m[size_t(r)]);
+        is_pivot[size_t(e.pivotCol[size_t(r)])] = true;
+    }
+    for (int j = 0; j < cols_; j++)
+        if (!is_pivot[size_t(j)])
+            s.freeCols.push_back(j);
+    return s;
+}
+
+std::string
+IntMat::toString() const
+{
+    std::string s;
+    for (int i = 0; i < rows_; i++) {
+        s += i ? "\n[" : "[";
+        for (int j = 0; j < cols_; j++) {
+            if (j)
+                s += " ";
+            s += std::to_string(at(i, j));
+        }
+        s += "]";
+    }
+    return s;
+}
+
+// ------------------------------------------------------------- vectors
+
+Int
+dot(const IntVec &a, const IntVec &b)
+{
+    if (a.size() != b.size())
+        panic("dot: size mismatch");
+    Int s = 0;
+    for (size_t i = 0; i < a.size(); i++)
+        s += a[i] * b[i];
+    return s;
+}
+
+IntVec
+addVec(const IntVec &a, const IntVec &b)
+{
+    if (a.size() != b.size())
+        panic("addVec: size mismatch");
+    IntVec r(a.size());
+    for (size_t i = 0; i < a.size(); i++)
+        r[i] = a[i] + b[i];
+    return r;
+}
+
+IntVec
+subVec(const IntVec &a, const IntVec &b)
+{
+    if (a.size() != b.size())
+        panic("subVec: size mismatch");
+    IntVec r(a.size());
+    for (size_t i = 0; i < a.size(); i++)
+        r[i] = a[i] - b[i];
+    return r;
+}
+
+IntVec
+scaleVec(const IntVec &a, Int k)
+{
+    IntVec r(a.size());
+    for (size_t i = 0; i < a.size(); i++)
+        r[i] = a[i] * k;
+    return r;
+}
+
+Int
+infNorm(const IntVec &a)
+{
+    Int m = 0;
+    for (Int x : a)
+        m = std::max(m, x < 0 ? -x : x);
+    return m;
+}
+
+bool
+isZeroVec(const IntVec &a)
+{
+    for (Int x : a)
+        if (x != 0)
+            return false;
+    return true;
+}
+
+Int
+content(const IntVec &a)
+{
+    Int g = 0;
+    for (Int x : a)
+        g = gcdInt(g, x);
+    return g;
+}
+
+} // namespace lego

@@ -1,0 +1,181 @@
+/**
+ * @file
+ * Exact integer and rational matrix algebra for LEGO's affine
+ * relations (Section III of the paper).
+ *
+ * All front-end analyses manipulate small dense matrices whose entries
+ * are loop bounds and strides, so an exact (overflow-checked) int64
+ * representation with rational elimination is both sufficient and
+ * simpler than arbitrary precision.
+ */
+
+#ifndef LEGO_CORE_MATRIX_HH
+#define LEGO_CORE_MATRIX_HH
+
+#include <initializer_list>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/types.hh"
+
+namespace lego
+{
+
+/**
+ * An exact rational number with canonical form (reduced, positive
+ * denominator). Used by Gaussian elimination over affine relations.
+ */
+class Frac
+{
+  public:
+    Frac() : num_(0), den_(1) {}
+    Frac(Int n) : num_(n), den_(1) {}
+    Frac(Int n, Int d);
+
+    Int num() const { return num_; }
+    Int den() const { return den_; }
+
+    bool isZero() const { return num_ == 0; }
+    bool isInteger() const { return den_ == 1; }
+
+    Frac operator+(const Frac &o) const;
+    Frac operator-(const Frac &o) const;
+    Frac operator*(const Frac &o) const;
+    Frac operator/(const Frac &o) const;
+    Frac operator-() const { return Frac(-num_, den_); }
+
+    bool operator==(const Frac &o) const
+    {
+        return num_ == o.num_ && den_ == o.den_;
+    }
+    bool operator!=(const Frac &o) const { return !(*this == o); }
+    bool operator<(const Frac &o) const;
+
+    /** The integer value; panics if not an integer. */
+    Int asInt() const;
+
+    std::string toString() const;
+
+  private:
+    void reduce();
+
+    Int num_;
+    Int den_;
+};
+
+using FracVec = std::vector<Frac>;
+
+/**
+ * Dense integer matrix. Row-major. This is the representation of the
+ * affine transformation matrices M_{I->D} (data mapping) and
+ * [M_{T->I} M_{S->I}] (dataflow mapping) in the paper.
+ */
+class IntMat
+{
+  public:
+    IntMat() : rows_(0), cols_(0) {}
+    IntMat(int rows, int cols);
+    IntMat(std::initializer_list<std::initializer_list<Int>> init);
+
+    static IntMat identity(int n);
+    static IntMat zero(int rows, int cols) { return IntMat(rows, cols); }
+
+    int rows() const { return rows_; }
+    int cols() const { return cols_; }
+
+    Int &at(int r, int c);
+    Int at(int r, int c) const;
+
+    /** Matrix-matrix product; panics on shape mismatch. */
+    IntMat operator*(const IntMat &o) const;
+
+    /** Matrix-vector product; panics on shape mismatch. */
+    IntVec operator*(const IntVec &v) const;
+
+    IntMat operator+(const IntMat &o) const;
+    IntMat operator-(const IntMat &o) const;
+
+    bool operator==(const IntMat &o) const;
+    bool operator!=(const IntMat &o) const { return !(*this == o); }
+
+    IntMat transpose() const;
+
+    /** True iff every entry is zero. */
+    bool isZero() const;
+
+    /** Horizontal concatenation [this | o]. */
+    IntMat hconcat(const IntMat &o) const;
+
+    /** Columns [lo, hi) as a new matrix. */
+    IntMat slice(int lo, int hi) const;
+
+    /** Rank over the rationals. */
+    int rank() const;
+
+    /**
+     * Integer basis of the right nullspace: columns v with A*v = 0.
+     * Each basis vector is scaled to be integral and primitive
+     * (content 1). The basis spans the rational nullspace.
+     */
+    std::vector<IntVec> nullspaceInt() const;
+
+    /**
+     * Solve A x = b over the rationals. Returns std::nullopt when the
+     * system is inconsistent; otherwise one particular solution (free
+     * variables set to zero).
+     */
+    std::optional<FracVec> solve(const IntVec &b) const;
+
+    /**
+     * Full parametric solution of A x = b: assigning values to the
+     * free variables determines the pivot variables. Every integer
+     * solution of the system has integer free-variable coordinates,
+     * so enumerating free values explores the complete lattice coset.
+     */
+    struct SolutionSpace
+    {
+        bool consistent = false;
+        std::vector<int> freeCols;       //!< Non-pivot columns.
+        std::vector<int> pivotCol;       //!< Pivot column per used row.
+        std::vector<FracVec> reduced;    //!< RREF rows incl. rhs column.
+        int cols = 0;
+
+        /** Full solution vector for the given free-variable values. */
+        FracVec solveFor(const IntVec &free_vals) const;
+    };
+
+    SolutionSpace solutionSpace(const IntVec &b) const;
+
+    std::string toString() const;
+
+  private:
+    int rows_;
+    int cols_;
+    std::vector<Int> data_;
+};
+
+/** Dot product; panics on length mismatch. */
+Int dot(const IntVec &a, const IntVec &b);
+
+/** Element-wise a + b. */
+IntVec addVec(const IntVec &a, const IntVec &b);
+
+/** Element-wise a - b. */
+IntVec subVec(const IntVec &a, const IntVec &b);
+
+/** Element-wise scalar multiply. */
+IntVec scaleVec(const IntVec &a, Int k);
+
+/** Infinity norm max|a_i|. */
+Int infNorm(const IntVec &a);
+
+/** True iff all entries are zero. */
+bool isZeroVec(const IntVec &a);
+
+/** Content (gcd of absolute entries; 0 for the zero vector). */
+Int content(const IntVec &a);
+
+} // namespace lego
+
+#endif // LEGO_CORE_MATRIX_HH

@@ -1,0 +1,128 @@
+#include "core/reference.hh"
+
+namespace lego
+{
+
+TensorSet
+makeInputs(const Workload &w, unsigned seed)
+{
+    TensorSet ts;
+    for (size_t i = 0; i < w.tensors.size(); i++) {
+        TensorData td(w.tensorShape(int(i)));
+        if (!w.tensors[i].isOutput)
+            td.fillPattern(seed + unsigned(i) * 7919u);
+        ts.tensors.push_back(std::move(td));
+    }
+    return ts;
+}
+
+void
+applyBody(const Workload &w, TensorSet &ts, const IntVec &iter)
+{
+    const int out = w.outputTensor();
+    std::vector<int> in = w.inputTensors();
+    IntVec yidx = w.mappings[out].apply(iter);
+    Int &y = ts[out].at(yidx);
+
+    auto operand = [&](int k) {
+        int t = in[size_t(k)];
+        return ts[t].at(w.mappings[t].apply(iter));
+    };
+
+    switch (w.op) {
+      case OpKind::Mac:
+        y += operand(0) * operand(1);
+        break;
+      case OpKind::MulMulAdd:
+        y += operand(0) * operand(1) * operand(2);
+        break;
+      case OpKind::MulShiftAdd:
+        // Shift amounts are kept small and non-negative by masking.
+        y += (operand(0) * operand(1)) << (operand(2) & 0x3);
+        break;
+      case OpKind::MaxReduce:
+        y = std::max(y, operand(0));
+        break;
+    }
+}
+
+void
+runReference(const Workload &w, TensorSet &ts)
+{
+    const int nd = int(w.iterDims.size());
+    IntVec iter(nd, 0);
+    bool done = false;
+    while (!done) {
+        applyBody(w, ts, iter);
+        int pos = nd - 1;
+        while (pos >= 0) {
+            if (++iter[pos] < w.iterSizes[pos])
+                break;
+            iter[pos] = 0;
+            pos--;
+        }
+        if (pos < 0)
+            done = true;
+    }
+}
+
+namespace
+{
+
+/** Iterate a mixed-radix counter; returns false after the last state. */
+bool
+advance(IntVec &v, const IntVec &radix)
+{
+    int pos = int(v.size()) - 1;
+    while (pos >= 0) {
+        if (++v[pos] < radix[pos])
+            return true;
+        v[pos] = 0;
+        pos--;
+    }
+    return false;
+}
+
+} // namespace
+
+void
+runMapped(const Workload &w, const DataflowMapping &m, TensorSet &ts)
+{
+    IntVec t(m.tDims(), 0);
+    do {
+        IntVec s(m.sDims(), 0);
+        do {
+            applyBody(w, ts, m.iterAt(t, s));
+        } while (advance(s, m.rS));
+    } while (advance(t, m.rT));
+}
+
+bool
+mappingIsBijective(const Workload &w, const DataflowMapping &m)
+{
+    if (m.timeSteps() * m.numFUs() != w.iterationCount())
+        return false;
+    std::vector<char> seen(size_t(w.iterationCount()), 0);
+    IntVec t(m.tDims(), 0);
+    do {
+        IntVec s(m.sDims(), 0);
+        do {
+            IntVec iter = m.iterAt(t, s);
+            Int flat = 0;
+            for (size_t d = 0; d < iter.size(); d++) {
+                if (iter[d] < 0 || iter[d] >= w.iterSizes[d])
+                    return false;
+                flat = flat * w.iterSizes[d] + iter[d];
+            }
+            if (seen[size_t(flat)])
+                return false;
+            seen[size_t(flat)] = 1;
+        } while (advance(s, m.rS));
+    } while (advance(t, m.rT));
+    for (char c : seen)
+        if (!c)
+            return false;
+    return true;
+}
+
+} // namespace lego

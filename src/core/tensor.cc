@@ -1,0 +1,67 @@
+#include "core/tensor.hh"
+
+namespace lego
+{
+
+TensorData::TensorData(IntVec shape)
+    : shape_(std::move(shape))
+{
+    strides_.assign(shape_.size(), 1);
+    for (int i = int(shape_.size()) - 2; i >= 0; i--)
+        strides_[i] = strides_[i + 1] * shape_[i + 1];
+    size_t n = 1;
+    for (Int d : shape_) {
+        if (d <= 0)
+            fatal("TensorData: non-positive dimension");
+        n *= size_t(d);
+    }
+    data_.assign(n, 0);
+}
+
+size_t
+TensorData::flatten(const IntVec &idx) const
+{
+    if (idx.size() != shape_.size())
+        panic("TensorData: rank mismatch");
+    size_t off = 0;
+    for (size_t i = 0; i < idx.size(); i++) {
+        if (idx[i] < 0 || idx[i] >= shape_[i])
+            panic("TensorData: index out of range " + toString(idx));
+        off += size_t(idx[i]) * strides_[i];
+    }
+    return off;
+}
+
+Int &
+TensorData::at(const IntVec &idx)
+{
+    return data_[flatten(idx)];
+}
+
+Int
+TensorData::at(const IntVec &idx) const
+{
+    return data_[flatten(idx)];
+}
+
+void
+TensorData::fill(Int v)
+{
+    for (Int &x : data_)
+        x = v;
+}
+
+void
+TensorData::fillPattern(unsigned seed, Int range)
+{
+    // xorshift-based deterministic pattern; exact across platforms.
+    std::uint64_t s = seed * 2654435761u + 12345u;
+    for (Int &x : data_) {
+        s ^= s << 13;
+        s ^= s >> 7;
+        s ^= s << 17;
+        x = Int(s % (2 * range + 1)) - range;
+    }
+}
+
+} // namespace lego

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Tensor declarations and dense runtime tensor storage.
+ *
+ * TensorDecl describes a tensor operand of a workload (name, dimension
+ * names, read/write role); TensorData is the dense integer storage
+ * used by the golden reference executor and the cycle-accurate DAG
+ * interpreter to verify generated hardware.
+ */
+
+#ifndef LEGO_CORE_TENSOR_HH
+#define LEGO_CORE_TENSOR_HH
+
+#include <string>
+#include <vector>
+
+#include "core/types.hh"
+
+namespace lego
+{
+
+/** Static description of one tensor operand. */
+struct TensorDecl
+{
+    std::string name;                  //!< e.g. "X", "W", "Y".
+    std::vector<std::string> dimNames; //!< e.g. {"i", "k"}.
+    bool isOutput = false;             //!< Written (accumulated) by the op.
+
+    int rank() const { return int(dimNames.size()); }
+};
+
+/**
+ * Dense row-major integer tensor. Functional verification runs on
+ * integer data so hardware/software comparison is exact.
+ */
+class TensorData
+{
+  public:
+    TensorData() = default;
+    explicit TensorData(IntVec shape);
+
+    const IntVec &shape() const { return shape_; }
+    size_t size() const { return data_.size(); }
+
+    Int &at(const IntVec &idx);
+    Int at(const IntVec &idx) const;
+
+    /** Flat (row-major) offset of a multi-dimensional index. */
+    size_t flatten(const IntVec &idx) const;
+
+    Int &flat(size_t i) { return data_[i]; }
+    Int flat(size_t i) const { return data_[i]; }
+
+    void fill(Int v);
+
+    /** Deterministic pseudo-random fill in [-range, range]. */
+    void fillPattern(unsigned seed, Int range = 8);
+
+    bool operator==(const TensorData &o) const
+    {
+        return shape_ == o.shape_ && data_ == o.data_;
+    }
+
+  private:
+    IntVec shape_;
+    IntVec strides_;
+    std::vector<Int> data_;
+};
+
+} // namespace lego
+
+#endif // LEGO_CORE_TENSOR_HH

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Common scalar types, logging helpers, and small utilities shared by
+ * every LEGO subsystem.
+ *
+ * The logging helpers follow the gem5 convention: panic() for internal
+ * invariant violations (a LEGO bug), fatal() for user-caused errors
+ * (bad workload/dataflow descriptions), warn() for recoverable issues.
+ */
+
+#ifndef LEGO_CORE_TYPES_HH
+#define LEGO_CORE_TYPES_HH
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <numeric>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace lego
+{
+
+/** Scalar used for all exact integer arithmetic on indexes/relations. */
+using Int = std::int64_t;
+
+/** Dense integer vector (loop indexes, tensor indexes, deltas). */
+using IntVec = std::vector<Int>;
+
+namespace detail
+{
+
+/** Format a printf-style message into a std::string. */
+std::string formatMessage(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+} // namespace detail
+
+/** Thrown by fatal(): the input description is invalid. */
+class FatalError : public std::runtime_error
+{
+  public:
+    explicit FatalError(const std::string &msg)
+        : std::runtime_error(msg)
+    {}
+};
+
+/** Thrown by panic(): a LEGO-internal invariant was violated. */
+class PanicError : public std::logic_error
+{
+  public:
+    explicit PanicError(const std::string &msg)
+        : std::logic_error(msg)
+    {}
+};
+
+/**
+ * Report a user-caused error (bad configuration, invalid workload).
+ * Throws FatalError so tests can assert on misuse.
+ */
+[[noreturn]] void fatal(const std::string &msg);
+
+/**
+ * Report an internal invariant violation (a LEGO bug).
+ * Throws PanicError; never catch this in library code.
+ */
+[[noreturn]] void panic(const std::string &msg);
+
+/** Emit a non-fatal warning on stderr. */
+void warn(const std::string &msg);
+
+/** GCD that treats gcd(0, x) = |x| and gcd(0, 0) = 0. */
+inline Int
+gcdInt(Int a, Int b)
+{
+    return std::gcd(a < 0 ? -a : a, b < 0 ? -b : b);
+}
+
+/** Least common multiple with the same conventions as gcdInt. */
+inline Int
+lcmInt(Int a, Int b)
+{
+    if (a == 0 || b == 0)
+        return 0;
+    return (a / gcdInt(a, b)) * (b < 0 ? -b : b);
+}
+
+/** Integer ceiling division for non-negative divisors. */
+inline Int
+ceilDiv(Int a, Int b)
+{
+    return (a + b - 1) / b;
+}
+
+/** Render an IntVec as "(a, b, c)" for messages and debugging. */
+std::string toString(const IntVec &v);
+
+/** Product of all entries (empty product = 1). */
+inline Int
+product(const IntVec &v)
+{
+    Int p = 1;
+    for (Int x : v)
+        p *= x;
+    return p;
+}
+
+} // namespace lego
+
+#endif // LEGO_CORE_TYPES_HH

@@ -1,0 +1,81 @@
+#include "frontend/adg.hh"
+
+#include <algorithm>
+#include <sstream>
+
+namespace lego
+{
+
+int
+Adg::tensorOfPort(int config, int port, bool is_output) const
+{
+    const Workload &w = *configs.at(size_t(config)).workload;
+    if (is_output)
+        return w.outputTensor();
+    std::vector<int> in = w.inputTensors();
+    if (port < 0 || port >= int(in.size()))
+        return -1;
+    return in[size_t(port)];
+}
+
+Int
+Adg::totalFifoDepth() const
+{
+    Int total = 0;
+    auto add = [&](const PortPlan &p) {
+        for (const PlannedEdge &e : p.edges) {
+            Int worst = 0;
+            for (const auto &u : e.uses)
+                worst = std::max(worst, u.depth);
+            total += worst;
+        }
+    };
+    for (const PortPlan &p : inputPorts)
+        add(p);
+    add(outputPort);
+    return total;
+}
+
+int
+Adg::totalEdges() const
+{
+    int n = int(outputPort.edges.size());
+    for (const PortPlan &p : inputPorts)
+        n += int(p.edges.size());
+    return n;
+}
+
+std::string
+Adg::describe() const
+{
+    std::ostringstream os;
+    os << "ADG: " << numFus() << " FUs, array " << toString(arrayShape)
+       << ", op " << opKindName(fuOp) << ", " << numConfigs()
+       << " config(s)\n";
+    for (int c = 0; c < numConfigs(); c++) {
+        os << "  config " << c << ": " << configs[size_t(c)].workload->name
+           << " / " << configs[size_t(c)].map.name << "\n";
+    }
+    auto dumpPort = [&](const PortPlan &p, const std::string &label,
+                        const FusedBanking &fb) {
+        os << "  port " << label << ": " << p.edges.size() << " edges";
+        int direct = 0, delay = 0;
+        for (const PlannedEdge &e : p.edges) {
+            bool has_delay = false;
+            for (const auto &u : e.uses)
+                if (u.kind == ConnKind::Delay)
+                    has_delay = true;
+            (has_delay ? delay : direct)++;
+        }
+        os << " (" << direct << " direct, " << delay << " delay), "
+           << p.allDataNodes().size() << " data nodes, "
+           << fb.physicalBanks << " banks\n";
+    };
+    for (size_t i = 0; i < inputPorts.size(); i++)
+        dumpPort(inputPorts[i], "in" + std::to_string(i),
+                 inputBanking[i]);
+    dumpPort(outputPort, "out", outputBanking);
+    return os.str();
+}
+
+} // namespace lego

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Architecture Description Graph (ADG) — the FU-level intermediate
+ * representation produced by the LEGO front end (paper Section IV)
+ * and consumed by the back end.
+ *
+ * The ADG records, for a set of fused (workload, dataflow) configs
+ * sharing one FU array: the planned FU-to-FU edges per operand port
+ * (with per-config kind and programmed delay), the memory data nodes,
+ * and the banked L1 layout per tensor. FUs are black boxes here; the
+ * back end lowers them to primitives (DAG).
+ */
+
+#ifndef LEGO_FRONTEND_ADG_HH
+#define LEGO_FRONTEND_ADG_HH
+
+#include <string>
+#include <vector>
+
+#include "frontend/chains.hh"
+#include "frontend/membank.hh"
+
+namespace lego
+{
+
+/** The complete FU-level architecture description. */
+struct Adg
+{
+    std::vector<FusedConfig> configs;
+    IntVec arrayShape;
+
+    /** Widest FU computation needed across configs. */
+    OpKind fuOp = OpKind::Mac;
+
+    /** Input operand ports (0..N-1) and the output port. */
+    std::vector<PortPlan> inputPorts;
+    PortPlan outputPort;
+
+    /** Banking per input port and for the output, aligned to ports. */
+    std::vector<FusedBanking> inputBanking;
+    FusedBanking outputBanking;
+
+    int numFus() const { return int(product(arrayShape)); }
+    int numConfigs() const { return int(configs.size()); }
+
+    /** Tensor index of a port within config c (-1 if unused). */
+    int tensorOfPort(int config, int port, bool is_output) const;
+
+    /** Total programmed FIFO depth over all edges (worst config). */
+    Int totalFifoDepth() const;
+
+    /** Count of physical FU-to-FU edges over all ports. */
+    int totalEdges() const;
+
+    /** Human-readable summary used by the examples. */
+    std::string describe() const;
+};
+
+} // namespace lego
+
+#endif // LEGO_FRONTEND_ADG_HH

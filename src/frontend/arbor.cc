@@ -1,0 +1,141 @@
+#include "frontend/arbor.hh"
+
+#include <algorithm>
+#include <limits>
+
+namespace lego
+{
+
+namespace
+{
+
+constexpr Int kInf = std::numeric_limits<Int>::max() / 4;
+
+/**
+ * One level of Chu-Liu/Edmonds: choose cheapest in-edges; if they are
+ * acyclic we are done, otherwise contract every cycle, recurse on the
+ * quotient graph, and expand. Edge selection is reported through the
+ * caller-provided `id` tags, which survive contraction.
+ */
+std::optional<std::vector<int>>
+solveLevel(int n, int root, const std::vector<ArborEdge> &edges)
+{
+    std::vector<Int> best(size_t(n), kInf);
+    std::vector<int> bestIdx(size_t(n), -1);
+    for (size_t i = 0; i < edges.size(); i++) {
+        const ArborEdge &e = edges[i];
+        if (e.to == root || e.from == e.to)
+            continue;
+        if (e.cost < best[size_t(e.to)]) {
+            best[size_t(e.to)] = e.cost;
+            bestIdx[size_t(e.to)] = int(i);
+        }
+    }
+    for (int v = 0; v < n; v++)
+        if (v != root && bestIdx[size_t(v)] < 0)
+            return std::nullopt; // Unreachable node.
+
+    // Walk parent pointers to find cycles.
+    std::vector<int> visitEpoch(size_t(n), -1);
+    std::vector<int> comp(size_t(n), -1);
+    std::vector<bool> inCycle(size_t(n), false);
+    int numComp = 0;
+    for (int v = 0; v < n; v++) {
+        if (comp[size_t(v)] >= 0)
+            continue;
+        int u = v;
+        while (u != root && comp[size_t(u)] < 0 &&
+               visitEpoch[size_t(u)] != v) {
+            visitEpoch[size_t(u)] = v;
+            u = edges[size_t(bestIdx[size_t(u)])].from;
+        }
+        if (u != root && comp[size_t(u)] < 0 &&
+            visitEpoch[size_t(u)] == v) {
+            // Fresh cycle through u.
+            int c = numComp++;
+            int w = u;
+            do {
+                comp[size_t(w)] = c;
+                inCycle[size_t(w)] = true;
+                w = edges[size_t(bestIdx[size_t(w)])].from;
+            } while (w != u);
+        }
+    }
+    const bool hasCycle = numComp > 0;
+    for (int v = 0; v < n; v++)
+        if (comp[size_t(v)] < 0)
+            comp[size_t(v)] = numComp++;
+
+    if (!hasCycle) {
+        std::vector<int> ids;
+        for (int v = 0; v < n; v++)
+            if (v != root)
+                ids.push_back(edges[size_t(bestIdx[size_t(v)])].id);
+        return ids;
+    }
+
+    // Contract cycles. An edge entering a cycle node v competes with
+    // the cycle's own in-edge at v, so its reduced cost is
+    // cost - best[v]; choosing it in the quotient graph displaces
+    // bestIdx[v] in the expansion.
+    struct Tag
+    {
+        int originalIdx;
+        int displacedIdx;
+    };
+    std::vector<ArborEdge> quotient;
+    std::vector<Tag> tags;
+    for (size_t i = 0; i < edges.size(); i++) {
+        const ArborEdge &e = edges[i];
+        int cu = comp[size_t(e.from)], cv = comp[size_t(e.to)];
+        if (cu == cv)
+            continue;
+        ArborEdge ne;
+        ne.from = cu;
+        ne.to = cv;
+        ne.id = int(tags.size());
+        if (inCycle[size_t(e.to)]) {
+            ne.cost = e.cost - best[size_t(e.to)];
+            tags.push_back({int(i), bestIdx[size_t(e.to)]});
+        } else {
+            ne.cost = e.cost;
+            tags.push_back({int(i), -1});
+        }
+        quotient.push_back(ne);
+    }
+
+    auto sub = solveLevel(numComp, comp[size_t(root)], quotient);
+    if (!sub)
+        return std::nullopt;
+
+    // Expansion: keep every cycle in-edge except the displaced ones,
+    // plus the original edges chosen in the quotient.
+    std::vector<bool> displaced(edges.size(), false);
+    std::vector<int> ids;
+    for (int qid : *sub) {
+        const Tag &t = tags[size_t(qid)];
+        ids.push_back(edges[size_t(t.originalIdx)].id);
+        if (t.displacedIdx >= 0)
+            displaced[size_t(t.displacedIdx)] = true;
+    }
+    for (int v = 0; v < n; v++) {
+        if (!inCycle[size_t(v)])
+            continue;
+        int bi = bestIdx[size_t(v)];
+        if (!displaced[size_t(bi)])
+            ids.push_back(edges[size_t(bi)].id);
+    }
+    return ids;
+}
+
+} // namespace
+
+std::optional<std::vector<int>>
+minArborescence(int n, int root, const std::vector<ArborEdge> &edges)
+{
+    if (n <= 0 || root < 0 || root >= n)
+        panic("minArborescence: bad root/size");
+    return solveLevel(n, root, edges);
+}
+
+} // namespace lego

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Minimum arborescence (directed MST) via the Chu-Liu/Edmonds
+ * algorithm with Tarjan-style cycle contraction (paper Section IV-B).
+ *
+ * The per-tensor reuse graph is directed (data flows from past to
+ * future), so the minimum set of interconnections rooted at the
+ * memory interface is a minimum arborescence, not an undirected MST.
+ */
+
+#ifndef LEGO_FRONTEND_ARBOR_HH
+#define LEGO_FRONTEND_ARBOR_HH
+
+#include <optional>
+#include <vector>
+
+#include "core/types.hh"
+
+namespace lego
+{
+
+/** A directed edge candidate for the arborescence. */
+struct ArborEdge
+{
+    int from;
+    int to;
+    Int cost;
+    int id; //!< Caller-provided tag, returned in the result.
+};
+
+/**
+ * Compute a minimum arborescence of `edges` over nodes [0, n) rooted
+ * at `root`. Returns the ids of the chosen edges (n - 1 of them), or
+ * std::nullopt if some node is unreachable from the root.
+ */
+std::optional<std::vector<int>>
+minArborescence(int n, int root, const std::vector<ArborEdge> &edges);
+
+} // namespace lego
+
+#endif // LEGO_FRONTEND_ARBOR_HH

@@ -1,0 +1,125 @@
+#include "frontend/frontend.hh"
+
+#include <algorithm>
+
+namespace lego
+{
+
+namespace
+{
+
+/** Pick the widest FU computation covering every config's op. */
+OpKind
+unifyOps(const std::vector<FusedConfig> &configs)
+{
+    bool mac = false, mma = false, msa = false, maxr = false;
+    for (const auto &c : configs) {
+        switch (c.workload->op) {
+          case OpKind::Mac:
+            mac = true;
+            break;
+          case OpKind::MulMulAdd:
+            mma = true;
+            break;
+          case OpKind::MulShiftAdd:
+            msa = true;
+            break;
+          case OpKind::MaxReduce:
+            maxr = true;
+            break;
+        }
+    }
+    if (msa && mma)
+        fatal("generateArchitecture: cannot fuse mul-shift-add and "
+              "mul-mul-add FUs in one design");
+    if (mma)
+        return OpKind::MulMulAdd;
+    if (msa)
+        return OpKind::MulShiftAdd;
+    if (mac)
+        return OpKind::Mac;
+    if (maxr)
+        return OpKind::MaxReduce;
+    return OpKind::Mac;
+}
+
+} // namespace
+
+Adg
+generateArchitecture(std::vector<FusedConfig> configs,
+                     const FrontendOptions &opt)
+{
+    if (configs.empty())
+        fatal("generateArchitecture: no configurations given");
+    for (const auto &c : configs) {
+        c.workload->validate();
+        if (c.map.rS != configs[0].map.rS)
+            fatal("generateArchitecture: all fused dataflows must share "
+                  "the FU array shape");
+    }
+
+    Adg adg;
+    adg.arrayShape = configs[0].map.rS;
+    adg.fuOp = unifyOps(configs);
+    adg.configs = std::move(configs);
+    const int nc = adg.numConfigs();
+
+    // Input ports: widest input arity over configs.
+    int max_inputs = 0;
+    for (const auto &c : adg.configs)
+        max_inputs = std::max(max_inputs,
+                              int(c.workload->inputTensors().size()));
+
+    for (int port = 0; port < max_inputs; port++) {
+        std::vector<int> tensorOf(size_t(nc), -1);
+        for (int c = 0; c < nc; c++) {
+            auto in = adg.configs[size_t(c)].workload->inputTensors();
+            if (port < int(in.size()))
+                tensorOf[size_t(c)] = in[size_t(port)];
+        }
+        PortPlan plan =
+            planPort(adg.configs, tensorOf, false, opt.fusion);
+        plan.port = port;
+
+        FusedBanking fb;
+        for (int c = 0; c < nc; c++) {
+            if (tensorOf[size_t(c)] < 0) {
+                fb.perConfig.push_back(TensorBanking{});
+                continue;
+            }
+            TensorBanking tb = analyzeBanking(
+                *adg.configs[size_t(c)].workload, tensorOf[size_t(c)],
+                adg.configs[size_t(c)].map,
+                plan.dataNodes[size_t(c)]);
+            fb.physicalBanks =
+                std::max(fb.physicalBanks, tb.numBanks());
+            fb.perConfig.push_back(std::move(tb));
+        }
+        adg.inputPorts.push_back(std::move(plan));
+        adg.inputBanking.push_back(std::move(fb));
+    }
+
+    // Output port.
+    {
+        std::vector<int> tensorOf(size_t(nc), -1);
+        for (int c = 0; c < nc; c++)
+            tensorOf[size_t(c)] =
+                adg.configs[size_t(c)].workload->outputTensor();
+        PortPlan plan = planPort(adg.configs, tensorOf, true, opt.fusion);
+        plan.port = -1;
+
+        FusedBanking fb;
+        for (int c = 0; c < nc; c++) {
+            TensorBanking tb = analyzeBanking(
+                *adg.configs[size_t(c)].workload, tensorOf[size_t(c)],
+                adg.configs[size_t(c)].map, plan.dataNodes[size_t(c)]);
+            fb.physicalBanks = std::max(fb.physicalBanks, tb.numBanks());
+            fb.perConfig.push_back(std::move(tb));
+        }
+        adg.outputPort = std::move(plan);
+        adg.outputBanking = std::move(fb);
+    }
+    return adg;
+}
+
+} // namespace lego

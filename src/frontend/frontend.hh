@@ -1,0 +1,34 @@
+/**
+ * @file
+ * LEGO front end driver (paper Section IV): from fused (workload,
+ * dataflow) configurations to the Architecture Description Graph.
+ */
+
+#ifndef LEGO_FRONTEND_FRONTEND_HH
+#define LEGO_FRONTEND_FRONTEND_HH
+
+#include "frontend/adg.hh"
+
+namespace lego
+{
+
+/** Front-end options. */
+struct FrontendOptions
+{
+    FusionOptions fusion;
+};
+
+/**
+ * Generate the FU-level architecture for the given configurations.
+ * All configs must share the FU array shape; workload pointers must
+ * outlive the returned Adg.
+ *
+ * Pipeline: reuse analysis -> spanning / heuristic fusion planning ->
+ * memory banking -> ADG assembly.
+ */
+Adg generateArchitecture(std::vector<FusedConfig> configs,
+                         const FrontendOptions &opt = {});
+
+} // namespace lego
+
+#endif // LEGO_FRONTEND_FRONTEND_HH

@@ -1,0 +1,117 @@
+#include "frontend/spanning.hh"
+
+#include <algorithm>
+
+#include "frontend/arbor.hh"
+
+namespace lego
+{
+
+Int
+SpanningResult::totalFifoDepth() const
+{
+    Int sum = 0;
+    for (const FuLink &l : links)
+        if (l.kind != FuLink::Kind::Memory)
+            sum += l.depth;
+    return sum;
+}
+
+SpanningResult
+buildSpanning(const Workload &w, int tensor, const DataflowMapping &map,
+              const SpanningOptions &opt)
+{
+    auto sols = findReuseSolutions(w, tensor, map, opt.search);
+    if (w.tensors.at(size_t(tensor)).isOutput) {
+        // Partial-sum forwarding uses direct connections only: delay
+        // forwarding of partial results would need per-window
+        // accumulator routing that no evaluated design requires.
+        sols.erase(std::remove_if(sols.begin(), sols.end(),
+                                  [](const ReuseSolution &s) {
+                                      return s.kind == ConnKind::Delay;
+                                  }),
+                   sols.end());
+    }
+    return buildSpanningWith(w, tensor, map, std::move(sols), opt);
+}
+
+SpanningResult
+buildSpanningWith(const Workload &w, int tensor, const DataflowMapping &map,
+                  std::vector<ReuseSolution> solutions,
+                  const SpanningOptions &opt)
+{
+    const int num_fus = int(map.numFUs());
+    const bool is_output = w.tensors.at(size_t(tensor)).isOutput;
+
+    SpanningResult res;
+    res.tensor = tensor;
+    res.isOutput = is_output;
+    res.solutions = std::move(solutions);
+
+    // Node ids: FUs [0, num_fus), virtual memory root = num_fus.
+    const int root = num_fus;
+    std::vector<ArborEdge> edges;
+    // Edge id encoding: memory edges are [0, num_fus); FU-to-FU edges
+    // are num_fus + (fu * num_solutions + solution).
+    const int num_sols = int(res.solutions.size());
+    for (int fu = 0; fu < num_fus; fu++)
+        edges.push_back({root, fu, opt.memoryEdgeCost, fu});
+
+    for (int fu = 0; fu < num_fus; fu++) {
+        IntVec s = map.fuCoord(fu);
+        for (int k = 0; k < num_sols; k++) {
+            const ReuseSolution &sol = res.solutions[size_t(k)];
+            IntVec s2 = addVec(s, sol.ds);
+            bool in_range = true;
+            for (size_t d = 0; d < s2.size(); d++)
+                if (s2[d] < 0 || s2[d] >= map.rS[d])
+                    in_range = false;
+            if (!in_range)
+                continue;
+            int fu2 = int(map.fuIndex(s2));
+            // Real data flow is fu -> fu2. For the output tensor the
+            // arborescence runs on the reversed graph so that every
+            // FU gets exactly one *consumer*.
+            int from = is_output ? fu2 : fu;
+            int to = is_output ? fu : fu2;
+            edges.push_back(
+                {from, to, sol.totalDelay(), num_fus + fu * num_sols + k});
+        }
+    }
+
+    auto chosen = minArborescence(num_fus + 1, root, edges);
+    if (!chosen)
+        panic("buildSpanning: FU unreachable from memory root");
+
+    res.links.assign(size_t(num_fus), FuLink{});
+    for (int id : *chosen) {
+        if (id < num_fus) {
+            // Memory edge to FU `id`.
+            res.links[size_t(id)] = {FuLink::Kind::Memory, -1, -1, 0};
+            res.dataNodes.push_back(id);
+        } else {
+            int fu = (id - num_fus) / num_sols;
+            int k = (id - num_fus) % num_sols;
+            const ReuseSolution &sol = res.solutions[size_t(k)];
+            IntVec s2 = addVec(map.fuCoord(fu), sol.ds);
+            int fu2 = int(map.fuIndex(s2));
+            // links[] is indexed by the arborescence's `to` node: the
+            // receiver for inputs, the producer for outputs.
+            int node = is_output ? fu : fu2;
+            int peer = is_output ? fu2 : fu;
+            FuLink link;
+            link.kind = sol.kind == ConnKind::Direct ? FuLink::Kind::Direct
+                                                     : FuLink::Kind::Delay;
+            link.peer = peer;
+            link.solution = k;
+            link.depth = sol.totalDelay();
+            if (sol.kind == ConnKind::Delay)
+                link.dt = sol.dt;
+            res.links[size_t(node)] = link;
+        }
+    }
+    std::sort(res.dataNodes.begin(), res.dataNodes.end());
+    return res;
+}
+
+} // namespace lego

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Minimum-spanning interconnection generation (paper Section IV-B).
+ *
+ * For one tensor under one dataflow, the candidate reuse solutions
+ * instantiate a directed graph over the FU array (data flows from
+ * past to future). A virtual memory root is connected to every FU
+ * with a configurable fetch cost; the minimum arborescence then picks
+ * exactly one valid producer per FU. Arborescence roots (FUs fed by
+ * the virtual root) are labeled as data nodes — they fetch from (or,
+ * for the output tensor, commit to) the on-chip memory.
+ *
+ * Output tensors use the reversed graph: every FU needs exactly one
+ * consumer for its partial results, and data nodes commit to memory.
+ */
+
+#ifndef LEGO_FRONTEND_SPANNING_HH
+#define LEGO_FRONTEND_SPANNING_HH
+
+#include <vector>
+
+#include "frontend/interconnect.hh"
+
+namespace lego
+{
+
+/** How one FU sources (or, for outputs, sinks) a tensor operand. */
+struct FuLink
+{
+    enum class Kind { Memory, Direct, Delay };
+    Kind kind = Kind::Memory;
+    /** Peer FU (producer for inputs, consumer for outputs); -1=mem. */
+    int peer = -1;
+    /** Index into SpanningResult::solutions (-1 for memory). */
+    int solution = -1;
+    /** Physical delay in cycles on this hop (registers/FIFO depth). */
+    Int depth = 0;
+    /**
+     * Digit-wise temporal offset dt of a Delay link (paper Eq. 7).
+     * The FIFO data is valid only at receiver timestamps t with
+     * t - dt inside the loop ranges; outside that window the operand
+     * falls back to the memory path through the distribution switch
+     * (the paper's data valid/invalid control signal).
+     */
+    IntVec dt;
+};
+
+/** Spanning selection for one (tensor, dataflow). */
+struct SpanningResult
+{
+    int tensor;
+    bool isOutput;
+    std::vector<ReuseSolution> solutions;
+    /** Per FU (linear index): the chosen link. */
+    std::vector<FuLink> links;
+    /** FUs that access memory (arborescence roots). */
+    std::vector<int> dataNodes;
+
+    /** Total delay-cost of the chosen FU-to-FU links. */
+    Int totalFifoDepth() const;
+};
+
+/** Options for spanning selection. */
+struct SpanningOptions
+{
+    /** Cost of a memory fetch/commit edge (the virtual root edges). */
+    Int memoryEdgeCost = 64;
+    ReuseSearchOptions search;
+};
+
+/**
+ * Build the spanning interconnections for `tensor` under `map`.
+ * Solutions are found internally via findReuseSolutions.
+ */
+SpanningResult
+buildSpanning(const Workload &w, int tensor, const DataflowMapping &map,
+              const SpanningOptions &opt = {});
+
+/**
+ * Same, with a pre-computed solution list (e.g. a filtered set).
+ */
+SpanningResult
+buildSpanningWith(const Workload &w, int tensor,
+                  const DataflowMapping &map,
+                  std::vector<ReuseSolution> solutions,
+                  const SpanningOptions &opt = {});
+
+} // namespace lego
+
+#endif // LEGO_FRONTEND_SPANNING_HH

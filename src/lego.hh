@@ -1,0 +1,41 @@
+/**
+ * @file
+ * LEGO public API umbrella header.
+ *
+ * Typical flow:
+ *
+ *   using namespace lego;
+ *   Workload w = makeGemm(64, 64, 64);
+ *   DataflowSpec spec = makeSimpleSpec(w, "kj", {{"k",8},{"j",8}},
+ *                                      true);
+ *   Adg adg = generateArchitecture({{&w, buildDataflow(w, spec)}});
+ *   CodegenResult gen = codegen(adg);
+ *   BackendReport rep = runBackend(gen);
+ *   std::string rtl = emitVerilog(gen, "my_accel");
+ *   bool ok = verifyAgainstReference(gen, adg, 0, 42);
+ *
+ * End-to-end evaluation flow:
+ *
+ *   HardwareConfig hw;                       // 16x16, 256 KB, ...
+ *   ScheduleResult r = scheduleModel(hw, makeResNet50());
+ *   double gops = r.summary.gops(hw.freqGhz);
+ */
+
+#ifndef LEGO_LEGO_HH
+#define LEGO_LEGO_HH
+
+#include "backend/cost.hh"
+#include "backend/interp.hh"
+#include "backend/passes.hh"
+#include "backend/verilog.hh"
+#include "baseline/comparators.hh"
+#include "baseline/gemmini.hh"
+#include "core/dataflow.hh"
+#include "core/reference.hh"
+#include "core/workload.hh"
+#include "frontend/frontend.hh"
+#include "mapper/schedule.hh"
+#include "model/models.hh"
+#include "sim/arch_config.hh"
+
+#endif // LEGO_LEGO_HH

@@ -1,0 +1,108 @@
+#include "lp/ilp.hh"
+
+#include <cmath>
+#include <limits>
+
+namespace lego
+{
+
+namespace
+{
+constexpr double kInf = std::numeric_limits<double>::infinity();
+constexpr double kIntEps = 1e-6;
+} // namespace
+
+BoolIlp::BoolIlp(int n)
+    : n_(n), c_(size_t(n), 0.0)
+{
+}
+
+void
+BoolIlp::setObjective(int j, double c)
+{
+    c_.at(size_t(j)) = c;
+}
+
+void
+BoolIlp::addRowSparse(const std::vector<std::pair<int, double>> &terms,
+                      RowSense sense, double b)
+{
+    rows_.push_back({terms, sense, b});
+}
+
+double
+BoolIlp::lpBound(const std::vector<int> &fixed, std::vector<double> *frac)
+{
+    LinearProgram lp(n_);
+    for (int j = 0; j < n_; j++) {
+        lp.setObjective(j, c_[size_t(j)]);
+        // x_j <= 1 (x >= 0 implicit).
+        lp.addRowSparse({{j, 1.0}}, RowSense::LE, 1.0);
+        if (fixed[size_t(j)] == 0)
+            lp.addRowSparse({{j, 1.0}}, RowSense::EQ, 0.0);
+        else if (fixed[size_t(j)] == 1)
+            lp.addRowSparse({{j, 1.0}}, RowSense::EQ, 1.0);
+    }
+    for (const Row &r : rows_)
+        lp.addRowSparse(r.terms, r.sense, r.b);
+    if (lp.solve() != LpStatus::Optimal)
+        return kInf;
+    if (frac)
+        *frac = lp.solution();
+    return lp.objective();
+}
+
+void
+BoolIlp::branch(std::vector<int> &fixed)
+{
+    std::vector<double> x;
+    double bound = lpBound(fixed, &x);
+    if (bound >= best_ - 1e-9 && bestX_)
+        return; // Pruned.
+    if (bound == kInf)
+        return; // Infeasible subtree.
+
+    // Most fractional variable.
+    int pick = -1;
+    double dist = kIntEps;
+    for (int j = 0; j < n_; j++) {
+        if (fixed[size_t(j)] != -1)
+            continue;
+        double f = std::fabs(x[size_t(j)] - std::round(x[size_t(j)]));
+        if (f > dist) {
+            dist = f;
+            pick = j;
+        }
+    }
+    if (pick < 0) {
+        // LP solution is integral: candidate incumbent.
+        double z = 0.0;
+        for (int j = 0; j < n_; j++)
+            z += c_[size_t(j)] * std::round(x[size_t(j)]);
+        if (!bestX_ || z < best_ - 1e-9) {
+            best_ = z;
+            std::vector<int> xi(size_t(n_), 0);
+            for (int j = 0; j < n_; j++)
+                xi[size_t(j)] = int(std::round(x[size_t(j)]));
+            bestX_ = xi;
+        }
+        return;
+    }
+    for (int v : {1, 0}) {
+        fixed[size_t(pick)] = v;
+        branch(fixed);
+        fixed[size_t(pick)] = -1;
+    }
+}
+
+std::optional<std::vector<int>>
+BoolIlp::solve()
+{
+    best_ = kInf;
+    bestX_.reset();
+    std::vector<int> fixed(size_t(n_), -1);
+    branch(fixed);
+    return bestX_;
+}
+
+} // namespace lego

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Small 0-1 integer programming via branch & bound with an LP
+ * relaxation bound (paper Section V-C uses a 0-1 integer program for
+ * reducer pin remapping).
+ *
+ * Problem form: minimize c^T x, x in {0,1}^n, subject to rows
+ * (<=, =, >=). Instances in LEGO are tiny (pins x ports x dataflows),
+ * so a dense LP-bounded search is exact and fast.
+ */
+
+#ifndef LEGO_LP_ILP_HH
+#define LEGO_LP_ILP_HH
+
+#include <optional>
+#include <vector>
+
+#include "lp/simplex.hh"
+
+namespace lego
+{
+
+/** A 0-1 integer linear program. */
+class BoolIlp
+{
+  public:
+    explicit BoolIlp(int n);
+
+    int numVars() const { return n_; }
+
+    void setObjective(int j, double c);
+    void addRowSparse(const std::vector<std::pair<int, double>> &terms,
+                      RowSense sense, double b);
+
+    /**
+     * Exact solve. Returns std::nullopt when infeasible; otherwise
+     * the optimal assignment.
+     */
+    std::optional<std::vector<int>> solve();
+
+    double objective() const { return best_; }
+
+  private:
+    struct Row
+    {
+        std::vector<std::pair<int, double>> terms;
+        RowSense sense;
+        double b;
+    };
+
+    double lpBound(const std::vector<int> &fixed,
+                   std::vector<double> *frac);
+    void branch(std::vector<int> &fixed);
+
+    int n_;
+    std::vector<double> c_;
+    std::vector<Row> rows_;
+
+    double best_ = 0.0;
+    std::optional<std::vector<int>> bestX_;
+};
+
+} // namespace lego
+
+#endif // LEGO_LP_ILP_HH

@@ -1,0 +1,191 @@
+#include "lp/netflow.hh"
+
+#include <deque>
+#include <limits>
+#include <queue>
+
+namespace lego
+{
+
+namespace
+{
+constexpr Int kInf = std::numeric_limits<Int>::max() / 4;
+} // namespace
+
+MinCostFlow::MinCostFlow(int num_nodes)
+    : n_(num_nodes + 2), // +2: super source / super sink.
+      graph_(size_t(n_)),
+      supply_(size_t(n_), 0),
+      pi_(size_t(n_), 0)
+{
+}
+
+void
+MinCostFlow::addInternal(int u, int v, Int cap, Int cost)
+{
+    graph_[size_t(u)].push_back({v, cap, cost, int(graph_[size_t(v)].size())});
+    graph_[size_t(v)].push_back(
+        {u, 0, -cost, int(graph_[size_t(u)].size()) - 1});
+}
+
+int
+MinCostFlow::addArc(int u, int v, Int cap, Int cost)
+{
+    if (u < 0 || u >= n_ - 2 || v < 0 || v >= n_ - 2)
+        panic("MinCostFlow::addArc: node out of range");
+    arcRef_.emplace_back(u, int(graph_[size_t(u)].size()));
+    addInternal(u, v, cap, cost);
+    return int(arcRef_.size()) - 1;
+}
+
+void
+MinCostFlow::setSupply(int node, Int supply)
+{
+    supply_.at(size_t(node)) = supply;
+}
+
+void
+MinCostFlow::addSupply(int node, Int delta)
+{
+    supply_.at(size_t(node)) += delta;
+}
+
+Int
+MinCostFlow::flowOn(int arc_id) const
+{
+    auto [u, idx] = arcRef_.at(size_t(arc_id));
+    const Edge &e = graph_[size_t(u)][size_t(idx)];
+    // Flow pushed equals the reverse edge's acquired capacity.
+    return graph_[size_t(e.to)][size_t(e.rev)].cap;
+}
+
+bool
+MinCostFlow::bellmanFordInit(int src)
+{
+    // Virtual-source Bellman-Ford: start all nodes at 0 so that the
+    // resulting potentials are feasible on every component (needed for
+    // reading back dual values on flow-free components). src itself
+    // participates like any node.
+    (void)src;
+    std::vector<Int> dist(size_t(n_), 0);
+    std::vector<char> inq(size_t(n_), 1);
+    std::vector<int> relaxed(size_t(n_), 0);
+    std::deque<int> q;
+    for (int v = 0; v < n_; v++)
+        q.push_back(v);
+    while (!q.empty()) {
+        int u = q.front();
+        q.pop_front();
+        inq[size_t(u)] = 0;
+        for (const Edge &e : graph_[size_t(u)]) {
+            if (e.cap <= 0)
+                continue;
+            Int nd = dist[size_t(u)] + e.cost;
+            if (nd < dist[size_t(e.to)]) {
+                dist[size_t(e.to)] = nd;
+                if (++relaxed[size_t(e.to)] > n_ + 1)
+                    return false; // Negative cycle (LEGO bug).
+                if (!inq[size_t(e.to)]) {
+                    inq[size_t(e.to)] = 1;
+                    q.push_back(e.to);
+                }
+            }
+        }
+    }
+    for (int v = 0; v < n_; v++)
+        pi_[size_t(v)] = dist[size_t(v)];
+    return true;
+}
+
+bool
+MinCostFlow::dijkstra(int src, int dst, std::vector<int> &prev_node,
+                      std::vector<int> &prev_edge)
+{
+    std::vector<Int> dist(size_t(n_), kInf);
+    prev_node.assign(size_t(n_), -1);
+    prev_edge.assign(size_t(n_), -1);
+    using Item = std::pair<Int, int>;
+    std::priority_queue<Item, std::vector<Item>, std::greater<Item>> pq;
+    dist[size_t(src)] = 0;
+    pq.push({0, src});
+    while (!pq.empty()) {
+        auto [d, u] = pq.top();
+        pq.pop();
+        if (d > dist[size_t(u)])
+            continue;
+        for (size_t i = 0; i < graph_[size_t(u)].size(); i++) {
+            const Edge &e = graph_[size_t(u)][i];
+            if (e.cap <= 0)
+                continue;
+            Int rc = e.cost + pi_[size_t(u)] - pi_[size_t(e.to)];
+            if (rc < 0)
+                panic("MinCostFlow: negative reduced cost");
+            Int nd = d + rc;
+            if (nd < dist[size_t(e.to)]) {
+                dist[size_t(e.to)] = nd;
+                prev_node[size_t(e.to)] = u;
+                prev_edge[size_t(e.to)] = int(i);
+                pq.push({nd, e.to});
+            }
+        }
+    }
+    if (dist[size_t(dst)] >= kInf)
+        return false;
+    // Update potentials, capping by dist[dst] to keep feasibility on
+    // unreached nodes.
+    for (int v = 0; v < n_; v++)
+        pi_[size_t(v)] += std::min(dist[size_t(v)], dist[size_t(dst)]);
+    return true;
+}
+
+bool
+MinCostFlow::solve()
+{
+    const int src = n_ - 2;
+    const int dst = n_ - 1;
+    Int total = 0;
+    for (int v = 0; v < n_ - 2; v++) {
+        if (supply_[size_t(v)] > 0) {
+            addInternal(src, v, supply_[size_t(v)], 0);
+            total += supply_[size_t(v)];
+        } else if (supply_[size_t(v)] < 0) {
+            addInternal(v, dst, -supply_[size_t(v)], 0);
+        }
+    }
+    Int demand = 0;
+    for (int v = 0; v < n_ - 2; v++)
+        if (supply_[size_t(v)] < 0)
+            demand -= supply_[size_t(v)];
+    if (demand != total)
+        return false;
+
+    if (!bellmanFordInit(src))
+        panic("MinCostFlow: negative cycle in constraint graph");
+
+    Int shipped = 0;
+    std::vector<int> prev_node, prev_edge;
+    while (shipped < total) {
+        if (!dijkstra(src, dst, prev_node, prev_edge))
+            return false;
+        // Bottleneck along the path.
+        Int push = kInf;
+        for (int v = dst; v != src; v = prev_node[size_t(v)]) {
+            const Edge &e =
+                graph_[size_t(prev_node[size_t(v)])]
+                      [size_t(prev_edge[size_t(v)])];
+            push = std::min(push, e.cap);
+        }
+        push = std::min(push, total - shipped);
+        for (int v = dst; v != src; v = prev_node[size_t(v)]) {
+            Edge &e = graph_[size_t(prev_node[size_t(v)])]
+                            [size_t(prev_edge[size_t(v)])];
+            e.cap -= push;
+            graph_[size_t(v)][size_t(e.rev)].cap += push;
+            totalCost_ += push * e.cost;
+        }
+        shipped += push;
+    }
+    return true;
+}
+
+} // namespace lego

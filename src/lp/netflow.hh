@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Exact min-cost flow (successive shortest paths with potentials).
+ *
+ * The delay-matching LP of Section V-A is a difference-constraint LP;
+ * its dual is an uncapacitated transshipment problem, solved here as a
+ * min-cost flow. Optimal node potentials then yield the primal D
+ * variables (see diffcon.hh). Costs/capacities/supplies are integral,
+ * so the optimum is integral — the paper's register counts.
+ */
+
+#ifndef LEGO_LP_NETFLOW_HH
+#define LEGO_LP_NETFLOW_HH
+
+#include <vector>
+
+#include "core/types.hh"
+
+namespace lego
+{
+
+/** Min-cost flow on a directed graph with node supplies. */
+class MinCostFlow
+{
+  public:
+    explicit MinCostFlow(int num_nodes);
+
+    /**
+     * Add an arc u -> v with capacity and per-unit cost. Returns the
+     * arc id for later flow queries.
+     */
+    int addArc(int u, int v, Int cap, Int cost);
+
+    /** Positive = source (must ship out), negative = sink. */
+    void setSupply(int node, Int supply);
+    void addSupply(int node, Int delta);
+
+    /**
+     * Solve. Returns false when the supplies cannot be routed.
+     * Requires that no negative-cost directed cycle exists (true for
+     * LEGO's DAG-derived instances).
+     */
+    bool solve();
+
+    Int totalCost() const { return totalCost_; }
+    Int flowOn(int arc_id) const;
+
+    /**
+     * Node potential at optimality: for every arc with residual
+     * capacity, cost + pi[u] - pi[v] >= 0.
+     */
+    Int potential(int v) const { return pi_[size_t(v)]; }
+
+  private:
+    struct Edge
+    {
+        int to;
+        Int cap;
+        Int cost;
+        int rev; //!< Index of the reverse edge in graph_[to].
+    };
+
+    void addInternal(int u, int v, Int cap, Int cost);
+    bool bellmanFordInit(int src);
+    bool dijkstra(int src, int dst, std::vector<int> &prev_node,
+                  std::vector<int> &prev_edge);
+
+    int n_;
+    std::vector<std::vector<Edge>> graph_;
+    std::vector<std::pair<int, int>> arcRef_; //!< arc id -> (node, idx).
+    std::vector<Int> supply_;
+    std::vector<Int> pi_;
+    Int totalCost_ = 0;
+};
+
+} // namespace lego
+
+#endif // LEGO_LP_NETFLOW_HH

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Dense two-phase primal simplex solver.
+ *
+ * LEGO's back end formulates delay matching and pin reuse as linear
+ * programs (the paper used HiGHS). This repository substitutes an
+ * in-house solver suite; the dense simplex here handles small general
+ * LPs (the 0-1 pin-mapping relaxation, cross-checks in tests), while
+ * the network solver in netflow.hh handles the large
+ * difference-constraint LPs exactly.
+ *
+ * Problem form: minimize c^T x subject to row constraints
+ * (<=, =, >=) and x >= 0. Bland's rule guarantees termination.
+ */
+
+#ifndef LEGO_LP_SIMPLEX_HH
+#define LEGO_LP_SIMPLEX_HH
+
+#include <vector>
+
+#include "core/types.hh"
+
+namespace lego
+{
+
+enum class RowSense { LE, EQ, GE };
+
+enum class LpStatus { Optimal, Infeasible, Unbounded };
+
+/** A dense LP: min c.x s.t. per-row a.x (sense) b, x >= 0. */
+class LinearProgram
+{
+  public:
+    /** Create with `n` non-negative variables. */
+    explicit LinearProgram(int n);
+
+    int numVars() const { return n_; }
+
+    /** Set objective coefficient for variable j. */
+    void setObjective(int j, double c);
+
+    /** Add a row: sum_j a[j] x_j (sense) b. */
+    void addRow(const std::vector<double> &a, RowSense sense, double b);
+
+    /** Add a sparse row given (var, coef) terms. */
+    void addRowSparse(const std::vector<std::pair<int, double>> &terms,
+                      RowSense sense, double b);
+
+    LpStatus solve();
+
+    double objective() const { return obj_; }
+    double value(int j) const { return x_[size_t(j)]; }
+    const std::vector<double> &solution() const { return x_; }
+
+  private:
+    int n_;
+    std::vector<double> c_;
+    std::vector<std::vector<double>> rows_;
+    std::vector<RowSense> senses_;
+    std::vector<double> rhs_;
+
+    double obj_ = 0.0;
+    std::vector<double> x_;
+};
+
+} // namespace lego
+
+#endif // LEGO_LP_SIMPLEX_HH

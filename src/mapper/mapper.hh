@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Mapping search tool (paper Section VI-A): for every layer, sweep
+ * the hardware's switchable spatial dataflows and L1 tilings through
+ * the performance model and keep the best mapping (cycles first,
+ * energy as tie-break). This is the "simple mapping search tool"
+ * guiding the scheduler in the paper.
+ */
+
+#ifndef LEGO_MAPPER_MAPPER_HH
+#define LEGO_MAPPER_MAPPER_HH
+
+#include "sim/energy.hh"
+
+namespace lego
+{
+
+/** Chosen mapping + its simulated result. */
+struct MappedLayer
+{
+    Mapping mapping;
+    LayerResult result;
+};
+
+/** Search the best mapping for one tensor layer. */
+MappedLayer mapLayer(const HardwareConfig &hw, const Layer &l);
+
+} // namespace lego
+
+#endif // LEGO_MAPPER_MAPPER_HH

@@ -1,0 +1,18 @@
+#include "mapper/schedule.hh"
+
+namespace lego
+{
+
+ScheduleResult
+scheduleModel(const HardwareConfig &hw, const Model &m)
+{
+    ScheduleResult out;
+    for (const Layer &l : m.layers) {
+        MappedLayer ml = mapLayer(hw, l);
+        accumulate(out.summary, ml.result, l.isTensorOp(), l.repeat);
+        out.perLayer.push_back(std::move(ml));
+    }
+    return out;
+}
+
+} // namespace lego

@@ -1,0 +1,29 @@
+/**
+ * @file
+ * End-to-end network scheduler: maps every layer of a model via the
+ * mapping search tool and aggregates the run summary (the numbers
+ * behind Fig. 11/12 and Tables II/V).
+ */
+
+#ifndef LEGO_MAPPER_SCHEDULE_HH
+#define LEGO_MAPPER_SCHEDULE_HH
+
+#include "mapper/mapper.hh"
+#include "model/models.hh"
+
+namespace lego
+{
+
+/** Per-layer decisions plus aggregate results. */
+struct ScheduleResult
+{
+    RunSummary summary;
+    std::vector<MappedLayer> perLayer; //!< Aligned with model.layers.
+};
+
+/** Map and simulate a full model on a hardware instance. */
+ScheduleResult scheduleModel(const HardwareConfig &hw, const Model &m);
+
+} // namespace lego
+
+#endif // LEGO_MAPPER_SCHEDULE_HH

@@ -1,0 +1,311 @@
+#include "model/models.hh"
+
+namespace lego
+{
+
+namespace
+{
+
+/** Transformer encoder block (BERT/ViT style), appended in place. */
+void
+encoderBlock(Model &m, const std::string &tag, Int seq, Int dim,
+             Int heads, Int ffn, int repeat)
+{
+    Int dk = dim / heads;
+    m.layers.push_back(
+        linear(tag + ".qkv", seq, dim, 3 * dim, repeat));
+    m.layers.push_back(matmul(tag + ".scores", seq, dk, seq,
+                              repeat * int(heads)));
+    m.layers.push_back(
+        ppu(tag + ".softmax", PpuOp::Softmax, seq * seq * heads,
+            repeat));
+    m.layers.push_back(
+        matmul(tag + ".av", seq, seq, dk, repeat * int(heads)));
+    m.layers.push_back(linear(tag + ".proj", seq, dim, dim, repeat));
+    m.layers.push_back(
+        ppu(tag + ".ln1", PpuOp::LayerNorm, seq * dim, repeat));
+    m.layers.push_back(linear(tag + ".ffn1", seq, dim, ffn, repeat));
+    m.layers.push_back(
+        ppu(tag + ".gelu", PpuOp::Gelu, seq * ffn, repeat));
+    m.layers.push_back(linear(tag + ".ffn2", seq, ffn, dim, repeat));
+    m.layers.push_back(
+        ppu(tag + ".ln2", PpuOp::LayerNorm, seq * dim, repeat));
+}
+
+/** Decode-time (single token) transformer block with KV-cache. */
+void
+decoderBlock(Model &m, const std::string &tag, Int batch, Int ctx,
+             Int dim, Int heads, Int ffn, int repeat,
+             bool amortized)
+{
+    Int dk = dim / heads;
+    m.layers.push_back(
+        linear(tag + ".qkv", batch, dim, 3 * dim, repeat, amortized));
+    // Attention against the KV cache: activation-activation GEMMs.
+    // Every sequence owns its cache, so the K/V operand traffic can
+    // never amortize across the batch: model per-sequence matmuls.
+    m.layers.push_back(matmul(tag + ".scores", 1, dk, ctx,
+                              repeat * int(heads) * int(batch)));
+    m.layers.push_back(
+        ppu(tag + ".softmax", PpuOp::Softmax, batch * ctx * heads,
+            repeat));
+    m.layers.push_back(matmul(tag + ".av", 1, ctx, dk,
+                              repeat * int(heads) * int(batch)));
+    m.layers.push_back(
+        linear(tag + ".proj", batch, dim, dim, repeat, amortized));
+    m.layers.push_back(
+        ppu(tag + ".ln", PpuOp::LayerNorm, batch * dim, repeat));
+    m.layers.push_back(
+        linear(tag + ".ffn1", batch, dim, ffn, repeat, amortized));
+    m.layers.push_back(
+        ppu(tag + ".act", PpuOp::Gelu, batch * ffn, repeat));
+    m.layers.push_back(
+        linear(tag + ".ffn2", batch, ffn, dim, repeat, amortized));
+}
+
+/** MobileNetV2 inverted residual block. */
+void
+mbv2Block(Model &m, const std::string &tag, Int cin, Int cout,
+          Int ohw, Int expand, Int stride, int repeat)
+{
+    Int mid = cin * expand;
+    if (expand != 1)
+        m.layers.push_back(conv(tag + ".expand", cin, mid,
+                                ohw * stride, 1, 1, repeat));
+    m.layers.push_back(
+        dwconv(tag + ".dw", mid, ohw, 3, stride, repeat));
+    m.layers.push_back(
+        ppu(tag + ".relu6", PpuOp::Relu, mid * ohw * ohw, repeat));
+    m.layers.push_back(
+        conv(tag + ".project", mid, cout, ohw, 1, 1, repeat));
+    if (cin == cout && stride == 1)
+        m.layers.push_back(
+            ppu(tag + ".res", PpuOp::EltAdd, cout * ohw * ohw,
+                repeat));
+}
+
+/** ResNet50 bottleneck block. */
+void
+bottleneck(Model &m, const std::string &tag, Int cin, Int mid,
+           Int ohw, Int stride, int repeat)
+{
+    m.layers.push_back(
+        conv(tag + ".a", cin, mid, ohw, 1, 1, repeat));
+    m.layers.push_back(conv(tag + ".b", mid, mid, ohw, 3, 1, repeat));
+    m.layers.push_back(
+        conv(tag + ".c", mid, mid * 4, ohw, 1, 1, repeat));
+    m.layers.push_back(ppu(tag + ".relu", PpuOp::Relu,
+                           mid * 4 * ohw * ohw, repeat));
+    m.layers.push_back(ppu(tag + ".res", PpuOp::EltAdd,
+                           mid * 4 * ohw * ohw, repeat));
+    (void)stride;
+}
+
+} // namespace
+
+Model
+makeAlexNet()
+{
+    Model m;
+    m.name = "AlexNet";
+    m.layers = {
+        conv("conv1", 3, 64, 55, 11, 4),
+        ppu("relu1", PpuOp::Relu, 64 * 55 * 55),
+        ppu("pool1", PpuOp::Pool, 64 * 27 * 27),
+        conv("conv2", 64, 192, 27, 5),
+        ppu("pool2", PpuOp::Pool, 192 * 13 * 13),
+        conv("conv3", 192, 384, 13, 3),
+        conv("conv4", 384, 256, 13, 3),
+        conv("conv5", 256, 256, 13, 3),
+        ppu("pool5", PpuOp::Pool, 256 * 6 * 6),
+        linear("fc6", 1, 9216, 4096),
+        linear("fc7", 1, 4096, 4096),
+        linear("fc8", 1, 4096, 1000),
+    };
+    return m;
+}
+
+Model
+makeMobileNetV2()
+{
+    Model m;
+    m.name = "MobileNetV2";
+    m.layers.push_back(conv("stem", 3, 32, 112, 3, 2));
+    mbv2Block(m, "b1", 32, 16, 112, 1, 1, 1);
+    mbv2Block(m, "b2", 16, 24, 56, 6, 2, 1);
+    mbv2Block(m, "b2r", 24, 24, 56, 6, 1, 1);
+    mbv2Block(m, "b3", 24, 32, 28, 6, 2, 1);
+    mbv2Block(m, "b3r", 32, 32, 28, 6, 1, 2);
+    mbv2Block(m, "b4", 32, 64, 14, 6, 2, 1);
+    mbv2Block(m, "b4r", 64, 64, 14, 6, 1, 3);
+    mbv2Block(m, "b5", 64, 96, 14, 6, 1, 1);
+    mbv2Block(m, "b5r", 96, 96, 14, 6, 1, 2);
+    mbv2Block(m, "b6", 96, 160, 7, 6, 2, 1);
+    mbv2Block(m, "b6r", 160, 160, 7, 6, 1, 2);
+    mbv2Block(m, "b7", 160, 320, 7, 6, 1, 1);
+    m.layers.push_back(conv("head", 320, 1280, 7, 1));
+    m.layers.push_back(linear("fc", 1, 1280, 1000));
+    return m;
+}
+
+Model
+makeResNet50()
+{
+    Model m;
+    m.name = "ResNet50";
+    m.layers.push_back(conv("stem", 3, 64, 112, 7, 2));
+    m.layers.push_back(ppu("pool", PpuOp::Pool, 64 * 56 * 56));
+    bottleneck(m, "s1", 64, 64, 56, 1, 3);
+    bottleneck(m, "s2", 256, 128, 28, 2, 4);
+    bottleneck(m, "s3", 512, 256, 14, 2, 6);
+    bottleneck(m, "s4", 1024, 512, 7, 2, 3);
+    m.layers.push_back(linear("fc", 1, 2048, 1000));
+    return m;
+}
+
+Model
+makeEfficientNetV2()
+{
+    // EfficientNetV2-S at 384x384 (fused-MBConv early, MBConv late).
+    Model m;
+    m.name = "EfficientNetV2";
+    m.layers.push_back(conv("stem", 3, 24, 192, 3, 2));
+    m.layers.push_back(conv("f1", 24, 24, 192, 3, 1, 2));
+    m.layers.push_back(conv("f2", 24, 48, 96, 3, 2));
+    m.layers.push_back(conv("f2r", 48, 48, 96, 3, 1, 3));
+    m.layers.push_back(conv("f3", 48, 64, 48, 3, 2));
+    m.layers.push_back(conv("f3r", 64, 64, 48, 3, 1, 3));
+    for (int r = 0; r < 6; r++) {
+        mbv2Block(m, "m4_" + std::to_string(r), 64, 128, 24, 4,
+                  r == 0 ? 2 : 1, 1);
+    }
+    for (int r = 0; r < 9; r++)
+        mbv2Block(m, "m5_" + std::to_string(r), 128, 160, 24, 6, 1, 1);
+    for (int r = 0; r < 15; r++) {
+        mbv2Block(m, "m6_" + std::to_string(r), 160, 256, 12, 6,
+                  r == 0 ? 2 : 1, 1);
+    }
+    m.layers.push_back(conv("head", 256, 1280, 12, 1));
+    m.layers.push_back(linear("fc", 1, 1280, 1000));
+    return m;
+}
+
+Model
+makeBert(Int seq)
+{
+    Model m;
+    m.name = "BERT";
+    encoderBlock(m, "enc", seq, 768, 12, 3072, 12);
+    return m;
+}
+
+Model
+makeGpt2Decode(Int prompt)
+{
+    Model m;
+    m.name = "GPT-2";
+    // One-token decode over a cached 1000-token prompt, 12 layers.
+    decoderBlock(m, "dec", 1, prompt, 768, 12, 3072, 12, false);
+    m.layers.push_back(linear("lm_head", 1, 768, 50257));
+    return m;
+}
+
+Model
+makeCoAtNet()
+{
+    // CoAtNet-0: conv stages then transformer stages at 224^2.
+    Model m;
+    m.name = "CoAtNet";
+    m.layers.push_back(conv("stem", 3, 64, 112, 3, 2));
+    mbv2Block(m, "s1", 64, 96, 56, 4, 2, 2);
+    mbv2Block(m, "s2", 96, 192, 28, 4, 2, 3);
+    encoderBlock(m, "s3", 14 * 14, 384, 8, 1536, 5);
+    encoderBlock(m, "s4", 7 * 7, 768, 16, 3072, 2);
+    m.layers.push_back(linear("fc", 1, 768, 1000));
+    return m;
+}
+
+Model
+makeLeNet()
+{
+    Model m;
+    m.name = "LeNet";
+    m.layers = {
+        conv("c1", 1, 6, 28, 5),
+        ppu("p1", PpuOp::Pool, 6 * 14 * 14),
+        conv("c2", 6, 16, 10, 5),
+        ppu("p2", PpuOp::Pool, 16 * 5 * 5),
+        linear("f3", 1, 400, 120),
+        linear("f4", 1, 120, 84),
+        linear("f5", 1, 84, 10),
+    };
+    return m;
+}
+
+Model
+makeDdpm()
+{
+    // DDPM UNet at 64x64 latents: conv-heavy, mid attention.
+    Model m;
+    m.name = "DDPM";
+    m.layers.push_back(conv("in", 3, 128, 64, 3));
+    m.layers.push_back(conv("d1", 128, 128, 64, 3, 1, 4));
+    m.layers.push_back(conv("d2", 128, 256, 32, 3, 1, 4));
+    m.layers.push_back(conv("d3", 256, 256, 16, 3, 1, 4));
+    encoderBlock(m, "mid", 16 * 16, 256, 4, 1024, 1);
+    m.layers.push_back(conv("d4", 256, 512, 8, 3, 1, 4));
+    m.layers.push_back(conv("u4", 512, 256, 8, 3, 1, 4));
+    m.layers.push_back(conv("u3", 256, 256, 16, 3, 1, 6));
+    m.layers.push_back(conv("u2", 256, 128, 32, 3, 1, 6));
+    m.layers.push_back(conv("u1", 128, 128, 64, 3, 1, 6));
+    m.layers.push_back(conv("out", 128, 3, 64, 3));
+    return m;
+}
+
+Model
+makeStableDiffusionUNet()
+{
+    // SD 1.x UNet at 64x64 latents with cross-attention blocks.
+    Model m;
+    m.name = "StableDiffusion";
+    m.layers.push_back(conv("in", 4, 320, 64, 3));
+    m.layers.push_back(conv("d1", 320, 320, 64, 3, 1, 2));
+    encoderBlock(m, "t1", 64 * 64, 320, 8, 1280, 2);
+    m.layers.push_back(conv("d2", 320, 640, 32, 3, 1, 2));
+    encoderBlock(m, "t2", 32 * 32, 640, 8, 2560, 2);
+    m.layers.push_back(conv("d3", 640, 1280, 16, 3, 1, 2));
+    encoderBlock(m, "t3", 16 * 16, 1280, 8, 5120, 2);
+    m.layers.push_back(conv("mid", 1280, 1280, 8, 3, 1, 2));
+    m.layers.push_back(conv("u3", 1280, 640, 16, 3, 1, 3));
+    m.layers.push_back(conv("u2", 640, 320, 32, 3, 1, 3));
+    m.layers.push_back(conv("u1", 320, 320, 64, 3, 1, 3));
+    m.layers.push_back(conv("out", 320, 4, 64, 3));
+    return m;
+}
+
+Model
+makeLlama7b(Int batch, Int context)
+{
+    Model m;
+    m.name = "LLaMA-7B bs=" + std::to_string(batch);
+    // 32 layers, dim 4096, SwiGLU FFN (gate+up+down, 11008); decode
+    // one token per sequence.
+    decoderBlock(m, "dec", batch, context, 4096, 32, 11008, 32,
+                 batch > 1);
+    // The SwiGLU gate projection (third FFN matrix per layer).
+    m.layers.push_back(
+        linear("dec.ffn_gate", batch, 4096, 11008, 32, batch > 1));
+    m.layers.push_back(
+        linear("lm_head", batch, 4096, 32000, 1, batch > 1));
+    return m;
+}
+
+std::vector<Model>
+fig11Models()
+{
+    return {makeAlexNet(),  makeMobileNetV2(),     makeResNet50(),
+            makeEfficientNetV2(), makeBert(16),    makeGpt2Decode(1000),
+            makeCoAtNet()};
+}
+
+} // namespace lego

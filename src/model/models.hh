@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Model zoo for the end-to-end evaluation (paper Section VI-A):
+ * classical CNNs (AlexNet, MobileNetV2, ResNet50, EfficientNetV2),
+ * transformers (BERT seq 16, GPT-2 with 1000-token prompt decoding
+ * one token, CoAtNet), and generative models (DDPM, Stable Diffusion
+ * UNet, LLaMA-7B decode at bs=1/32), plus LeNet for the SODA
+ * comparison. Shapes follow the published architectures; image sizes
+ * match the paper (384^2 for EfficientNetV2, 224^2 elsewhere).
+ */
+
+#ifndef LEGO_MODEL_MODELS_HH
+#define LEGO_MODEL_MODELS_HH
+
+#include "model/layer.hh"
+
+namespace lego
+{
+
+Model makeAlexNet();
+Model makeMobileNetV2();
+Model makeResNet50();
+Model makeEfficientNetV2();
+Model makeBert(Int seq = 16);
+Model makeGpt2Decode(Int prompt = 1000);
+Model makeCoAtNet();
+Model makeLeNet();
+Model makeDdpm();
+Model makeStableDiffusionUNet();
+Model makeLlama7b(Int batch, Int context = 1000);
+
+/** The Fig. 11 suite in paper order. */
+std::vector<Model> fig11Models();
+
+} // namespace lego
+
+#endif // LEGO_MODEL_MODELS_HH

@@ -1,0 +1,81 @@
+#include "sim/arch_config.hh"
+
+#include "sim/ppu.hh"
+
+namespace lego
+{
+
+std::string
+dataflowTagName(DataflowTag t)
+{
+    switch (t) {
+      case DataflowTag::MN:
+        return "M-N";
+      case DataflowTag::ICOC:
+        return "IC-OC";
+      case DataflowTag::OHOW:
+        return "OH-OW";
+      case DataflowTag::KHOH:
+        return "KH-OH";
+    }
+    panic("dataflowTagName: bad tag");
+}
+
+ChipCost
+archCost(const HardwareConfig &hw)
+{
+    // Constants calibrated to the paper's Fig. 12(a) anchors for the
+    // 256-FU LEGO-MNICOC instance: 1.76 mm^2 / 285 mW split as
+    // FU 7%/57%, buffers 86%/12%, NoC 5%/26%, PPUs 2%/5%.
+    ChipCost c;
+    const double fus = hw.totalFus();
+    const double w = hw.dataBits;
+    const double wf = w / 8.0;
+
+    // Per-FU silicon: 8-bit MAC + 24-bit accumulate path, operand
+    // and pipeline registers (~100 bits incl. FIFO share), muxes,
+    // and the shared control slice; 1.2x wiring overhead.
+    // Fused dataflows add mux/datapath overhead; the heuristic
+    // planner (Section IV-C) keeps it to ~18% per extra dataflow,
+    // the naive merge pays ~2.2x that (Table V).
+    double per_df = hw.naiveFusion ? 0.40 : 0.18;
+    double mux_factor =
+        1.0 + per_df * double(hw.dataflows.size() - 1);
+    c.fuArrayAreaUm2 = fus * 480.0 * wf * mux_factor;
+    c.fuArrayPowerUw =
+        fus * 530.0 * wf * mux_factor * hw.freqGhz;
+
+    // Buffers: banked L1 (one bank per array row+column feed) plus
+    // the data-distribution switches folded into periphery.
+    int banks = std::max(4, hw.rows + hw.cols);
+    SramCost sc = sramArrayCost(hw.l1Kb * 1024, banks, 64);
+    const double clusters = double(hw.l2X * hw.l2Y);
+    c.buffersAreaUm2 = sc.areaUm2 * 1.28 * clusters;
+    // ~50% port duty (read+write) plus leakage.
+    c.buffersPowerUw =
+        (sc.leakageUw +
+         0.55 * double(banks) * sc.readEnergyPj * hw.freqGhz * 1e3) *
+        clusters;
+    c.sramReadPj = sc.readEnergyPj;
+
+    // NoCs: L1 butterfly inside the cluster, wormhole mesh above.
+    int stages = 1;
+    while ((1 << stages) < banks)
+        stages++;
+    double switch_bits = double(banks) / 2.0 * stages * 128.0;
+    c.nocAreaUm2 = switch_bits * 8.6 * clusters;
+    c.nocPowerUw = switch_bits * 7.2 * hw.freqGhz * clusters;
+    if (hw.l2X * hw.l2Y > 1) {
+        NocSpec l2{NocKind::WormholeMesh, hw.l2X, hw.l2Y, 128,
+                   hw.freqGhz};
+        NocCost l2c = nocCost(l2);
+        c.nocAreaUm2 += l2c.areaUm2;
+        c.nocPowerUw += l2c.powerUw;
+    }
+
+    c.ppusAreaUm2 = double(hw.numPpus) * ppuAreaUm2();
+    c.ppusPowerUw = double(hw.numPpus) * ppuPowerUw() * hw.freqGhz;
+    return c;
+}
+
+} // namespace lego

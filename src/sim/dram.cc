@@ -1,0 +1,26 @@
+#include "sim/dram.hh"
+
+#include <cmath>
+
+namespace lego
+{
+
+Int
+dramCycles(const DramSpec &d, Int bytes, double freqGhz)
+{
+    if (bytes <= 0)
+        return 0;
+    // Round small transfers up to full bursts.
+    double eff_bytes =
+        std::ceil(double(bytes) / d.burstBytes) * d.burstBytes;
+    double seconds = eff_bytes / (d.bandwidthGBs * 1e9);
+    return Int(std::ceil(seconds * freqGhz * 1e9));
+}
+
+double
+dramEnergyPj(const DramSpec &d, Int bytes)
+{
+    return double(bytes) * d.energyPerBytePj;
+}
+
+} // namespace lego

@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Off-chip memory model: a bandwidth/energy abstraction of the LPDDR
+ * interface used in the paper's evaluation (128-bit bus, 16-32 GB/s).
+ */
+
+#ifndef LEGO_SIM_DRAM_HH
+#define LEGO_SIM_DRAM_HH
+
+#include "core/types.hh"
+
+namespace lego
+{
+
+/** DRAM interface description. */
+struct DramSpec
+{
+    double bandwidthGBs = 16.0;
+    double energyPerBytePj = 80.0; //!< ~10 pJ/bit LPDDR4-class.
+    double burstBytes = 64.0;
+};
+
+/** Cycles at `freqGhz` to move `bytes` (bandwidth-limited). */
+Int dramCycles(const DramSpec &d, Int bytes, double freqGhz);
+
+/** Energy in pJ to move `bytes`. */
+double dramEnergyPj(const DramSpec &d, Int bytes);
+
+} // namespace lego
+
+#endif // LEGO_SIM_DRAM_HH

@@ -1,0 +1,21 @@
+#include "sim/energy.hh"
+
+namespace lego
+{
+
+void
+accumulate(RunSummary &sum, const LayerResult &r, bool tensor_op,
+           int repeat)
+{
+    Int rep = repeat;
+    sum.totalCycles += rep * r.cycles;
+    if (tensor_op)
+        sum.tensorCycles += rep * r.cycles;
+    else
+        sum.ppuCycles += rep * r.cycles;
+    sum.totalEnergyPj += double(rep) * r.energyPj;
+    sum.totalMacs += rep * r.macs;
+    sum.dramBytes += rep * r.dramBytes;
+}
+
+} // namespace lego

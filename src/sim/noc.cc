@@ -1,0 +1,59 @@
+#include "sim/noc.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace lego
+{
+
+NocCost
+nocCost(const NocSpec &s)
+{
+    NocCost c;
+    const int n = std::max(1, s.endpointsX * s.endpointsY);
+    const double bits = double(s.linkBits);
+
+    if (s.kind == NocKind::Butterfly) {
+        // log2(n) stages of n/2 2x2 switches.
+        int stages = 1;
+        while ((1 << stages) < n)
+            stages++;
+        const double switches = std::max(1.0, n / 2.0) * stages;
+        c.areaUm2 = switches * bits * 1.8;
+        c.powerUw = switches * bits * 0.35;
+        c.avgLatencyCycles = stages + 1;
+        c.bisectionGBs = double(n) / 2.0 * bits / 8.0 * s.freqGhz;
+        c.energyPerBytePj = 0.25 * stages;
+    } else {
+        // Wormhole mesh: one 5-port router per endpoint.
+        c.areaUm2 = double(n) * bits * 6.0;
+        c.powerUw = double(n) * bits * 1.1;
+        c.avgLatencyCycles =
+            2.0 * (s.endpointsX + s.endpointsY) / 3.0 * 3.0;
+        c.bisectionGBs =
+            double(std::min(s.endpointsX, s.endpointsY)) * bits / 8.0 *
+            s.freqGhz;
+        c.energyPerBytePj =
+            0.4 * (s.endpointsX + s.endpointsY) / 2.0;
+    }
+    return c;
+}
+
+int
+meshHops(int x0, int y0, int x1, int y1)
+{
+    // Dimension-ordered (X then Y) routing: deadlock-free.
+    return std::abs(x1 - x0) + std::abs(y1 - y0);
+}
+
+Int
+nocTransferCycles(const NocSpec &s, Int bytes, int hops)
+{
+    const Int flit_bytes = std::max<Int>(1, s.linkBits / 8);
+    Int flits = ceilDiv(bytes, flit_bytes);
+    // Wormhole: head latency = hops * (2-cycle router + 1-cycle
+    // link), body pipelined behind it.
+    return Int(hops) * 3 + flits;
+}
+
+} // namespace lego

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Network-on-chip models (paper Section II): a multi-stage butterfly
+ * for L1 distribution and a wormhole 2D mesh with X-Y routing for the
+ * L2 scale-up fabric. Deadlock freedom comes from dimension-ordered
+ * routing, as in the paper.
+ */
+
+#ifndef LEGO_SIM_NOC_HH
+#define LEGO_SIM_NOC_HH
+
+#include "core/types.hh"
+
+namespace lego
+{
+
+enum class NocKind { Butterfly, WormholeMesh };
+
+/** Static NoC description. */
+struct NocSpec
+{
+    NocKind kind = NocKind::Butterfly;
+    int endpointsX = 1; //!< Mesh columns (or butterfly ports).
+    int endpointsY = 1; //!< Mesh rows (1 for butterfly).
+    Int linkBits = 128;
+    double freqGhz = 1.0;
+};
+
+/** Modeled cost/throughput. */
+struct NocCost
+{
+    double areaUm2 = 0;
+    double powerUw = 0;          //!< At nominal 30% injection.
+    double bisectionGBs = 0;
+    double avgLatencyCycles = 0; //!< Uniform-random traffic.
+    double energyPerBytePj = 0;
+};
+
+NocCost nocCost(const NocSpec &s);
+
+/** X-Y routing hop count between mesh endpoints. */
+int meshHops(int x0, int y0, int x1, int y1);
+
+/**
+ * Cycles to move `bytes` across the NoC from one endpoint under
+ * dimension-ordered wormhole routing with `hops` hops.
+ */
+Int nocTransferCycles(const NocSpec &s, Int bytes, int hops);
+
+} // namespace lego
+
+#endif // LEGO_SIM_NOC_HH

@@ -1,0 +1,128 @@
+#include "sim/perf.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace lego
+{
+
+namespace
+{
+
+/** eff(dim, P): fraction of P lanes busy when tiling dim over P. */
+double
+eff(Int dim, int p)
+{
+    if (dim <= 0 || p <= 0)
+        return 1.0;
+    Int tiles = ceilDiv(dim, p);
+    return double(dim) / double(tiles * p);
+}
+
+} // namespace
+
+double
+spatialEfficiency(const HardwareConfig &hw, const Layer &l,
+                  DataflowTag df)
+{
+    const int r = hw.rows, c = hw.cols;
+    switch (df) {
+      case DataflowTag::MN:
+        // Output pixels x output channels. Depthwise parallelizes
+        // pixels x channels (the OH-OW-IC-OC switch the paper uses
+        // on MobileNetV2's depthwise layers).
+        if (l.kind == LayerKind::DwConv)
+            return eff(l.oh * l.ow, r) * eff(l.ic, c);
+        return eff(l.gemmM(), r) * eff(l.gemmN(), c);
+      case DataflowTag::ICOC:
+        // Input-channel x output-channel parallelism: K x N for the
+        // GEMM view. Spatial reduction over the K lanes.
+        if (l.kind == LayerKind::DwConv)
+            return eff(l.kh * l.kw, r) * eff(l.ic, c) * 0.5;
+        if (l.kind == LayerKind::Conv)
+            return eff(l.ic, r) * eff(l.oc, c);
+        return eff(l.k, r) * eff(l.nOut, c);
+      case DataflowTag::OHOW:
+        if (l.kind == LayerKind::Conv || l.kind == LayerKind::DwConv)
+            return eff(l.oh, r) * eff(l.ow, c);
+        return eff(l.gemmM(), r * c > 0 ? r : 1) / double(c);
+      case DataflowTag::KHOH:
+        if (l.kind == LayerKind::Conv || l.kind == LayerKind::DwConv)
+            return eff(l.kh, r) * eff(l.oh, c) *
+                   (double(l.kh) / double(r) < 0.3 ? 0.5 : 1.0);
+        return eff(l.gemmK(), r) * eff(l.gemmM(), c) * 0.5;
+    }
+    return 0.0;
+}
+
+LayerResult
+runLayer(const HardwareConfig &hw, const Layer &l, const Mapping &map)
+{
+    LayerResult res;
+    if (!l.isTensorOp())
+        return runPpuLayer(hw, l);
+
+    const Int m = l.gemmM(), n = l.gemmN(), k = l.gemmK();
+    res.macs = l.macs();
+
+    // ---- compute cycles ----------------------------------------------
+    double se = spatialEfficiency(hw, l, map.dataflow);
+    se = std::max(se, 1e-4);
+    double ideal = double(res.macs) / double(hw.totalFus());
+    // Pipeline fill/drain per L1 tile.
+    Int tm = std::min<Int>(map.tm, m);
+    Int tn = std::min<Int>(map.tn, n);
+    Int tk = std::min<Int>(map.tk, k);
+    Int tiles = ceilDiv(m, tm) * ceilDiv(n, tn) * ceilDiv(k, tk);
+    Int fill = (hw.rows + hw.cols + 8) * tiles;
+    Int compute = Int(std::ceil(ideal / se)) + fill;
+
+    // ---- DRAM traffic --------------------------------------------------
+    // Weights stream once per M-tile sweep; activations once per
+    // N-tile sweep; outputs with partial-sum spills when K is tiled.
+    Int wbytes = l.weightBytes();
+    Int xbytes = l.inputBytes();
+    Int obytes = l.outputBytes();
+    Int reload_w = l.batchAmortized ? 1 : ceilDiv(m, tm);
+    Int reload_x = ceilDiv(n, tn);
+    // Window reuse keeps conv inputs at their true footprint; only
+    // the N-tiling refetch multiplies it.
+    Int traffic = wbytes * reload_w + xbytes * reload_x +
+                  obytes * (2 * ceilDiv(k, tk) - 1);
+    res.dramBytes = traffic;
+    Int mem = dramCycles(hw.dram, traffic, hw.freqGhz);
+
+    res.cycles = std::max(compute, mem);
+    res.memoryBound = mem > compute;
+    // Array utilization against the compute pipeline (memory stalls
+    // are reported via memoryBound; the mapper uses this to break
+    // bandwidth-bound ties toward the busier array).
+    res.utilization = double(res.macs) / double(hw.totalFus()) /
+                      std::max<double>(1.0, double(compute));
+
+    // ---- energy ---------------------------------------------------------
+    ChipCost cc = archCost(hw);
+    const double mac_pj = 0.28 * double(hw.dataBits) / 8.0;
+    // L1 accesses amortized by spatial reuse along the array.
+    double l1_accesses = double(res.macs) *
+                         (1.0 / double(hw.cols) + 1.0 / double(hw.rows));
+    double l1_pj = l1_accesses * cc.sramReadPj / 8.0;
+    double dram_pj = dramEnergyPj(hw.dram, traffic);
+    double leak_pj = cc.totalPowerMw() * 0.25 * 1e3 *
+                     double(res.cycles) / hw.freqGhz * 1e-3;
+    res.energyPj = double(res.macs) * mac_pj + l1_pj + dram_pj +
+                   leak_pj;
+    return res;
+}
+
+LayerResult
+runPpuLayer(const HardwareConfig &hw, const Layer &l)
+{
+    LayerResult res;
+    res.cycles = ppuCycles(l.ppu, l.elems, hw.numPpus);
+    res.energyPj = ppuEnergyPj(l.ppu, l.elems);
+    res.dramBytes = 0; // In-place in the output buffers.
+    return res;
+}
+
+} // namespace lego

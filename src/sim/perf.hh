@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Layer-level performance simulator (the paper's front-end
+ * performance model, Section VI-A): given a hardware instance, a
+ * layer, and a mapping (spatial dataflow + L1 tiling), produce
+ * cycles, utilization, DRAM traffic and energy. The mapper sweeps
+ * mappings through this model; the same model drives the end-to-end
+ * comparisons.
+ */
+
+#ifndef LEGO_SIM_PERF_HH
+#define LEGO_SIM_PERF_HH
+
+#include "model/layer.hh"
+#include "sim/arch_config.hh"
+
+namespace lego
+{
+
+/** One candidate mapping of a tensor layer. */
+struct Mapping
+{
+    DataflowTag dataflow = DataflowTag::MN;
+    Int tm = 64, tn = 64, tk = 64; //!< L1 tile (GEMM view).
+};
+
+/** Simulated result for one layer instance. */
+struct LayerResult
+{
+    Int cycles = 0;
+    double utilization = 0;
+    Int dramBytes = 0;
+    double energyPj = 0;
+    Int macs = 0;
+    bool memoryBound = false;
+};
+
+/**
+ * Spatial efficiency of mapping the layer's GEMM-view dims onto the
+ * array under the given dataflow (1.0 = every FU busy).
+ */
+double spatialEfficiency(const HardwareConfig &hw, const Layer &l,
+                         DataflowTag df);
+
+/** Simulate one tensor layer under a specific mapping. */
+LayerResult runLayer(const HardwareConfig &hw, const Layer &l,
+                     const Mapping &map);
+
+/** Simulate a PPU layer. */
+LayerResult runPpuLayer(const HardwareConfig &hw, const Layer &l);
+
+} // namespace lego
+
+#endif // LEGO_SIM_PERF_HH

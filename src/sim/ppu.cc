@@ -1,0 +1,71 @@
+#include "sim/ppu.hh"
+
+namespace lego
+{
+
+namespace
+{
+
+int
+passes(PpuOp op)
+{
+    switch (op) {
+      case PpuOp::Softmax:
+      case PpuOp::LayerNorm:
+        return 2;
+      default:
+        return 1;
+    }
+}
+
+} // namespace
+
+std::string
+ppuOpName(PpuOp op)
+{
+    switch (op) {
+      case PpuOp::Relu:
+        return "relu";
+      case PpuOp::Gelu:
+        return "gelu";
+      case PpuOp::Softmax:
+        return "softmax";
+      case PpuOp::LayerNorm:
+        return "layernorm";
+      case PpuOp::Pool:
+        return "pool";
+      case PpuOp::EltAdd:
+        return "eltadd";
+    }
+    panic("ppuOpName: bad op");
+}
+
+Int
+ppuCycles(PpuOp op, Int elems, int numPpus)
+{
+    if (numPpus <= 0)
+        panic("ppuCycles: no PPUs");
+    return Int(passes(op)) * ceilDiv(elems, numPpus);
+}
+
+double
+ppuEnergyPj(PpuOp op, Int elems)
+{
+    // LUT lookup + reduce: ~1.8 pJ per element-pass.
+    return 1.8 * double(passes(op)) * double(elems);
+}
+
+double
+ppuAreaUm2()
+{
+    // 256-entry LUT + 24-bit reducer + sequencing.
+    return 2200.0;
+}
+
+double
+ppuPowerUw()
+{
+    return 850.0;
+}
+
+} // namespace lego

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Post-processing unit model (paper Section II): a lookup table for
+ * activation functions plus a reduction unit for softmax/normalization
+ * statistics. PPUs share the output buffers with the FU array, so
+ * non-tensor work costs no extra data movement to the host.
+ */
+
+#ifndef LEGO_SIM_PPU_HH
+#define LEGO_SIM_PPU_HH
+
+#include <string>
+
+#include "core/types.hh"
+
+namespace lego
+{
+
+/** Non-tensor operation classes executed on PPUs. */
+enum class PpuOp
+{
+    Relu,      //!< 1 pass.
+    Gelu,      //!< 1 pass (LUT).
+    Softmax,   //!< 2 passes (exp-sum via reduction, normalize).
+    LayerNorm, //!< 2 passes (mean/var reduction, scale).
+    Pool,      //!< 1 pass.
+    EltAdd,    //!< 1 pass (residual connections).
+};
+
+std::string ppuOpName(PpuOp op);
+
+/** Cycles for `elems` elements on `numPpus` units (1 elem/cyc/PPU). */
+Int ppuCycles(PpuOp op, Int elems, int numPpus);
+
+/** Energy in pJ for the operation. */
+double ppuEnergyPj(PpuOp op, Int elems);
+
+/** Silicon cost of one PPU (LUT + reducer + control). */
+double ppuAreaUm2();
+double ppuPowerUw();
+
+} // namespace lego
+
+#endif // LEGO_SIM_PPU_HH

@@ -1,0 +1,48 @@
+#include "sim/sram.hh"
+
+#include <cmath>
+
+namespace lego
+{
+
+SramCost
+sramCost(const SramSpec &s)
+{
+    const double bits = double(s.capacityBytes) * 8.0;
+    const double kb = double(s.capacityBytes) / 1024.0;
+
+    SramCost c;
+    // 28 nm 6T bit-cell ~0.127 um^2; periphery (decoders, sense
+    // amps, IO) dominates small macros.
+    const double periphery = 1.0 + 10.0 / std::sqrt(std::max(1.0, kb));
+    c.areaUm2 = bits * 0.127 * periphery;
+
+    // Access energy: word-line + bit-line, growing with array side.
+    const double per_bit =
+        0.008 * (1.0 + 0.18 * std::sqrt(std::max(1.0, kb)));
+    c.readEnergyPj = per_bit * double(s.widthBits);
+    c.writeEnergyPj = 1.15 * c.readEnergyPj;
+
+    // Leakage ~4 uW per KB at 28 nm HVT arrays.
+    c.leakageUw = 4.0 * kb;
+    return c;
+}
+
+SramCost
+sramArrayCost(Int totalBytes, int banks, Int widthBits)
+{
+    if (banks <= 0)
+        panic("sramArrayCost: need at least one bank");
+    SramSpec spec;
+    spec.capacityBytes = ceilDiv(totalBytes, banks);
+    spec.widthBits = widthBits;
+    SramCost one = sramCost(spec);
+    SramCost all;
+    all.areaUm2 = one.areaUm2 * banks;
+    all.readEnergyPj = one.readEnergyPj; // Per-bank access cost.
+    all.writeEnergyPj = one.writeEnergyPj;
+    all.leakageUw = one.leakageUw * banks;
+    return all;
+}
+
+} // namespace lego

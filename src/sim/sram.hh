@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Analytic SRAM model (CACTI substitute) for 28 nm on-chip buffers.
+ * Area follows bit-cell area plus a periphery factor that shrinks
+ * with macro size; access energy grows with the square root of the
+ * capacity (bit-line length), matching CACTI's scaling over the
+ * paper's 64 KB - 1 MB range.
+ */
+
+#ifndef LEGO_SIM_SRAM_HH
+#define LEGO_SIM_SRAM_HH
+
+#include "core/types.hh"
+
+namespace lego
+{
+
+/** One SRAM macro (a bank). */
+struct SramSpec
+{
+    Int capacityBytes = 16 * 1024;
+    Int widthBits = 64;
+};
+
+/** Modeled silicon cost of the macro. */
+struct SramCost
+{
+    double areaUm2 = 0;
+    double readEnergyPj = 0;  //!< Per access of widthBits.
+    double writeEnergyPj = 0;
+    double leakageUw = 0;
+};
+
+/** Evaluate the model. */
+SramCost sramCost(const SramSpec &s);
+
+/** Total cost of `banks` equal macros splitting `totalBytes`. */
+SramCost sramArrayCost(Int totalBytes, int banks, Int widthBits);
+
+} // namespace lego
+
+#endif // LEGO_SIM_SRAM_HH

@@ -1,0 +1,226 @@
+/**
+ * @file
+ * Tests for the simulation stack: SRAM/NoC/DRAM/PPU models, chip
+ * cost roll-up, the layer performance model, the mapper, the model
+ * zoo, and the Gemmini baseline. Includes parameterized monotonicity
+ * properties (bigger arrays are never slower on big layers, more
+ * bandwidth never hurts, etc.).
+ */
+
+#include <gtest/gtest.h>
+
+#include "lego.hh"
+
+namespace lego
+{
+namespace
+{
+
+TEST(Sram, ScalesWithCapacity)
+{
+    SramCost small = sramCost({16 * 1024, 64});
+    SramCost big = sramCost({256 * 1024, 64});
+    EXPECT_GT(big.areaUm2, small.areaUm2 * 6);
+    EXPECT_GT(big.readEnergyPj, small.readEnergyPj);
+    EXPECT_GT(big.leakageUw, small.leakageUw);
+    // Periphery amortizes: less than linear per-bit growth.
+    EXPECT_LT(big.areaUm2, small.areaUm2 * 16);
+}
+
+TEST(Noc, MeshHopsAndTransfer)
+{
+    EXPECT_EQ(meshHops(0, 0, 3, 2), 5);
+    EXPECT_EQ(meshHops(1, 1, 1, 1), 0);
+    NocSpec mesh{NocKind::WormholeMesh, 4, 4, 128, 1.0};
+    // Head latency + pipelined flits.
+    EXPECT_EQ(nocTransferCycles(mesh, 256, 2), 2 * 3 + 16);
+    NocCost c = nocCost(mesh);
+    EXPECT_GT(c.areaUm2, 0);
+    EXPECT_GT(c.bisectionGBs, 0);
+}
+
+TEST(Noc, ButterflyStages)
+{
+    NocCost c8 = nocCost({NocKind::Butterfly, 8, 1, 128, 1.0});
+    NocCost c32 = nocCost({NocKind::Butterfly, 32, 1, 128, 1.0});
+    EXPECT_GT(c32.areaUm2, c8.areaUm2);
+    EXPECT_GT(c32.avgLatencyCycles, c8.avgLatencyCycles);
+}
+
+TEST(Dram, BandwidthAndBursts)
+{
+    DramSpec d;
+    d.bandwidthGBs = 16.0;
+    // 16 GB/s at 1 GHz = 16 bytes/cycle.
+    EXPECT_EQ(dramCycles(d, 16000, 1.0), 1000);
+    // Small transfers round up to a burst.
+    EXPECT_EQ(dramCycles(d, 1, 1.0), dramCycles(d, 64, 1.0));
+    EXPECT_GT(dramEnergyPj(d, 100), 0);
+}
+
+TEST(Ppu, CyclesAndPasses)
+{
+    // Softmax is two passes, ReLU one.
+    EXPECT_EQ(ppuCycles(PpuOp::Relu, 1024, 16), 64);
+    EXPECT_EQ(ppuCycles(PpuOp::Softmax, 1024, 16), 128);
+    EXPECT_GT(ppuEnergyPj(PpuOp::Softmax, 100),
+              ppuEnergyPj(PpuOp::Relu, 100));
+}
+
+TEST(ArchCost, MatchesPaperEnvelope)
+{
+    HardwareConfig hw;
+    hw.rows = hw.cols = 16;
+    hw.l1Kb = 256;
+    hw.dataflows = {DataflowTag::MN, DataflowTag::ICOC};
+    ChipCost c = archCost(hw);
+    // Paper anchors: 1.76 mm^2 / 285 mW; buffers dominate area.
+    EXPECT_NEAR(c.totalAreaMm2(), 1.76, 0.4);
+    EXPECT_NEAR(c.totalPowerMw(), 285.0, 80.0);
+    EXPECT_GT(c.buffersAreaUm2, 0.7 * c.totalAreaMm2() * 1e6);
+    EXPECT_LT(c.ppusAreaUm2, 0.05 * c.totalAreaMm2() * 1e6);
+}
+
+TEST(ArchCost, NaiveFusionCostsMore)
+{
+    HardwareConfig a;
+    a.dataflows = {DataflowTag::MN, DataflowTag::ICOC};
+    HardwareConfig b = a;
+    b.naiveFusion = true;
+    EXPECT_GT(archCost(b).totalPowerMw(), archCost(a).totalPowerMw());
+}
+
+TEST(Perf, DepthwisePrefersMn)
+{
+    HardwareConfig hw;
+    Layer dw = dwconv("dw", 128, 14, 3);
+    // IC-OC collapses on depthwise; M-N keeps the array busy.
+    EXPECT_GT(spatialEfficiency(hw, dw, DataflowTag::MN),
+              3 * spatialEfficiency(hw, dw, DataflowTag::ICOC));
+}
+
+TEST(Perf, GemvPrefersIcoc)
+{
+    HardwareConfig hw;
+    Layer fc = linear("fc", 1, 4096, 4096); // Batch-1 GEMV.
+    EXPECT_GT(spatialEfficiency(hw, fc, DataflowTag::ICOC),
+              8 * spatialEfficiency(hw, fc, DataflowTag::MN));
+}
+
+TEST(Perf, MemoryBoundDetection)
+{
+    HardwareConfig hw;
+    hw.dram.bandwidthGBs = 1.0; // Starve the array.
+    Layer fc = linear("fc", 1, 4096, 4096);
+    Mapping map{DataflowTag::ICOC, 64, 64, 64};
+    LayerResult r = runLayer(hw, fc, map);
+    EXPECT_TRUE(r.memoryBound);
+    hw.dram.bandwidthGBs = 1000.0;
+    LayerResult r2 = runLayer(hw, fc, map);
+    EXPECT_LE(r2.cycles, r.cycles);
+}
+
+TEST(Mapper, PicksBestDataflowPerLayer)
+{
+    HardwareConfig hw;
+    hw.dataflows = {DataflowTag::MN, DataflowTag::ICOC};
+    // Depthwise must map to MN, batch-1 linear to ICOC.
+    MappedLayer dw = mapLayer(hw, dwconv("dw", 128, 14, 3));
+    EXPECT_EQ(dw.mapping.dataflow, DataflowTag::MN);
+    MappedLayer fc = mapLayer(hw, linear("fc", 1, 2048, 2048));
+    EXPECT_EQ(fc.mapping.dataflow, DataflowTag::ICOC);
+}
+
+TEST(Mapper, SearchNeverLosesToFixedMapping)
+{
+    HardwareConfig hw;
+    Layer l = conv("c", 64, 64, 28, 3);
+    MappedLayer best = mapLayer(hw, l);
+    Mapping fixed{DataflowTag::MN, 32, 32, 32};
+    LayerResult fr = runLayer(hw, l, fixed);
+    EXPECT_LE(best.result.cycles, fr.cycles);
+}
+
+TEST(Models, MacCountsSane)
+{
+    // Published MAC counts (approximate): ResNet50 ~4.1 GMACs,
+    // MobileNetV2 ~0.3 GMACs, BERT-16 ~1.4 GMACs.
+    EXPECT_NEAR(double(makeResNet50().totalMacs()) / 1e9, 4.1, 1.2);
+    EXPECT_NEAR(double(makeMobileNetV2().totalMacs()) / 1e9, 0.32,
+                0.15);
+    EXPECT_GT(makeLlama7b(1).totalMacs(), Int(6e9)); // ~7B weights.
+    EXPECT_LT(makeLeNet().totalMacs(), Int(1e7));
+}
+
+TEST(Models, LayersValidate)
+{
+    for (const Model &m : fig11Models()) {
+        EXPECT_FALSE(m.layers.empty()) << m.name;
+        for (const Layer &l : m.layers) {
+            if (l.isTensorOp()) {
+                EXPECT_GT(l.macs(), 0) << m.name << ":" << l.name;
+                EXPECT_GT(l.weightBytes() + l.inputBytes(), 0);
+            } else {
+                EXPECT_GT(l.elems, 0) << m.name << ":" << l.name;
+            }
+        }
+    }
+}
+
+TEST(Gemmini, DepthwiseHurts)
+{
+    GemminiConfig g;
+    Layer dw = dwconv("dw", 128, 14, 3);
+    Layer pw = conv("pw", 128, 128, 14, 1);
+    LayerResult rdw = gemminiLayer(g, dw);
+    LayerResult rpw = gemminiLayer(g, pw);
+    // Per-MAC cost must be far worse for depthwise.
+    double cyc_per_mac_dw = double(rdw.cycles) / double(rdw.macs);
+    double cyc_per_mac_pw = double(rpw.cycles) / double(rpw.macs);
+    EXPECT_GT(cyc_per_mac_dw, 5 * cyc_per_mac_pw);
+}
+
+TEST(Gemmini, LegoWinsEndToEnd)
+{
+    HardwareConfig hw;
+    hw.dataflows = {DataflowTag::MN, DataflowTag::ICOC};
+    GemminiConfig g;
+    Model m = makeMobileNetV2();
+    RunSummary gem = gemminiModel(g, m);
+    ScheduleResult lego = scheduleModel(hw, m);
+    EXPECT_LT(lego.summary.tensorCycles, gem.tensorCycles);
+}
+
+/** Property sweep: scaling resources never hurts a big layer. */
+class PerfMonotonic : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(PerfMonotonic, BiggerArrayNeverSlower)
+{
+    int s = GetParam();
+    Layer l = conv("c", 64 << (s % 2), 128, 28, 3);
+    HardwareConfig small, big;
+    small.rows = small.cols = 8;
+    big.rows = big.cols = 32;
+    MappedLayer a = mapLayer(small, l);
+    MappedLayer b = mapLayer(big, l);
+    EXPECT_LE(b.result.cycles, a.result.cycles);
+}
+
+TEST_P(PerfMonotonic, MoreBandwidthNeverSlower)
+{
+    int s = GetParam();
+    Layer l = linear("fc", 1 + s, 2048, 2048);
+    HardwareConfig slow, fast;
+    slow.dram.bandwidthGBs = 8.0;
+    fast.dram.bandwidthGBs = 64.0;
+    EXPECT_LE(mapLayer(fast, l).result.cycles,
+              mapLayer(slow, l).result.cycles);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, PerfMonotonic,
+                         ::testing::Range(0, 6));
+
+} // namespace
+} // namespace lego
