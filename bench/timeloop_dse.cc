@@ -1,10 +1,19 @@
 /**
  * @file
- * Reproduces the Section VI-B(f) DSE experiment: using a
- * Timeloop-style mapping search with LEGO as the RTL generator and
- * cost feedback, under Eyeriss-equivalent resources (168 FUs), finds
- * a design that keeps Eyeriss-dataflow latency while cutting power
- * by ~9%.
+ * Reproduces the Section VI-B(f) DSE experiment through the DSE
+ * engine: a Timeloop-style mapping search with LEGO as the generator
+ * and cost feedback, under Eyeriss-equivalent resources (168 FUs),
+ * finds a design that keeps Eyeriss-dataflow latency while cutting
+ * power by ~9%.
+ *
+ * Three engine-driven stages:
+ *  1. mapping-space search on the fixed Eyeriss instance (fixed
+ *     heuristic tiling vs searched tiling) via DseEngine::mapModel;
+ *  2. hardware-space exploration of the Eyeriss-equivalent resource
+ *     box (exhaustive strategy, Pareto archive over latency /
+ *     energy / area);
+ *  3. determinism + scaling check: 1-worker vs 8-worker exploration
+ *     must produce the identical frontier for the same seed.
  */
 
 #include <cstdio>
@@ -13,43 +22,69 @@
 
 using namespace lego;
 
+namespace
+{
+
+HardwareConfig
+eyerissConfig()
+{
+    HardwareConfig hw;
+    hw.name = "eyeriss";
+    hw.rows = 12;
+    hw.cols = 14;
+    hw.l1Kb = 182;
+    hw.freqGhz = 0.2;
+    hw.numPpus = 4;
+    hw.dataflows = {DataflowTag::KHOH};
+    return hw;
+}
+
+bool
+sameFrontier(const dse::ParetoArchive &a, const dse::ParetoArchive &b)
+{
+    std::vector<dse::DsePoint> pa = a.sorted(), pb = b.sorted();
+    if (pa.size() != pb.size())
+        return false;
+    for (std::size_t i = 0; i < pa.size(); ++i)
+        if (pa[i].id != pb[i].id ||
+            pa[i].latencyCycles != pb[i].latencyCycles ||
+            pa[i].energyPj != pb[i].energyPj ||
+            pa[i].areaMm2 != pb[i].areaMm2)
+            return false;
+    return true;
+}
+
+} // namespace
+
 int
 main()
 {
     Model rn50 = makeResNet50();
+    HardwareConfig eyeriss = eyerissConfig();
 
-    // Fixed Eyeriss dataflow under its resources.
-    HardwareConfig eyeriss;
-    eyeriss.rows = 12;
-    eyeriss.cols = 14;
-    eyeriss.l1Kb = 182;
-    eyeriss.freqGhz = 0.2;
-    eyeriss.numPpus = 4;
-    eyeriss.dataflows = {DataflowTag::KHOH};
-    ScheduleResult base = scheduleModel(eyeriss, rn50);
-    double base_mw = archCost(eyeriss).totalPowerMw();
-
-    // Timeloop searches tilings; LEGO generates the searched design
-    // and feeds back cost. A fixed heuristic tiling (what a
-    // hand-tuned Eyeriss compiler ships) vs the searched tiling at
-    // the same dataflow and resources: the win is reduced DRAM and
-    // buffer traffic, i.e. lower power at the same latency.
+    // ---- 1. mapping search on the fixed instance -------------------
     std::printf("=== Timeloop-searched mapping via LEGO (Eyeriss "
                 "resources, ResNet50) ===\n");
-    (void)base_mw;
+    dse::DseOptions mopt;
+    mopt.threads = 8;
+    dse::DseEngine mappingEngine(mopt);
+    ScheduleResult searched = mappingEngine.mapModel(eyeriss, rn50);
 
     double fixed_e = 0, searched_e = 0;
     Int fixed_c = 0, searched_c = 0;
-    for (const Layer &l : rn50.layers) {
+    for (std::size_t i = 0; i < rn50.layers.size(); ++i) {
+        const Layer &l = rn50.layers[i];
         if (!l.isTensorOp())
             continue;
+        // What a hand-tuned Eyeriss compiler ships: one heuristic
+        // tiling for every layer.
         Mapping fixed{DataflowTag::KHOH, 32, 32, 32};
         LayerResult rf = runLayer(eyeriss, l, fixed);
-        MappedLayer rs = mapLayer(eyeriss, l);
+        const LayerResult &rs = searched.perLayer[i].result;
         fixed_e += double(l.repeat) * rf.energyPj;
-        searched_e += double(l.repeat) * rs.result.energyPj;
+        searched_e += double(l.repeat) * rs.energyPj;
         fixed_c += Int(l.repeat) * rf.cycles;
-        searched_c += Int(l.repeat) * rs.result.cycles;
+        searched_c += Int(l.repeat) * rs.cycles;
     }
     std::printf("fixed tiling:    %lld cycles, %.1f mJ\n",
                 (long long)fixed_c, fixed_e * 1e-9);
@@ -58,5 +93,64 @@ main()
     std::printf("-> %.1f%% energy/power reduction at equal-or-better "
                 "latency (paper: 9%%)\n",
                 100.0 * (1.0 - searched_e / fixed_e));
-    return 0;
+    std::printf("memo cache: %zu unique layer-mapping costings "
+                "(%llu hits)\n",
+                mappingEngine.cache().size(),
+                (unsigned long long)mappingEngine.cache().hits());
+
+    // ---- 2. hardware DSE in the Eyeriss-equivalent box -------------
+    std::printf("\n=== Hardware DSE, Eyeriss-equivalent resource box "
+                "(168 FUs) ===\n");
+    dse::CandidateSpace space = dse::eyerissEquivalentSpace();
+    dse::DseOptions hopt;
+    hopt.threads = 8;
+    hopt.strategy = dse::StrategyKind::Exhaustive;
+    dse::DseEngine engine(hopt);
+    dse::DsePoint base = engine.evaluate(eyeriss, rn50);
+    dse::DseResult r = engine.explore(space, rn50);
+    std::printf("evaluated %zu candidates, frontier %zu points, "
+                "cache %llu hits / %llu misses, %.2fs\n",
+                r.stats.evaluated, r.archive.size(),
+                (unsigned long long)r.stats.cacheHits,
+                (unsigned long long)r.stats.cacheMisses,
+                r.stats.wallSeconds);
+    const dse::DsePoint *pick =
+        r.archive.bestUnderLatency(base.latencyCycles, 2);
+    if (pick) {
+        std::printf("baseline (Eyeriss dataflow): %.0f cycles, "
+                    "%.1f mW\n", base.latencyCycles, base.powerMw);
+        std::printf("picked: %dx%d, %lld KB L1, %d PPUs, %zu "
+                    "dataflow(s): %.0f cycles, %.1f mW\n",
+                    pick->hw.rows, pick->hw.cols,
+                    (long long)pick->hw.l1Kb, pick->hw.numPpus,
+                    pick->hw.dataflows.size(), pick->latencyCycles,
+                    pick->powerMw);
+        std::printf("-> %.1f%% power reduction at equal-or-better "
+                    "latency (paper: ~9%%)\n",
+                    100.0 * (1.0 - pick->powerMw / base.powerMw));
+    }
+
+    // ---- 3. determinism + scaling ----------------------------------
+    std::printf("\n=== Thread-count determinism (anneal strategy, "
+                "seed 0x5eed) ===\n");
+    dse::DseOptions a1;
+    a1.threads = 1;
+    a1.strategy = dse::StrategyKind::Anneal;
+    a1.seed = 0x5eed;
+    a1.samples = 24;
+    a1.rounds = 4;
+    dse::DseOptions a8 = a1;
+    a8.threads = 8;
+    dse::DseResult r1 = dse::DseEngine(a1).explore(space, rn50);
+    dse::DseResult r8 = dse::DseEngine(a8).explore(space, rn50);
+    bool same = sameFrontier(r1.archive, r8.archive);
+    std::printf("1 worker:  %zu evals, %.2fs\n", r1.stats.evaluated,
+                r1.stats.wallSeconds);
+    std::printf("8 workers: %zu evals, %.2fs (speedup %.2fx)\n",
+                r8.stats.evaluated, r8.stats.wallSeconds,
+                r8.stats.wallSeconds > 0
+                    ? r1.stats.wallSeconds / r8.stats.wallSeconds
+                    : 0.0);
+    std::printf("identical frontier: %s\n", same ? "yes" : "NO");
+    return same ? 0 : 1;
 }

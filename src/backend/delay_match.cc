@@ -1,5 +1,7 @@
 #include "backend/delay_match.hh"
 
+#include <limits>
+
 #include "lp/diffcon.hh"
 
 namespace lego

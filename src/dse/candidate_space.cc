@@ -1,0 +1,112 @@
+#include "dse/candidate_space.hh"
+
+#include <algorithm>
+
+#include "core/types.hh"
+
+namespace lego
+{
+namespace dse
+{
+
+std::size_t
+CandidateSpace::size() const
+{
+    return arrays.size() * l1KbOptions.size() * ppuOptions.size() *
+           dataflowSets.size();
+}
+
+std::size_t
+CandidateSpace::axisSize(std::size_t axis) const
+{
+    switch (axis) {
+      case 0: return arrays.size();
+      case 1: return l1KbOptions.size();
+      case 2: return ppuOptions.size();
+      case 3: return dataflowSets.size();
+    }
+    return 0;
+}
+
+HardwareConfig
+CandidateSpace::decode(std::size_t id) const
+{
+    if (id >= size())
+        panic("CandidateSpace::decode: id out of range");
+    std::size_t a = id % arrays.size();
+    id /= arrays.size();
+    std::size_t b = id % l1KbOptions.size();
+    id /= l1KbOptions.size();
+    std::size_t c = id % ppuOptions.size();
+    id /= ppuOptions.size();
+    std::size_t d = id;
+
+    HardwareConfig hw = base;
+    hw.rows = arrays[a].first;
+    hw.cols = arrays[a].second;
+    hw.l1Kb = l1KbOptions[b];
+    hw.numPpus = ppuOptions[c];
+    hw.dataflows = dataflowSets[d];
+    return hw;
+}
+
+std::size_t
+CandidateSpace::neighbor(std::size_t id, std::size_t axis,
+                         int delta) const
+{
+    std::size_t digits[kAxes];
+    std::size_t rest = id;
+    for (std::size_t a = 0; a < kAxes; ++a) {
+        digits[a] = rest % axisSize(a);
+        rest /= axisSize(a);
+    }
+    std::size_t n = axisSize(axis);
+    long moved = long(digits[axis]) + long(delta);
+    moved = std::max(0l, std::min(long(n) - 1, moved));
+    digits[axis] = std::size_t(moved);
+
+    std::size_t out = 0;
+    for (std::size_t a = kAxes; a-- > 0;)
+        out = out * axisSize(a) + digits[a];
+    return out;
+}
+
+CandidateSpace
+defaultSpace()
+{
+    CandidateSpace s;
+    s.arrays = {{8, 8}, {8, 16}, {16, 8}, {12, 12}, {16, 16},
+                {16, 32}, {32, 16}, {24, 24}, {32, 32}};
+    s.l1KbOptions = {128, 256, 384, 512};
+    s.ppuOptions = {8, 16, 32};
+    s.dataflowSets = {
+        {DataflowTag::MN},
+        {DataflowTag::ICOC},
+        {DataflowTag::MN, DataflowTag::ICOC},
+        {DataflowTag::MN, DataflowTag::ICOC, DataflowTag::OHOW},
+    };
+    return s;
+}
+
+CandidateSpace
+eyerissEquivalentSpace()
+{
+    CandidateSpace s;
+    s.base.freqGhz = 0.2;
+    s.base.name = "eyeriss-box";
+    // Exactly 168 FUs, Eyeriss-like aspect ratios.
+    s.arrays = {{12, 14}, {14, 12}, {8, 21}, {21, 8}, {6, 28}, {28, 6}};
+    s.l1KbOptions = {108, 128, 144, 168, 182};
+    s.ppuOptions = {4, 8};
+    s.dataflowSets = {
+        {DataflowTag::KHOH},
+        {DataflowTag::MN},
+        {DataflowTag::ICOC},
+        {DataflowTag::MN, DataflowTag::ICOC},
+        {DataflowTag::KHOH, DataflowTag::MN},
+    };
+    return s;
+}
+
+} // namespace dse
+} // namespace lego

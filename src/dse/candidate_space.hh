@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Enumerable hardware candidate space for DSE: the cross product of
+ * FU-array geometries, L1 capacities, PPU counts, and switchable
+ * dataflow sets over a base HardwareConfig template. Candidates are
+ * addressed by a dense index with mixed-radix decoding, which gives
+ * strategies a uniform handle for sampling and local mutation.
+ */
+
+#ifndef LEGO_DSE_CANDIDATE_SPACE_HH
+#define LEGO_DSE_CANDIDATE_SPACE_HH
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "sim/arch_config.hh"
+
+namespace lego
+{
+namespace dse
+{
+
+class CandidateSpace
+{
+  public:
+    /** Template for every field the axes below do not override. */
+    HardwareConfig base;
+
+    std::vector<std::pair<int, int>> arrays;    //!< (rows, cols).
+    std::vector<Int> l1KbOptions;               //!< L1 capacity (KB).
+    std::vector<int> ppuOptions;                //!< PPU counts.
+    std::vector<std::vector<DataflowTag>> dataflowSets;
+
+    /** Number of enumerable candidates (product of axis sizes). */
+    std::size_t size() const;
+
+    /** Materialize candidate `id` (panics when out of range). */
+    HardwareConfig decode(std::size_t id) const;
+
+    /** Mixed-radix axes: arrays, l1, ppus, dataflow sets. */
+    static constexpr std::size_t kAxes = 4;
+    std::size_t axisSize(std::size_t axis) const;
+
+    /**
+     * Step candidate `id` by `delta` along `axis` (clamped to the
+     * axis range). Used by the annealing refiner's local moves.
+     */
+    std::size_t neighbor(std::size_t id, std::size_t axis,
+                         int delta) const;
+};
+
+/**
+ * General-purpose space around the paper's 16x16 deployment point:
+ * square-ish arrays from 8x8 to 32x32, 128-512 KB L1, 8-32 PPUs, and
+ * the MN/ICOC switchable sets.
+ */
+CandidateSpace defaultSpace();
+
+/**
+ * Eyeriss-equivalent resource box for the Section VI-B(f) DSE
+ * experiment: every array geometry with exactly 168 FUs that fits a
+ * 12x14-ish aspect, the Eyeriss 108-182 KB buffer range, and the
+ * dataflow sets LEGO can switch between under those resources.
+ */
+CandidateSpace eyerissEquivalentSpace();
+
+} // namespace dse
+} // namespace lego
+
+#endif // LEGO_DSE_CANDIDATE_SPACE_HH

@@ -1,0 +1,155 @@
+#include "dse/cost_cache.hh"
+
+#include <cstring>
+
+namespace lego
+{
+namespace dse
+{
+
+namespace
+{
+
+std::uint64_t
+doubleBits(double d)
+{
+    std::uint64_t u = 0;
+    std::memcpy(&u, &d, sizeof(u));
+    return u;
+}
+
+} // namespace
+
+std::uint64_t
+CacheKey::computeHash() const
+{
+    std::uint64_t h = 1469598103934665603ull; // FNV offset basis.
+    for (std::uint64_t w : words) {
+        for (int b = 0; b < 8; ++b) {
+            h ^= (w >> (8 * b)) & 0xff;
+            h *= 1099511628211ull; // FNV prime.
+        }
+    }
+    return h;
+}
+
+CacheKey
+makeCacheKey(const HardwareConfig &hw, const Layer &l,
+             const Mapping &map)
+{
+    CacheKey key;
+    std::size_t i = 0;
+    auto put = [&](std::uint64_t w) {
+        if (i >= key.words.size())
+            panic("makeCacheKey: key word capacity exceeded — grow "
+                  "CacheKey::words for the newly keyed field");
+        key.words[i++] = w;
+    };
+
+    // Hardware (everything but the cosmetic name).
+    put(std::uint64_t(hw.rows));
+    put(std::uint64_t(hw.cols));
+    put(std::uint64_t(hw.l1Kb));
+    put(doubleBits(hw.freqGhz));
+    put(doubleBits(hw.dram.bandwidthGBs));
+    put(doubleBits(hw.dram.energyPerBytePj));
+    put(doubleBits(hw.dram.burstBytes));
+    put(std::uint64_t(hw.numPpus));
+    put(std::uint64_t(hw.dataBits));
+    put(std::uint64_t(hw.l2X));
+    put(std::uint64_t(hw.l2Y));
+    put(std::uint64_t(hw.naiveFusion));
+    // Ordered dataflow list, 4 bits per entry (tag + 1 so that an
+    // empty slot differs from DataflowTag 0).
+    std::uint64_t dfs = 0;
+    for (DataflowTag t : hw.dataflows)
+        dfs = (dfs << 4) | (std::uint64_t(t) + 1);
+    put(dfs);
+
+    // Layer shape (name and repeat excluded on purpose).
+    put(std::uint64_t(l.kind));
+    put(std::uint64_t(l.n));
+    put(std::uint64_t(l.ic));
+    put(std::uint64_t(l.oc));
+    put(std::uint64_t(l.oh));
+    put(std::uint64_t(l.ow));
+    put(std::uint64_t(l.kh));
+    put(std::uint64_t(l.kw));
+    put(std::uint64_t(l.stride));
+    put(std::uint64_t(l.m));
+    put(std::uint64_t(l.k));
+    put(std::uint64_t(l.nOut));
+    put(std::uint64_t(l.batchAmortized));
+    put(std::uint64_t(l.ppu));
+    put(std::uint64_t(l.elems));
+
+    // Mapping.
+    put(std::uint64_t(map.dataflow));
+    put(std::uint64_t(map.tm));
+    put(std::uint64_t(map.tn));
+    put(std::uint64_t(map.tk));
+    key.hashValue = key.computeHash();
+    return key;
+}
+
+CostCache::CostCache(int shards)
+{
+    int n = shards < 1 ? 1 : shards;
+    shards_.reserve(std::size_t(n));
+    for (int s = 0; s < n; ++s)
+        shards_.push_back(std::make_unique<Shard>());
+}
+
+CostCache::Shard &
+CostCache::shardFor(const CacheKey &key)
+{
+    return *shards_[std::size_t(key.hashValue) % shards_.size()];
+}
+
+bool
+CostCache::lookup(const CacheKey &key, LayerResult *out)
+{
+    Shard &s = shardFor(key);
+    std::lock_guard<std::mutex> lk(s.mu);
+    auto it = s.map.find(key);
+    if (it == s.map.end()) {
+        misses_.fetch_add(1, std::memory_order_relaxed);
+        return false;
+    }
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    *out = it->second;
+    return true;
+}
+
+void
+CostCache::insert(const CacheKey &key, const LayerResult &result)
+{
+    Shard &s = shardFor(key);
+    std::lock_guard<std::mutex> lk(s.mu);
+    s.map.emplace(key, result);
+}
+
+std::size_t
+CostCache::size() const
+{
+    std::size_t n = 0;
+    for (const auto &s : shards_) {
+        std::lock_guard<std::mutex> lk(s->mu);
+        n += s->map.size();
+    }
+    return n;
+}
+
+void
+CostCache::clear()
+{
+    for (auto &s : shards_) {
+        std::lock_guard<std::mutex> lk(s->mu);
+        s->map.clear();
+    }
+    hits_.store(0);
+    misses_.store(0);
+}
+
+} // namespace dse
+} // namespace lego

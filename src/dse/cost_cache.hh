@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Memoization cache for layer cost evaluations, keyed on the exact
+ * (hardware, layer shape, mapping) triple. Repeated layer shapes —
+ * e.g. ResNet50's repeated bottleneck blocks or the per-head
+ * attention GEMMs — are costed once and shared across DSE worker
+ * threads through sharded hash maps (one mutex per shard, keys
+ * distributed by hash so contention stays low).
+ *
+ * Layer *names* and repeat counts are deliberately excluded from the
+ * key: two layers with identical shapes hit the same entry even when
+ * the model zoo lists them as distinct instances.
+ */
+
+#ifndef LEGO_DSE_COST_CACHE_HH
+#define LEGO_DSE_COST_CACHE_HH
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/perf.hh"
+
+namespace lego
+{
+namespace dse
+{
+
+/**
+ * Canonical serialization of everything runLayer/archCost read from
+ * (HardwareConfig, Layer, Mapping). Exact-match equality: a hash
+ * collision can never return a wrong result.
+ */
+struct CacheKey
+{
+    std::array<std::uint64_t, 32> words{};
+    std::uint64_t hashValue = 0; //!< Filled once by makeCacheKey.
+
+    bool operator==(const CacheKey &o) const { return words == o.words; }
+
+    /** 64-bit FNV-1a over the canonical words. */
+    std::uint64_t computeHash() const;
+};
+
+struct CacheKeyHash
+{
+    std::size_t operator()(const CacheKey &k) const
+    {
+        return std::size_t(k.hashValue);
+    }
+};
+
+/** Build the canonical key for one evaluation. */
+CacheKey makeCacheKey(const HardwareConfig &hw, const Layer &l,
+                      const Mapping &map);
+
+/** Sharded, thread-safe (key -> LayerResult) memo table. */
+class CostCache
+{
+  public:
+    explicit CostCache(int shards = 16);
+
+    /** Returns true and fills *out on a hit (counts a hit/miss). */
+    bool lookup(const CacheKey &key, LayerResult *out);
+
+    /** Insert (first writer wins; duplicates are identical anyway). */
+    void insert(const CacheKey &key, const LayerResult &result);
+
+    std::uint64_t hits() const { return hits_.load(); }
+    std::uint64_t misses() const { return misses_.load(); }
+    std::size_t size() const;
+    void clear();
+
+  private:
+    struct Shard
+    {
+        std::mutex mu;
+        std::unordered_map<CacheKey, LayerResult, CacheKeyHash> map;
+    };
+
+    Shard &shardFor(const CacheKey &key);
+
+    std::vector<std::unique_ptr<Shard>> shards_;
+    std::atomic<std::uint64_t> hits_{0};
+    std::atomic<std::uint64_t> misses_{0};
+};
+
+} // namespace dse
+} // namespace lego
+
+#endif // LEGO_DSE_COST_CACHE_HH

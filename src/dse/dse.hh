@@ -1,0 +1,27 @@
+/**
+ * @file
+ * Umbrella header of the design-space exploration subsystem.
+ *
+ *   using namespace lego;
+ *   dse::DseOptions opt;
+ *   opt.threads = 8;
+ *   opt.strategy = dse::StrategyKind::Exhaustive;
+ *   dse::DseEngine engine(opt);
+ *   dse::DseResult r = engine.explore(dse::defaultSpace(),
+ *                                     makeResNet50());
+ *   for (const dse::DsePoint &p : r.archive.sorted())
+ *       ...; // (latency, energy, area) frontier
+ */
+
+#ifndef LEGO_DSE_DSE_HH
+#define LEGO_DSE_DSE_HH
+
+#include "dse/candidate_space.hh"
+#include "dse/cost_cache.hh"
+#include "dse/engine.hh"
+#include "dse/evaluator.hh"
+#include "dse/pareto.hh"
+#include "dse/strategy.hh"
+#include "dse/worker_pool.hh"
+
+#endif // LEGO_DSE_DSE_HH

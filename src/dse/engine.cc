@@ -1,0 +1,91 @@
+#include "dse/engine.hh"
+
+#include <chrono>
+#include <unordered_set>
+
+namespace lego
+{
+namespace dse
+{
+
+DseEngine::DseEngine(DseOptions opt)
+    : opt_(opt), cache_(), pool_(opt.threads), evaluator_(&cache_)
+{}
+
+DseResult
+DseEngine::explore(const CandidateSpace &space, const Model &m)
+{
+    auto t0 = std::chrono::steady_clock::now();
+    DseResult res;
+    std::uint64_t hits0 = cache_.hits(), misses0 = cache_.misses();
+
+    StrategyOptions sopt;
+    sopt.seed = opt_.seed;
+    sopt.samples = opt_.samples;
+    sopt.rounds = opt_.rounds;
+    std::unique_ptr<Strategy> strat =
+        makeStrategy(opt_.strategy, sopt);
+
+    // Every candidate is scored at most once per explore() call;
+    // strategies are free to re-propose ids.
+    std::unordered_set<std::size_t> evaluated;
+
+    for (;;) {
+        std::vector<std::size_t> batch =
+            strat->nextBatch(space, res.archive);
+        if (batch.empty())
+            break;
+        res.stats.proposed += batch.size();
+
+        // Fresh ids only, preserving proposal order.
+        std::vector<std::size_t> fresh;
+        for (std::size_t id : batch) {
+            if (evaluated.count(id))
+                continue;
+            if (opt_.maxEvals &&
+                res.stats.evaluated + fresh.size() >= opt_.maxEvals)
+                break;
+            evaluated.insert(id);
+            fresh.push_back(id);
+        }
+
+        // Fan the batch across the pool; each slot is written by
+        // exactly one worker.
+        std::vector<DsePoint> points(fresh.size());
+        pool_.parallelFor(fresh.size(), [&](std::size_t i) {
+            points[i] =
+                evaluator_.evaluate(space.decode(fresh[i]), m,
+                                    fresh[i]);
+        });
+
+        // Ordered reduction: archive updates in proposal order.
+        for (const DsePoint &p : points)
+            res.archive.insert(p);
+        res.stats.evaluated += fresh.size();
+        if (opt_.maxEvals && res.stats.evaluated >= opt_.maxEvals)
+            break;
+    }
+
+    res.stats.cacheHits = cache_.hits() - hits0;
+    res.stats.cacheMisses = cache_.misses() - misses0;
+    res.stats.wallSeconds =
+        std::chrono::duration<double>(
+            std::chrono::steady_clock::now() - t0)
+            .count();
+    return res;
+}
+
+ScheduleResult
+DseEngine::mapModel(const HardwareConfig &hw, const Model &m)
+{
+    return evaluator_.mapModel(hw, m, &pool_);
+}
+
+DsePoint
+DseEngine::evaluate(const HardwareConfig &hw, const Model &m)
+{
+    return evaluator_.evaluate(hw, m);
+}
+
+} // namespace dse
+} // namespace lego

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * DseEngine: the front door of the design-space exploration
+ * subsystem. Drives a pluggable strategy over a CandidateSpace, fans
+ * each proposed batch across a WorkerPool, scores candidates through
+ * the Evaluator (performance model + chip cost roll-up) with a
+ * shared memoization cache, and folds results into a Pareto archive
+ * over (latency, energy, area).
+ *
+ * Determinism contract: for a fixed (space, model, options.seed,
+ * strategy), the resulting frontier is identical for ANY worker
+ * count. Randomness is confined to the strategy (reduction thread),
+ * evaluations are pure functions of the candidate, and reductions
+ * happen in proposal order.
+ */
+
+#ifndef LEGO_DSE_ENGINE_HH
+#define LEGO_DSE_ENGINE_HH
+
+#include "dse/evaluator.hh"
+#include "dse/strategy.hh"
+
+namespace lego
+{
+namespace dse
+{
+
+struct DseOptions
+{
+    int threads = 1;               //!< Worker pool size.
+    StrategyKind strategy = StrategyKind::Exhaustive;
+    std::uint64_t seed = 0x1e90ull;
+    std::size_t samples = 64;      //!< Random/Anneal batch size.
+    int rounds = 6;                //!< Anneal mutation rounds.
+    std::size_t maxEvals = 0;      //!< 0 = unlimited.
+};
+
+struct DseStats
+{
+    std::size_t proposed = 0;  //!< Ids proposed by the strategy.
+    std::size_t evaluated = 0; //!< Unique candidates actually scored.
+    std::uint64_t cacheHits = 0;
+    std::uint64_t cacheMisses = 0;
+    double wallSeconds = 0;
+};
+
+struct DseResult
+{
+    ParetoArchive archive;
+    DseStats stats;
+};
+
+class DseEngine
+{
+  public:
+    explicit DseEngine(DseOptions opt = {});
+
+    /** Explore the hardware space against a model. */
+    DseResult explore(const CandidateSpace &space, const Model &m);
+
+    /**
+     * Mapping-space search on a fixed hardware instance: map every
+     * layer via the memoized sweep, fanned across the pool.
+     * Equivalent to scheduleModel(hw, m) but parallel and cached.
+     */
+    ScheduleResult mapModel(const HardwareConfig &hw, const Model &m);
+
+    /** Score one explicit configuration as a DSE point. */
+    DsePoint evaluate(const HardwareConfig &hw, const Model &m);
+
+    const DseOptions &options() const { return opt_; }
+    CostCache &cache() { return cache_; }
+    WorkerPool &pool() { return pool_; }
+
+  private:
+    DseOptions opt_;
+    CostCache cache_;
+    WorkerPool pool_;
+    Evaluator evaluator_;
+};
+
+} // namespace dse
+} // namespace lego
+
+#endif // LEGO_DSE_ENGINE_HH

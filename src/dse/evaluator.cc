@@ -1,0 +1,163 @@
+#include "dse/evaluator.hh"
+
+#include <algorithm>
+#include <limits>
+
+namespace lego
+{
+namespace dse
+{
+
+namespace
+{
+
+/** Candidate tile sizes: geometric ladder up to the dim. */
+std::vector<Int>
+tileCandidates(Int dim)
+{
+    std::vector<Int> out;
+    for (Int t = 16; t < dim; t *= 4)
+        out.push_back(t);
+    out.push_back(dim);
+    return out;
+}
+
+/** Does the tile fit the L1 buffers (double-buffered)? */
+bool
+fitsL1(const HardwareConfig &hw, Int tm, Int tn, Int tk)
+{
+    Int bytes = tm * tk + tk * tn + tm * tn * 3; // 24-bit partials.
+    return 2 * bytes <= hw.l1Kb * 1024;
+}
+
+/** The mapper's tie-breaking order on layer results. */
+bool
+betterResult(const LayerResult &r, const LayerResult &best)
+{
+    return r.cycles < best.cycles ||
+           (r.cycles == best.cycles && r.energyPj < best.energyPj) ||
+           (r.cycles == best.cycles && r.energyPj == best.energyPj &&
+            r.utilization > best.utilization);
+}
+
+} // namespace
+
+std::vector<Mapping>
+mappingCandidates(const HardwareConfig &hw, const Layer &l)
+{
+    std::vector<Mapping> out;
+    if (!l.isTensorOp())
+        return out;
+    const Int m = l.gemmM(), n = l.gemmN(), k = l.gemmK();
+    for (DataflowTag df : hw.dataflows)
+        for (Int tm : tileCandidates(m))
+            for (Int tn : tileCandidates(n))
+                for (Int tk : tileCandidates(k)) {
+                    if (!fitsL1(hw, std::min(tm, m), std::min(tn, n),
+                                std::min(tk, k)))
+                        continue;
+                    out.push_back(Mapping{df, tm, tn, tk});
+                }
+    return out;
+}
+
+LayerResult
+Evaluator::scoredRunLayer(const HardwareConfig &hw, const Layer &l,
+                          const Mapping &map, double spatialEff) const
+{
+    if (!cache_)
+        return runLayerWithEff(hw, l, map, spatialEff);
+    CacheKey key = makeCacheKey(hw, l, map);
+    LayerResult res;
+    if (cache_->lookup(key, &res))
+        return res;
+    res = runLayerWithEff(hw, l, map, spatialEff);
+    cache_->insert(key, res);
+    return res;
+}
+
+MappedLayer
+Evaluator::searchMapping(const HardwareConfig &hw,
+                         const Layer &l) const
+{
+    MappedLayer best;
+    best.result.cycles = std::numeric_limits<Int>::max();
+    if (!l.isTensorOp()) {
+        best.result = runPpuLayer(hw, l);
+        return best;
+    }
+
+    // Candidates come dataflow-major, so the spatial efficiency is
+    // memoized once per dataflow and shared by all of its tilings.
+    bool haveSe = false;
+    DataflowTag seDf = DataflowTag::MN;
+    double se = 0;
+    for (const Mapping &map : mappingCandidates(hw, l)) {
+        if (!haveSe || map.dataflow != seDf) {
+            seDf = map.dataflow;
+            se = spatialEfficiency(hw, l, seDf);
+            haveSe = true;
+        }
+        LayerResult r = scoredRunLayer(hw, l, map, se);
+        if (betterResult(r, best.result)) {
+            best.mapping = map;
+            best.result = r;
+        }
+    }
+    if (best.result.cycles == std::numeric_limits<Int>::max()) {
+        // Nothing fit: smallest tiles as a fallback.
+        Mapping map{hw.dataflows.front(), 16, 16, 16};
+        best.mapping = map;
+        best.result = scoredRunLayer(
+            hw, l, map, spatialEfficiency(hw, l, map.dataflow));
+    }
+    return best;
+}
+
+ScheduleResult
+Evaluator::mapModel(const HardwareConfig &hw, const Model &m,
+                    WorkerPool *pool) const
+{
+    ScheduleResult out;
+    std::vector<MappedLayer> mapped(m.layers.size());
+    auto mapOne = [&](std::size_t i) {
+        mapped[i] = searchMapping(hw, m.layers[i]);
+    };
+    if (pool) {
+        pool->parallelFor(m.layers.size(), mapOne);
+    } else {
+        for (std::size_t i = 0; i < m.layers.size(); ++i)
+            mapOne(i);
+    }
+    // Ordered reduction: aggregate in layer order regardless of the
+    // order workers finished in.
+    for (std::size_t i = 0; i < m.layers.size(); ++i) {
+        const Layer &l = m.layers[i];
+        accumulate(out.summary, mapped[i].result, l.isTensorOp(),
+                   l.repeat);
+        out.perLayer.push_back(std::move(mapped[i]));
+    }
+    return out;
+}
+
+DsePoint
+Evaluator::evaluate(const HardwareConfig &hw, const Model &m,
+                    std::size_t id) const
+{
+    DsePoint p;
+    p.id = id;
+    p.hw = hw;
+    // Per-candidate work stays on the calling worker thread; the
+    // memo cache already de-duplicates across candidates and layers.
+    ScheduleResult sched = mapModel(hw, m, nullptr);
+    ChipCost cost = archCost(hw);
+    p.latencyCycles = double(sched.summary.totalCycles);
+    p.energyPj = sched.summary.totalEnergyPj;
+    p.areaMm2 = cost.totalAreaMm2();
+    p.powerMw = cost.totalPowerMw();
+    p.summary = sched.summary;
+    return p;
+}
+
+} // namespace dse
+} // namespace lego

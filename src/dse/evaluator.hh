@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Candidate evaluation engine: scores hardware candidates through the
+ * existing layer performance model (runLayer) and chip cost roll-up
+ * (archCost). Owns the per-layer mapping sweep that used to live in
+ * mapper::mapLayer — the mapper is now a thin client of this code —
+ * with two accelerations:
+ *
+ *  - spatialEfficiency is computed once per (hw, layer, dataflow)
+ *    and shared by every tiling candidate of that dataflow;
+ *  - each (hw, layer, mapping) evaluation is memoized in an optional
+ *    CostCache shared across DSE worker threads.
+ */
+
+#ifndef LEGO_DSE_EVALUATOR_HH
+#define LEGO_DSE_EVALUATOR_HH
+
+#include "dse/cost_cache.hh"
+#include "dse/pareto.hh"
+#include "dse/worker_pool.hh"
+#include "model/models.hh"
+
+namespace lego
+{
+namespace dse
+{
+
+/**
+ * Candidate tiling/dataflow mappings for one tensor layer on one
+ * hardware instance, in the canonical sweep order (dataflow-major,
+ * then tm/tn/tk). Non-tensor layers have no mappings.
+ */
+std::vector<Mapping> mappingCandidates(const HardwareConfig &hw,
+                                       const Layer &l);
+
+class Evaluator
+{
+  public:
+    /** cache may be null: every evaluation is then computed fresh. */
+    explicit Evaluator(CostCache *cache = nullptr) : cache_(cache) {}
+
+    /**
+     * Sweep the layer's mapping candidates and keep the best
+     * (cycles, then energy, then utilization — the paper's VI-A
+     * mapping search).
+     */
+    MappedLayer searchMapping(const HardwareConfig &hw,
+                              const Layer &l) const;
+
+    /**
+     * Map every layer of the model, fanning the per-layer sweeps
+     * across `pool` (inline when null), and aggregate — equivalent
+     * to scheduleModel but parallel and memoized.
+     */
+    ScheduleResult mapModel(const HardwareConfig &hw, const Model &m,
+                            WorkerPool *pool = nullptr) const;
+
+    /** Score one hardware candidate on a model as a DSE point. */
+    DsePoint evaluate(const HardwareConfig &hw, const Model &m,
+                      std::size_t id = 0) const;
+
+    CostCache *cache() const { return cache_; }
+
+  private:
+    LayerResult scoredRunLayer(const HardwareConfig &hw,
+                               const Layer &l, const Mapping &map,
+                               double spatialEff) const;
+
+    CostCache *cache_;
+};
+
+} // namespace dse
+} // namespace lego
+
+#endif // LEGO_DSE_EVALUATOR_HH

@@ -1,0 +1,126 @@
+#include "dse/pareto.hh"
+
+#include <algorithm>
+
+namespace lego
+{
+namespace dse
+{
+
+bool
+dominates(const DsePoint &a, const DsePoint &b)
+{
+    bool noWorse = a.latencyCycles <= b.latencyCycles &&
+                   a.energyPj <= b.energyPj && a.areaMm2 <= b.areaMm2;
+    bool strictlyBetter = a.latencyCycles < b.latencyCycles ||
+                          a.energyPj < b.energyPj ||
+                          a.areaMm2 < b.areaMm2;
+    return noWorse && strictlyBetter;
+}
+
+bool
+ParetoArchive::insert(const DsePoint &p)
+{
+    for (const DsePoint &q : points_) {
+        if (dominates(q, p))
+            return false;
+        // Objective-space duplicate: keep the incumbent so the
+        // archive does not accumulate ties.
+        if (q.latencyCycles == p.latencyCycles &&
+            q.energyPj == p.energyPj && q.areaMm2 == p.areaMm2)
+            return false;
+    }
+    points_.erase(std::remove_if(points_.begin(), points_.end(),
+                                 [&](const DsePoint &q) {
+                                     return dominates(p, q);
+                                 }),
+                  points_.end());
+    points_.push_back(p);
+    return true;
+}
+
+std::vector<DsePoint>
+ParetoArchive::sorted() const
+{
+    std::vector<DsePoint> out = points_;
+    std::sort(out.begin(), out.end(),
+              [](const DsePoint &a, const DsePoint &b) {
+                  if (a.latencyCycles != b.latencyCycles)
+                      return a.latencyCycles < b.latencyCycles;
+                  if (a.energyPj != b.energyPj)
+                      return a.energyPj < b.energyPj;
+                  if (a.areaMm2 != b.areaMm2)
+                      return a.areaMm2 < b.areaMm2;
+                  return a.id < b.id;
+              });
+    return out;
+}
+
+namespace
+{
+
+template <class Less>
+const DsePoint *
+extreme(const std::vector<DsePoint> &pts, Less less)
+{
+    const DsePoint *best = nullptr;
+    for (const DsePoint &p : pts)
+        if (!best || less(p, *best))
+            best = &p;
+    return best;
+}
+
+} // namespace
+
+const DsePoint *
+ParetoArchive::bestLatency() const
+{
+    return extreme(points_, [](const DsePoint &a, const DsePoint &b) {
+        return a.latencyCycles != b.latencyCycles
+                   ? a.latencyCycles < b.latencyCycles
+                   : a.id < b.id;
+    });
+}
+
+const DsePoint *
+ParetoArchive::bestEnergy() const
+{
+    return extreme(points_, [](const DsePoint &a, const DsePoint &b) {
+        return a.energyPj != b.energyPj ? a.energyPj < b.energyPj
+                                        : a.id < b.id;
+    });
+}
+
+const DsePoint *
+ParetoArchive::bestArea() const
+{
+    return extreme(points_, [](const DsePoint &a, const DsePoint &b) {
+        return a.areaMm2 != b.areaMm2 ? a.areaMm2 < b.areaMm2
+                                      : a.id < b.id;
+    });
+}
+
+const DsePoint *
+ParetoArchive::bestUnderLatency(double latencyBound,
+                                int objective) const
+{
+    auto metric = [objective](const DsePoint &p) {
+        switch (objective) {
+          case 1: return p.areaMm2;
+          case 2: return p.powerMw;
+          default: return p.energyPj;
+        }
+    };
+    const DsePoint *best = nullptr;
+    for (const DsePoint &p : points_) {
+        if (p.latencyCycles > latencyBound)
+            continue;
+        if (!best || metric(p) < metric(*best) ||
+            (metric(p) == metric(*best) && p.id < best->id))
+            best = &p;
+    }
+    return best;
+}
+
+} // namespace dse
+} // namespace lego

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Pareto archive over the (latency, energy, area) objective space.
+ * The archive keeps only mutually non-dominated candidates: inserting
+ * a point prunes every archived point it dominates, and a point
+ * dominated by the archive is rejected. Insertions happen on the
+ * engine's reduction thread in candidate order, so the archive is
+ * deterministic for a fixed candidate stream regardless of how many
+ * workers produced the evaluations.
+ */
+
+#ifndef LEGO_DSE_PARETO_HH
+#define LEGO_DSE_PARETO_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "mapper/schedule.hh"
+
+namespace lego
+{
+namespace dse
+{
+
+/** One evaluated design point. */
+struct DsePoint
+{
+    std::size_t id = 0;      //!< Candidate index in its space.
+    HardwareConfig hw;       //!< Decoded configuration.
+    double latencyCycles = 0;
+    double energyPj = 0;
+    double areaMm2 = 0;
+    double powerMw = 0;      //!< Chip power roll-up (reporting only).
+    RunSummary summary;      //!< Full run aggregate (reporting only).
+};
+
+/**
+ * a dominates b iff a is no worse in every objective and strictly
+ * better in at least one (minimizing latency, energy, and area).
+ */
+bool dominates(const DsePoint &a, const DsePoint &b);
+
+class ParetoArchive
+{
+  public:
+    /**
+     * Try to add a point. Returns false if an archived point
+     * dominates it (or duplicates its objectives); otherwise prunes
+     * every point it dominates and keeps it.
+     */
+    bool insert(const DsePoint &p);
+
+    const std::vector<DsePoint> &points() const { return points_; }
+    std::size_t size() const { return points_.size(); }
+    bool empty() const { return points_.empty(); }
+
+    /** Points ordered by (latency, energy, area, id) — stable across
+     *  insertion orders of the same point set. */
+    std::vector<DsePoint> sorted() const;
+
+    /** @name Extreme points (null when empty). @{ */
+    const DsePoint *bestLatency() const;
+    const DsePoint *bestEnergy() const;
+    const DsePoint *bestArea() const;
+    /** @} */
+
+    /**
+     * Cheapest point in `objective` among points whose latency is at
+     * most `latencyBound` (null when none qualify). objective: 0 =
+     * energy, 1 = area, 2 = power.
+     */
+    const DsePoint *bestUnderLatency(double latencyBound,
+                                     int objective) const;
+
+  private:
+    std::vector<DsePoint> points_;
+};
+
+} // namespace dse
+} // namespace lego
+
+#endif // LEGO_DSE_PARETO_HH

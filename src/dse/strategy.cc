@@ -1,0 +1,177 @@
+#include "dse/strategy.hh"
+
+#include <algorithm>
+#include <set>
+
+namespace lego
+{
+namespace dse
+{
+
+std::uint64_t
+SplitMix64::next()
+{
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+std::uint64_t
+SplitMix64::below(std::uint64_t bound)
+{
+    // Modulo bias is irrelevant at DSE space sizes (<< 2^32).
+    return next() % bound;
+}
+
+double
+SplitMix64::unit()
+{
+    return double(next() >> 11) * (1.0 / 9007199254740992.0);
+}
+
+std::string
+strategyName(StrategyKind k)
+{
+    switch (k) {
+      case StrategyKind::Exhaustive: return "exhaustive";
+      case StrategyKind::Random: return "random";
+      case StrategyKind::Anneal: return "anneal";
+    }
+    return "?";
+}
+
+namespace
+{
+
+/** Distinct uniform draws from [0, n), in draw order. */
+std::vector<std::size_t>
+sampleWithoutReplacement(SplitMix64 &rng, std::size_t n,
+                         std::size_t want)
+{
+    want = std::min(want, n);
+    std::set<std::size_t> picked;
+    std::vector<std::size_t> out;
+    while (out.size() < want) {
+        std::size_t id = std::size_t(rng.below(n));
+        if (picked.insert(id).second)
+            out.push_back(id);
+    }
+    return out;
+}
+
+class ExhaustiveStrategy : public Strategy
+{
+  public:
+    std::vector<std::size_t>
+    nextBatch(const CandidateSpace &space, const ParetoArchive &) override
+    {
+        if (done_)
+            return {};
+        done_ = true;
+        std::vector<std::size_t> out(space.size());
+        for (std::size_t i = 0; i < out.size(); ++i)
+            out[i] = i;
+        return out;
+    }
+
+  private:
+    bool done_ = false;
+};
+
+class RandomStrategy : public Strategy
+{
+  public:
+    explicit RandomStrategy(const StrategyOptions &opt)
+        : rng_(opt.seed), samples_(opt.samples)
+    {}
+
+    std::vector<std::size_t>
+    nextBatch(const CandidateSpace &space, const ParetoArchive &) override
+    {
+        if (done_)
+            return {};
+        done_ = true;
+        return sampleWithoutReplacement(rng_, space.size(), samples_);
+    }
+
+  private:
+    SplitMix64 rng_;
+    std::size_t samples_;
+    bool done_ = false;
+};
+
+/**
+ * Simulated-annealing-flavoured refiner: a random seed population,
+ * then rounds of local mutations of archive members. Early rounds
+ * take long strides across each axis (high temperature); later
+ * rounds settle to +/-1 neighbours. The Pareto archive plays the
+ * acceptance role — a worse candidate simply fails to enter it.
+ */
+class AnnealStrategy : public Strategy
+{
+  public:
+    explicit AnnealStrategy(const StrategyOptions &opt)
+        : rng_(opt.seed), samples_(opt.samples), rounds_(opt.rounds)
+    {}
+
+    std::vector<std::size_t>
+    nextBatch(const CandidateSpace &space,
+              const ParetoArchive &archive) override
+    {
+        std::size_t n = space.size();
+        if (n == 0 || round_ > rounds_)
+            return {};
+        std::vector<std::size_t> out;
+        if (round_ == 0) {
+            // Seed round: uniform population.
+            out = sampleWithoutReplacement(rng_, n, samples_);
+        } else {
+            // Mutation round: perturb the current frontier. The
+            // sorted() order makes parent choice deterministic.
+            std::vector<DsePoint> parents = archive.sorted();
+            if (parents.empty())
+                return {};
+            double temp =
+                1.0 - double(round_ - 1) / double(std::max(1, rounds_));
+            int stride = std::max(1, int(3.0 * temp));
+            for (std::size_t i = 0; i < samples_; ++i) {
+                const DsePoint &p =
+                    parents[std::size_t(rng_.below(parents.size()))];
+                std::size_t axis =
+                    std::size_t(rng_.below(CandidateSpace::kAxes));
+                int delta = int(rng_.below(std::uint64_t(stride))) + 1;
+                if (rng_.unit() < 0.5)
+                    delta = -delta;
+                out.push_back(space.neighbor(p.id, axis, delta));
+            }
+        }
+        ++round_;
+        return out;
+    }
+
+  private:
+    SplitMix64 rng_;
+    std::size_t samples_;
+    int rounds_;
+    int round_ = 0;
+};
+
+} // namespace
+
+std::unique_ptr<Strategy>
+makeStrategy(StrategyKind kind, const StrategyOptions &opt)
+{
+    switch (kind) {
+      case StrategyKind::Exhaustive:
+        return std::make_unique<ExhaustiveStrategy>();
+      case StrategyKind::Random:
+        return std::make_unique<RandomStrategy>(opt);
+      case StrategyKind::Anneal:
+        return std::make_unique<AnnealStrategy>(opt);
+    }
+    return nullptr;
+}
+
+} // namespace dse
+} // namespace lego

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Pluggable search strategies for the DSE engine. A strategy proposes
+ * rounds (batches) of candidate ids; the engine evaluates each round
+ * in parallel, folds the results into the Pareto archive in proposal
+ * order, and hands the updated archive back for the next round. All
+ * randomness lives in the strategy's own SplitMix64 stream, which is
+ * advanced only on the engine's reduction thread — results are
+ * therefore identical for any worker count.
+ */
+
+#ifndef LEGO_DSE_STRATEGY_HH
+#define LEGO_DSE_STRATEGY_HH
+
+#include <cstdint>
+#include <memory>
+
+#include "dse/candidate_space.hh"
+#include "dse/pareto.hh"
+
+namespace lego
+{
+namespace dse
+{
+
+/** Deterministic 64-bit PRNG (SplitMix64). */
+class SplitMix64
+{
+  public:
+    explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+    std::uint64_t next();
+    /** Uniform in [0, bound); bound must be > 0. */
+    std::uint64_t below(std::uint64_t bound);
+    /** Uniform in [0, 1). */
+    double unit();
+
+  private:
+    std::uint64_t state_;
+};
+
+enum class StrategyKind
+{
+    Exhaustive, //!< Every candidate in index order.
+    Random,     //!< Fixed-size uniform sample without replacement.
+    Anneal,     //!< Random seed population + local mutation rounds.
+};
+
+std::string strategyName(StrategyKind k);
+
+class Strategy
+{
+  public:
+    virtual ~Strategy() = default;
+
+    /**
+     * Propose the next batch of candidate ids (duplicates allowed;
+     * the engine de-duplicates against everything already
+     * evaluated). An empty batch ends the search.
+     */
+    virtual std::vector<std::size_t>
+    nextBatch(const CandidateSpace &space,
+              const ParetoArchive &archive) = 0;
+};
+
+/** Tuning knobs shared by the stochastic strategies. */
+struct StrategyOptions
+{
+    std::uint64_t seed = 0x1e90ull;
+    std::size_t samples = 64; //!< Random: total; Anneal: per round.
+    int rounds = 6;           //!< Anneal rounds after the seed round.
+};
+
+std::unique_ptr<Strategy> makeStrategy(StrategyKind kind,
+                                       const StrategyOptions &opt);
+
+} // namespace dse
+} // namespace lego
+
+#endif // LEGO_DSE_STRATEGY_HH

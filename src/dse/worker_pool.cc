@@ -1,0 +1,99 @@
+#include "dse/worker_pool.hh"
+
+#include <algorithm>
+
+namespace lego
+{
+namespace dse
+{
+
+WorkerPool::WorkerPool(int threads)
+    : numThreads_(std::max(1, threads))
+{
+    if (numThreads_ <= 1)
+        return;
+    workers_.reserve(std::size_t(numThreads_));
+    for (int i = 0; i < numThreads_; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+WorkerPool::~WorkerPool()
+{
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        stop_ = true;
+    }
+    workCv_.notify_all();
+    for (std::thread &t : workers_)
+        t.join();
+}
+
+void
+WorkerPool::workerLoop()
+{
+    std::uint64_t seen = 0;
+    for (;;) {
+        std::shared_ptr<Job> job;
+        {
+            std::unique_lock<std::mutex> lk(mu_);
+            workCv_.wait(lk, [&] {
+                return stop_ || (generation_ != seen && job_);
+            });
+            if (stop_)
+                return;
+            seen = generation_;
+            job = job_; // Pin THIS job; a newer one can't be stolen.
+            ++running_;
+        }
+        for (;;) {
+            std::size_t i = job->next.fetch_add(1);
+            if (i >= job->n)
+                break;
+            try {
+                (*job->fn)(i);
+            } catch (...) {
+                std::lock_guard<std::mutex> lk(mu_);
+                if (!error_)
+                    error_ = std::current_exception();
+            }
+        }
+        {
+            std::lock_guard<std::mutex> lk(mu_);
+            if (--running_ == 0)
+                doneCv_.notify_all();
+        }
+    }
+}
+
+void
+WorkerPool::parallelFor(std::size_t n,
+                        const std::function<void(std::size_t)> &fn)
+{
+    if (n == 0)
+        return;
+    if (workers_.empty()) {
+        for (std::size_t i = 0; i < n; ++i)
+            fn(i);
+        return;
+    }
+    auto job = std::make_shared<Job>();
+    job->fn = &fn;
+    job->n = n;
+    std::unique_lock<std::mutex> lk(mu_);
+    job_ = job;
+    error_ = nullptr;
+    ++generation_;
+    workCv_.notify_all();
+    // Complete when every index was claimed and every worker that
+    // claimed one checked back in. Stragglers that wake after this
+    // point drain the exhausted job's counter and touch nothing else.
+    doneCv_.wait(lk, [&] {
+        return running_ == 0 && job->next.load() >= job->n;
+    });
+    job_ = nullptr;
+    if (error_)
+        std::rethrow_exception(error_);
+}
+
+} // namespace dse
+} // namespace lego

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Fixed-size std::thread worker pool used by the DSE engine to fan
+ * candidate evaluations out. Work items are indexed [0, n) and every
+ * result is written to its own slot, so reductions are ordered and the
+ * outcome is identical for any worker count (the determinism
+ * requirement of the DSE engine).
+ */
+
+#ifndef LEGO_DSE_WORKER_POOL_HH
+#define LEGO_DSE_WORKER_POOL_HH
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace lego
+{
+namespace dse
+{
+
+/**
+ * Persistent pool of worker threads. A pool built with `threads <= 1`
+ * spawns no threads and runs every job inline, so single-threaded
+ * runs are plain serial execution (the reference for determinism
+ * tests).
+ */
+class WorkerPool
+{
+  public:
+    explicit WorkerPool(int threads);
+    ~WorkerPool();
+
+    WorkerPool(const WorkerPool &) = delete;
+    WorkerPool &operator=(const WorkerPool &) = delete;
+
+    /** Configured parallelism (>= 1). */
+    int threads() const { return numThreads_; }
+
+    /**
+     * Run fn(i) for every i in [0, n). Indices are claimed atomically
+     * by idle workers; the call returns once all n items completed.
+     * The first exception thrown by any item is rethrown here.
+     */
+    void parallelFor(std::size_t n,
+                     const std::function<void(std::size_t)> &fn);
+
+    /** parallelFor that collects fn(i) into an index-ordered vector. */
+    template <class T, class F>
+    std::vector<T>
+    parallelMap(std::size_t n, F &&fn)
+    {
+        std::vector<T> out(n);
+        parallelFor(n, [&](std::size_t i) { out[i] = fn(i); });
+        return out;
+    }
+
+  private:
+    /**
+     * One parallelFor invocation. Each job carries its own claim
+     * counter, so a worker that wakes late for an old generation can
+     * only drain its own (already exhausted) job — it can never steal
+     * or corrupt indices of a newer job.
+     */
+    struct Job
+    {
+        const std::function<void(std::size_t)> *fn = nullptr;
+        std::size_t n = 0;
+        std::atomic<std::size_t> next{0};
+    };
+
+    void workerLoop();
+
+    int numThreads_ = 1;
+    std::vector<std::thread> workers_;
+
+    std::mutex mu_;
+    std::condition_variable workCv_;  //!< Signals a new job generation.
+    std::condition_variable doneCv_;  //!< Signals job completion.
+    std::shared_ptr<Job> job_;        //!< Current job (null when idle).
+    std::uint64_t generation_ = 0;
+    std::size_t running_ = 0;         //!< Workers inside a job.
+    bool stop_ = false;
+    std::exception_ptr error_;
+};
+
+} // namespace dse
+} // namespace lego
+
+#endif // LEGO_DSE_WORKER_POOL_HH

@@ -19,6 +19,15 @@
  *   HardwareConfig hw;                       // 16x16, 256 KB, ...
  *   ScheduleResult r = scheduleModel(hw, makeResNet50());
  *   double gops = r.summary.gops(hw.freqGhz);
+ *
+ * Design-space exploration flow (see src/dse/README.md):
+ *
+ *   dse::DseOptions opt;                     // threads, seed, ...
+ *   opt.threads = 8;
+ *   dse::DseEngine engine(opt);              // memoized cost cache
+ *   dse::DseResult d = engine.explore(dse::defaultSpace(),
+ *                                     makeResNet50());
+ *   const dse::DsePoint *fast = d.archive.bestLatency();
  */
 
 #ifndef LEGO_LEGO_HH
@@ -33,6 +42,7 @@
 #include "core/dataflow.hh"
 #include "core/reference.hh"
 #include "core/workload.hh"
+#include "dse/dse.hh"
 #include "frontend/frontend.hh"
 #include "mapper/schedule.hh"
 #include "model/models.hh"

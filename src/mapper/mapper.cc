@@ -1,78 +1,17 @@
 #include "mapper/mapper.hh"
 
-#include <algorithm>
+#include "dse/evaluator.hh"
 
 namespace lego
 {
 
-namespace
-{
-
-/** Candidate tile sizes: powers of two up to the dim. */
-std::vector<Int>
-tileCandidates(Int dim)
-{
-    std::vector<Int> out;
-    for (Int t = 16; t < dim; t *= 4)
-        out.push_back(t);
-    out.push_back(dim);
-    return out;
-}
-
-/** Does the tile fit the L1 buffers (double-buffered)? */
-bool
-fitsL1(const HardwareConfig &hw, Int tm, Int tn, Int tk)
-{
-    Int bytes = tm * tk + tk * tn + tm * tn * 3; // 24-bit partials.
-    return 2 * bytes <= hw.l1Kb * 1024;
-}
-
-} // namespace
-
+// The sweep itself lives in dse::Evaluator::searchMapping (with
+// spatial-efficiency memoization and optional cross-thread cost
+// caching); this entry point keeps the historical single-layer API.
 MappedLayer
 mapLayer(const HardwareConfig &hw, const Layer &l)
 {
-    MappedLayer best;
-    best.result.cycles = std::numeric_limits<Int>::max();
-    if (!l.isTensorOp()) {
-        best.result = runPpuLayer(hw, l);
-        return best;
-    }
-
-    const Int m = l.gemmM(), n = l.gemmN(), k = l.gemmK();
-    for (DataflowTag df : hw.dataflows) {
-        for (Int tm : tileCandidates(m)) {
-            for (Int tn : tileCandidates(n)) {
-                for (Int tk : tileCandidates(k)) {
-                    if (!fitsL1(hw, std::min(tm, m), std::min(tn, n),
-                                std::min(tk, k)))
-                        continue;
-                    Mapping map{df, tm, tn, tk};
-                    LayerResult r = runLayer(hw, l, map);
-                    // Ties (e.g. memory-bound GEMVs) break toward
-                    // lower energy, then higher array utilization.
-                    bool better =
-                        r.cycles < best.result.cycles ||
-                        (r.cycles == best.result.cycles &&
-                         r.energyPj < best.result.energyPj) ||
-                        (r.cycles == best.result.cycles &&
-                         r.energyPj == best.result.energyPj &&
-                         r.utilization > best.result.utilization);
-                    if (better) {
-                        best.mapping = map;
-                        best.result = r;
-                    }
-                }
-            }
-        }
-    }
-    if (best.result.cycles == std::numeric_limits<Int>::max()) {
-        // Nothing fit: smallest tiles as a fallback.
-        Mapping map{hw.dataflows.front(), 16, 16, 16};
-        best.mapping = map;
-        best.result = runLayer(hw, l, map);
-    }
-    return best;
+    return dse::Evaluator().searchMapping(hw, l);
 }
 
 } // namespace lego

@@ -58,6 +58,16 @@ spatialEfficiency(const HardwareConfig &hw, const Layer &l,
 LayerResult
 runLayer(const HardwareConfig &hw, const Layer &l, const Mapping &map)
 {
+    if (!l.isTensorOp())
+        return runPpuLayer(hw, l);
+    return runLayerWithEff(hw, l, map,
+                           spatialEfficiency(hw, l, map.dataflow));
+}
+
+LayerResult
+runLayerWithEff(const HardwareConfig &hw, const Layer &l,
+                const Mapping &map, double spatialEff)
+{
     LayerResult res;
     if (!l.isTensorOp())
         return runPpuLayer(hw, l);
@@ -66,8 +76,7 @@ runLayer(const HardwareConfig &hw, const Layer &l, const Mapping &map)
     res.macs = l.macs();
 
     // ---- compute cycles ----------------------------------------------
-    double se = spatialEfficiency(hw, l, map.dataflow);
-    se = std::max(se, 1e-4);
+    double se = std::max(spatialEff, 1e-4);
     double ideal = double(res.macs) / double(hw.totalFus());
     // Pipeline fill/drain per L1 tile.
     Int tm = std::min<Int>(map.tm, m);

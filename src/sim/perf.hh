@@ -46,6 +46,15 @@ double spatialEfficiency(const HardwareConfig &hw, const Layer &l,
 LayerResult runLayer(const HardwareConfig &hw, const Layer &l,
                      const Mapping &map);
 
+/**
+ * runLayer with a precomputed spatialEfficiency(hw, l, map.dataflow).
+ * The mapping sweep calls this with the efficiency memoized per
+ * (hw, layer, dataflow) so it is not recomputed for every tiling
+ * candidate of the same dataflow.
+ */
+LayerResult runLayerWithEff(const HardwareConfig &hw, const Layer &l,
+                            const Mapping &map, double spatialEff);
+
 /** Simulate a PPU layer. */
 LayerResult runPpuLayer(const HardwareConfig &hw, const Layer &l);
 

@@ -1,0 +1,347 @@
+/**
+ * @file
+ * Tests for the design-space exploration subsystem: worker-pool
+ * ordering, memo-cache equivalence (cached == fresh, bit-identical),
+ * Pareto-archive dominance invariants, candidate-space decoding, the
+ * mapper-as-thin-client equivalence, and thread-count determinism of
+ * the engine (1 vs 8 workers, same seed, same frontier).
+ */
+
+#include <gtest/gtest.h>
+
+#include "lego.hh"
+
+namespace lego
+{
+namespace
+{
+
+using dse::CandidateSpace;
+using dse::CostCache;
+using dse::DseEngine;
+using dse::DseOptions;
+using dse::DsePoint;
+using dse::DseResult;
+using dse::Evaluator;
+using dse::ParetoArchive;
+using dse::SplitMix64;
+using dse::StrategyKind;
+using dse::WorkerPool;
+
+TEST(WorkerPool, OrderedResults)
+{
+    WorkerPool pool(8);
+    std::vector<int> out = pool.parallelMap<int>(
+        1000, [](std::size_t i) { return int(i) * int(i); });
+    ASSERT_EQ(out.size(), 1000u);
+    for (std::size_t i = 0; i < out.size(); ++i)
+        EXPECT_EQ(out[i], int(i) * int(i));
+}
+
+TEST(WorkerPool, InlineWhenSingleThreaded)
+{
+    WorkerPool pool(1);
+    EXPECT_EQ(pool.threads(), 1);
+    std::vector<int> out =
+        pool.parallelMap<int>(10, [](std::size_t i) { return int(i); });
+    for (std::size_t i = 0; i < out.size(); ++i)
+        EXPECT_EQ(out[i], int(i));
+}
+
+TEST(WorkerPool, PropagatesExceptions)
+{
+    WorkerPool pool(4);
+    EXPECT_THROW(pool.parallelFor(100,
+                                  [](std::size_t i) {
+                                      if (i == 57)
+                                          fatal("bad item");
+                                  }),
+                 FatalError);
+    // The pool survives a failed job.
+    std::vector<int> out =
+        pool.parallelMap<int>(8, [](std::size_t i) { return int(i); });
+    EXPECT_EQ(out[7], 7);
+}
+
+TEST(CostCache, CachedEqualsFresh)
+{
+    HardwareConfig hw;
+    Layer l = conv("c", 64, 128, 28, 3);
+    Mapping map{DataflowTag::MN, 64, 64, 64};
+
+    CostCache cache;
+    Evaluator cached(&cache);
+    Evaluator fresh(nullptr);
+
+    MappedLayer a = cached.searchMapping(hw, l); // Fills the cache.
+    MappedLayer b = cached.searchMapping(hw, l); // All hits.
+    MappedLayer c = fresh.searchMapping(hw, l);
+    EXPECT_GT(cache.hits(), 0u);
+
+    // Bit-identical across cached and fresh paths.
+    for (const MappedLayer *m : {&b, &c}) {
+        EXPECT_EQ(a.result.cycles, m->result.cycles);
+        EXPECT_EQ(a.result.energyPj, m->result.energyPj);
+        EXPECT_EQ(a.result.utilization, m->result.utilization);
+        EXPECT_EQ(a.result.dramBytes, m->result.dramBytes);
+        EXPECT_EQ(a.mapping.dataflow, m->mapping.dataflow);
+        EXPECT_EQ(a.mapping.tm, m->mapping.tm);
+        EXPECT_EQ(a.mapping.tn, m->mapping.tn);
+        EXPECT_EQ(a.mapping.tk, m->mapping.tk);
+    }
+
+    // And a single cached lookup equals a direct model call.
+    LayerResult direct = runLayer(hw, l, map);
+    CostCache c2;
+    Evaluator e2(&c2);
+    ScheduleResult unused = e2.mapModel(hw, Model{"m", {l}});
+    (void)unused;
+    LayerResult viaKey;
+    ASSERT_TRUE(c2.lookup(dse::makeCacheKey(hw, l, map), &viaKey));
+    EXPECT_EQ(direct.cycles, viaKey.cycles);
+    EXPECT_EQ(direct.energyPj, viaKey.energyPj);
+}
+
+TEST(CostCache, KeyIgnoresNameAndRepeat)
+{
+    HardwareConfig hw;
+    Layer a = conv("stage1", 64, 64, 56, 3);
+    Layer b = conv("stage9", 64, 64, 56, 3);
+    b.repeat = 7;
+    Mapping map{DataflowTag::MN, 64, 64, 64};
+    EXPECT_EQ(dse::makeCacheKey(hw, a, map),
+              dse::makeCacheKey(hw, b, map));
+
+    // But any shape or hardware change must miss.
+    Layer c = conv("stage1", 64, 64, 57, 3);
+    EXPECT_FALSE(dse::makeCacheKey(hw, a, map) ==
+                 dse::makeCacheKey(hw, c, map));
+    HardwareConfig hw2 = hw;
+    hw2.l1Kb += 1;
+    EXPECT_FALSE(dse::makeCacheKey(hw, a, map) ==
+                 dse::makeCacheKey(hw2, a, map));
+}
+
+TEST(CostCache, SharedShapesHitAcrossLayers)
+{
+    Model m;
+    m.name = "twins";
+    m.layers = {conv("a", 32, 32, 28, 3), conv("b", 32, 32, 28, 3)};
+    CostCache cache;
+    Evaluator e(&cache);
+    ScheduleResult r = e.mapModel(HardwareConfig{}, m);
+    EXPECT_GT(cache.hits(), 0u); // Second twin fully memoized.
+    EXPECT_EQ(r.perLayer[0].result.cycles,
+              r.perLayer[1].result.cycles);
+}
+
+TEST(Pareto, ArchiveHoldsNoDominatedPoint)
+{
+    ParetoArchive arch;
+    SplitMix64 rng(42);
+    for (int i = 0; i < 300; ++i) {
+        DsePoint p;
+        p.id = std::size_t(i);
+        p.latencyCycles = double(1 + rng.below(50));
+        p.energyPj = double(1 + rng.below(50));
+        p.areaMm2 = double(1 + rng.below(50));
+        arch.insert(p);
+    }
+    ASSERT_FALSE(arch.empty());
+    for (const DsePoint &a : arch.points())
+        for (const DsePoint &b : arch.points()) {
+            if (&a == &b)
+                continue;
+            EXPECT_FALSE(dse::dominates(a, b))
+                << a.id << " dominates " << b.id;
+        }
+}
+
+TEST(Pareto, InsertPrunesAndRejects)
+{
+    ParetoArchive arch;
+    DsePoint mid;
+    mid.latencyCycles = 10;
+    mid.energyPj = 10;
+    mid.areaMm2 = 10;
+    EXPECT_TRUE(arch.insert(mid));
+
+    DsePoint worse = mid;
+    worse.id = 1;
+    worse.energyPj = 11;
+    EXPECT_FALSE(arch.insert(worse)); // Dominated.
+    DsePoint dup = mid;
+    dup.id = 2;
+    EXPECT_FALSE(arch.insert(dup)); // Objective-space duplicate.
+
+    DsePoint better = mid;
+    better.id = 3;
+    better.latencyCycles = 9;
+    EXPECT_TRUE(arch.insert(better)); // Dominates mid -> prunes it.
+    ASSERT_EQ(arch.size(), 1u);
+    EXPECT_EQ(arch.points()[0].id, 3u);
+
+    DsePoint tradeoff;
+    tradeoff.id = 4;
+    tradeoff.latencyCycles = 20;
+    tradeoff.energyPj = 1;
+    tradeoff.areaMm2 = 20;
+    EXPECT_TRUE(arch.insert(tradeoff)); // Non-dominated corner.
+    EXPECT_EQ(arch.size(), 2u);
+    EXPECT_EQ(arch.bestLatency()->id, 3u);
+    EXPECT_EQ(arch.bestEnergy()->id, 4u);
+}
+
+TEST(CandidateSpace, DecodeCoversAndNeighborClamps)
+{
+    CandidateSpace s = dse::defaultSpace();
+    ASSERT_EQ(s.size(), s.arrays.size() * s.l1KbOptions.size() *
+                            s.ppuOptions.size() *
+                            s.dataflowSets.size());
+    // Every id decodes, and the first axis varies fastest.
+    HardwareConfig h0 = s.decode(0), h1 = s.decode(1);
+    EXPECT_NE(h0.rows * 1000 + h0.cols, h1.rows * 1000 + h1.cols);
+    // Neighbor moves stay in range at both ends of an axis.
+    std::size_t lo = s.neighbor(0, 0, -5);
+    std::size_t hi = s.neighbor(s.size() - 1, 0, +5);
+    EXPECT_LT(lo, s.size());
+    EXPECT_LT(hi, s.size());
+    // A +1/-1 round trip returns home away from the boundary.
+    std::size_t mid = s.size() / 2;
+    EXPECT_EQ(s.neighbor(s.neighbor(mid, 1, 1), 1, -1), mid);
+}
+
+TEST(Mapper, ThinClientMatchesEvaluator)
+{
+    HardwareConfig hw;
+    hw.dataflows = {DataflowTag::MN, DataflowTag::ICOC};
+    for (const Layer &l :
+         {conv("c", 64, 128, 28, 3), linear("fc", 64, 512, 1000),
+          dwconv("dw", 96, 56, 3)}) {
+        MappedLayer viaMapper = mapLayer(hw, l);
+        CostCache cache;
+        MappedLayer viaEngine =
+            Evaluator(&cache).searchMapping(hw, l);
+        EXPECT_EQ(viaMapper.result.cycles, viaEngine.result.cycles);
+        EXPECT_EQ(viaMapper.result.energyPj,
+                  viaEngine.result.energyPj);
+        EXPECT_EQ(viaMapper.mapping.dataflow,
+                  viaEngine.mapping.dataflow);
+        EXPECT_EQ(viaMapper.mapping.tm, viaEngine.mapping.tm);
+    }
+}
+
+TEST(Engine, MapModelMatchesScheduleModel)
+{
+    HardwareConfig hw;
+    Model m = makeLeNet();
+    ScheduleResult serial = scheduleModel(hw, m);
+    DseOptions opt;
+    opt.threads = 8;
+    DseEngine engine(opt);
+    ScheduleResult pooled = engine.mapModel(hw, m);
+    EXPECT_EQ(serial.summary.totalCycles, pooled.summary.totalCycles);
+    EXPECT_EQ(serial.summary.totalEnergyPj,
+              pooled.summary.totalEnergyPj);
+    EXPECT_EQ(serial.summary.dramBytes, pooled.summary.dramBytes);
+    ASSERT_EQ(serial.perLayer.size(), pooled.perLayer.size());
+    for (std::size_t i = 0; i < serial.perLayer.size(); ++i)
+        EXPECT_EQ(serial.perLayer[i].result.cycles,
+                  pooled.perLayer[i].result.cycles);
+}
+
+/** Frontier equality down to objective bits and candidate ids. */
+void
+expectSameFrontier(const ParetoArchive &a, const ParetoArchive &b)
+{
+    std::vector<DsePoint> pa = a.sorted(), pb = b.sorted();
+    ASSERT_EQ(pa.size(), pb.size());
+    for (std::size_t i = 0; i < pa.size(); ++i) {
+        EXPECT_EQ(pa[i].id, pb[i].id);
+        EXPECT_EQ(pa[i].latencyCycles, pb[i].latencyCycles);
+        EXPECT_EQ(pa[i].energyPj, pb[i].energyPj);
+        EXPECT_EQ(pa[i].areaMm2, pb[i].areaMm2);
+    }
+}
+
+TEST(Engine, ThreadCountDeterminism)
+{
+    Model m = makeLeNet();
+    CandidateSpace space = dse::eyerissEquivalentSpace();
+    for (StrategyKind kind :
+         {StrategyKind::Exhaustive, StrategyKind::Random,
+          StrategyKind::Anneal}) {
+        DseOptions o1;
+        o1.threads = 1;
+        o1.strategy = kind;
+        o1.seed = 0xfeedbeef;
+        o1.samples = 16;
+        o1.rounds = 3;
+        DseOptions o8 = o1;
+        o8.threads = 8;
+        DseResult r1 = DseEngine(o1).explore(space, m);
+        DseResult r8 = DseEngine(o8).explore(space, m);
+        EXPECT_EQ(r1.stats.evaluated, r8.stats.evaluated)
+            << dse::strategyName(kind);
+        expectSameFrontier(r1.archive, r8.archive);
+    }
+}
+
+TEST(Engine, ExhaustiveArchiveIsTrueFrontier)
+{
+    // Tiny bespoke space: verify the archive equals the brute-force
+    // non-dominated subset of ALL candidates.
+    CandidateSpace s;
+    s.arrays = {{8, 8}, {16, 16}};
+    s.l1KbOptions = {64, 256};
+    s.ppuOptions = {8};
+    s.dataflowSets = {{DataflowTag::MN},
+                      {DataflowTag::MN, DataflowTag::ICOC}};
+    Model m = makeLeNet();
+
+    DseOptions opt;
+    opt.threads = 4;
+    DseEngine engine(opt);
+    DseResult r = engine.explore(s, m);
+    EXPECT_EQ(r.stats.evaluated, s.size());
+
+    std::vector<DsePoint> all;
+    Evaluator plain(nullptr);
+    for (std::size_t id = 0; id < s.size(); ++id)
+        all.push_back(plain.evaluate(s.decode(id), m, id));
+    for (const DsePoint &p : all) {
+        bool dominated = false;
+        for (const DsePoint &q : all)
+            if (dse::dominates(q, p))
+                dominated = true;
+        bool archived = false;
+        for (const DsePoint &q : r.archive.points())
+            if (q.id == p.id)
+                archived = true;
+        if (dominated)
+            EXPECT_FALSE(archived) << "dominated id " << p.id;
+        else if (archived) {
+            // Archived points must carry the exact evaluation.
+            for (const DsePoint &q : r.archive.points())
+                if (q.id == p.id) {
+                    EXPECT_EQ(q.latencyCycles, p.latencyCycles);
+                    EXPECT_EQ(q.energyPj, p.energyPj);
+                    EXPECT_EQ(q.areaMm2, p.areaMm2);
+                }
+        }
+    }
+}
+
+TEST(Engine, MaxEvalsCapsWork)
+{
+    DseOptions opt;
+    opt.threads = 2;
+    opt.maxEvals = 5;
+    DseEngine engine(opt);
+    DseResult r =
+        engine.explore(dse::eyerissEquivalentSpace(), makeLeNet());
+    EXPECT_EQ(r.stats.evaluated, 5u);
+}
+
+} // namespace
+} // namespace lego
