@@ -91,5 +91,23 @@ main()
                 r.archive.size(), r.stats.evaluated,
                 r.stats.wallSeconds,
                 (unsigned long long)r.stats.cacheHits);
+
+    // ---- feasibility-pruned exploration of a widened L1 sweep ------
+    // Undersized L1 options cannot hold even the smallest tile of
+    // AlexNet's layers; PrunedExhaustive skips them before spending
+    // any evaluation budget.
+    std::printf("\n=== Feasibility-pruned DSE (widened L1 sweep) "
+                "===\n");
+    dse::CandidateSpace wide = dse::defaultSpace();
+    wide.l1KbOptions.insert(wide.l1KbOptions.begin(), {1, 2});
+    dse::DseOptions popt;
+    popt.threads = 8;
+    popt.strategy = dse::StrategyKind::PrunedExhaustive;
+    dse::DseEngine pengine(popt);
+    dse::DseResult pr = pengine.explore(wide, net);
+    std::printf("pruned %zu of %zu candidates (L1 below the smallest "
+                "tile), evaluated %zu, frontier %zu points (%.2fs)\n",
+                pr.stats.pruned, wide.size(), pr.stats.evaluated,
+                pr.archive.size(), pr.stats.wallSeconds);
     return 0;
 }

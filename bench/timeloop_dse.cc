@@ -17,6 +17,7 @@
  */
 
 #include <cstdio>
+#include <string>
 
 #include "lego.hh"
 
@@ -152,5 +153,41 @@ main()
                     ? r1.stats.wallSeconds / r8.stats.wallSeconds
                     : 0.0);
     std::printf("identical frontier: %s\n", same ? "yes" : "NO");
-    return same ? 0 : 1;
+
+    // ---- 4. persistent cost cache: save -> load -> warm re-run -----
+    std::printf("\n=== Persistent cost cache (warm-start a second "
+                "sweep) ===\n");
+    const std::string cachePath = "timeloop_dse.cache";
+    std::remove(cachePath.c_str()); // The first run must start cold.
+    dse::DseOptions copt;
+    copt.threads = 8;
+    copt.strategy = dse::StrategyKind::PrunedExhaustive;
+    copt.cachePath = cachePath;
+    dse::DseEngine cold(copt);
+    dse::DseResult rc = cold.explore(space, rn50);
+    bool saved = cold.saveCache();
+    std::printf("cold run: %zu evals (%zu pruned), %llu hits / %llu "
+                "misses, cache of %zu costings %s\n",
+                rc.stats.evaluated, rc.stats.pruned,
+                (unsigned long long)rc.stats.cacheHits,
+                (unsigned long long)rc.stats.cacheMisses,
+                cold.cache().size(),
+                saved ? "saved" : "NOT SAVED");
+    dse::DseEngine warm(copt); // Warm-starts from the file.
+    dse::DseResult rw = warm.explore(space, rn50);
+    double lookups =
+        double(rw.stats.cacheHits + rw.stats.cacheMisses);
+    double hitRate =
+        lookups > 0 ? double(rw.stats.cacheHits) / lookups : 0.0;
+    bool warmOk = saved && sameFrontier(rc.archive, rw.archive) &&
+                  hitRate > 0.9;
+    std::printf("warm run: %zu evals, %llu hits / %llu misses "
+                "(%.1f%% hit rate), identical frontier, >90%% hits: "
+                "%s\n",
+                rw.stats.evaluated,
+                (unsigned long long)rw.stats.cacheHits,
+                (unsigned long long)rw.stats.cacheMisses,
+                100.0 * hitRate, warmOk ? "yes" : "NO");
+    std::remove(cachePath.c_str());
+    return same && warmOk ? 0 : 1;
 }

@@ -196,9 +196,13 @@ runOnHardware(const CodegenResult &gen, const Adg &adg, int cfg,
                 if (tin < 0)
                     break;
                 Int a = input(v, 0, tin), b = input(v, 1, tin);
+                // Scale by 2^shift with a multiply: the shifted value
+                // can be negative, and shifting it left is UB even
+                // though the hardware shifter's two's-complement
+                // result is exactly this product.
                 out = (a == kUndef || b == kUndef)
                           ? kUndef
-                          : a << (b & 0x3);
+                          : a * (Int(1) << (b & 0x3));
                 break;
               }
               case PrimOp::Max: {

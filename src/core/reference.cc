@@ -38,7 +38,10 @@ applyBody(const Workload &w, TensorSet &ts, const IntVec &iter)
         break;
       case OpKind::MulShiftAdd:
         // Shift amounts are kept small and non-negative by masking.
-        y += (operand(0) * operand(1)) << (operand(2) & 0x3);
+        // The product may be negative, so scale by 2^shift with a
+        // multiply: same two's-complement result as the hardware
+        // shifter, without the UB of left-shifting a negative value.
+        y += (operand(0) * operand(1)) * (Int(1) << (operand(2) & 0x3));
         break;
       case OpKind::MaxReduce:
         y = std::max(y, operand(0));

@@ -33,21 +33,35 @@ CandidateSpace::decode(std::size_t id) const
 {
     if (id >= size())
         panic("CandidateSpace::decode: id out of range");
-    std::size_t a = id % arrays.size();
-    id /= arrays.size();
-    std::size_t b = id % l1KbOptions.size();
-    id /= l1KbOptions.size();
-    std::size_t c = id % ppuOptions.size();
-    id /= ppuOptions.size();
-    std::size_t d = id;
+    std::size_t d[kAxes];
+    decodeDigits(id, d);
 
     HardwareConfig hw = base;
-    hw.rows = arrays[a].first;
-    hw.cols = arrays[a].second;
-    hw.l1Kb = l1KbOptions[b];
-    hw.numPpus = ppuOptions[c];
-    hw.dataflows = dataflowSets[d];
+    hw.rows = arrays[d[0]].first;
+    hw.cols = arrays[d[0]].second;
+    hw.l1Kb = l1KbOptions[d[1]];
+    hw.numPpus = ppuOptions[d[2]];
+    hw.dataflows = dataflowSets[d[3]];
     return hw;
+}
+
+void
+CandidateSpace::decodeDigits(std::size_t id,
+                             std::size_t digits[kAxes]) const
+{
+    for (std::size_t a = 0; a < kAxes; ++a) {
+        digits[a] = id % axisSize(a);
+        id /= axisSize(a);
+    }
+}
+
+std::size_t
+CandidateSpace::encodeDigits(const std::size_t digits[kAxes]) const
+{
+    std::size_t out = 0;
+    for (std::size_t a = kAxes; a-- > 0;)
+        out = out * axisSize(a) + digits[a];
+    return out;
 }
 
 std::size_t
@@ -55,20 +69,27 @@ CandidateSpace::neighbor(std::size_t id, std::size_t axis,
                          int delta) const
 {
     std::size_t digits[kAxes];
-    std::size_t rest = id;
-    for (std::size_t a = 0; a < kAxes; ++a) {
-        digits[a] = rest % axisSize(a);
-        rest /= axisSize(a);
-    }
-    std::size_t n = axisSize(axis);
-    long moved = long(digits[axis]) + long(delta);
-    moved = std::max(0l, std::min(long(n) - 1, moved));
-    digits[axis] = std::size_t(moved);
+    decodeDigits(id, digits);
+    long n = long(axisSize(axis));
+    if (n <= 1)
+        return id; // Degenerate axis: the parent is the only option.
 
-    std::size_t out = 0;
-    for (std::size_t a = kAxes; a-- > 0;)
-        out = out * axisSize(a) + digits[a];
-    return out;
+    // Reflect the step off the axis boundaries rather than clamping:
+    // a clamp at a space corner hands back the parent's own id, the
+    // engine's dedupe then drops the proposal, and local-search
+    // strategies silently lose their whole mutation budget there.
+    long period = 2 * (n - 1);
+    long pos = (long(digits[axis]) + long(delta)) % period;
+    if (pos < 0)
+        pos += period;
+    if (pos >= n)
+        pos = period - pos;
+    // A delta that is a multiple of the reflection period lands back
+    // home; nudge one step so callers always get a fresh proposal.
+    if (pos == long(digits[axis]))
+        pos = pos + 1 < n ? pos + 1 : pos - 1;
+    digits[axis] = std::size_t(pos);
+    return encodeDigits(digits);
 }
 
 CandidateSpace

@@ -42,9 +42,18 @@ class CandidateSpace
     static constexpr std::size_t kAxes = 4;
     std::size_t axisSize(std::size_t axis) const;
 
+    /** Split `id` into its per-axis digits (axis 0 varies fastest). */
+    void decodeDigits(std::size_t id, std::size_t digits[kAxes]) const;
+
+    /** Recompose a digit vector into a dense candidate id. */
+    std::size_t encodeDigits(const std::size_t digits[kAxes]) const;
+
     /**
-     * Step candidate `id` by `delta` along `axis` (clamped to the
-     * axis range). Used by the annealing refiner's local moves.
+     * Step candidate `id` by `delta` along `axis`. A step that runs
+     * past an axis boundary reflects off it instead of clamping, so
+     * the move always yields a *different* id — the same id comes
+     * back only when `axisSize(axis) == 1` (nowhere else to go).
+     * Used for local mutation by the anneal and genetic strategies.
      */
     std::size_t neighbor(std::size_t id, std::size_t axis,
                          int delta) const;

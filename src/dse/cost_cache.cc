@@ -1,6 +1,9 @@
 #include "dse/cost_cache.hh"
 
+#include <cstdio>
 #include <cstring>
+#include <fstream>
+#include <utility>
 
 namespace lego
 {
@@ -16,6 +19,44 @@ doubleBits(double d)
     std::uint64_t u = 0;
     std::memcpy(&u, &d, sizeof(u));
     return u;
+}
+
+double
+bitsDouble(std::uint64_t u)
+{
+    double d = 0;
+    std::memcpy(&d, &u, sizeof(d));
+    return d;
+}
+
+/**
+ * Canonical description of everything a cache file stores, in field
+ * order. Any change to makeCacheKey's layout or to the serialized
+ * LayerResult fields MUST be reflected here so that stale files are
+ * rejected instead of misread.
+ */
+const char kCacheFileSchema[] =
+    "CacheKey{words[32]:rows,cols,l1Kb,freqGhz,dram.bandwidthGBs,"
+    "dram.energyPerBytePj,dram.burstBytes,numPpus,dataBits,l2X,l2Y,"
+    "naiveFusion,dataflows4b<=16,kind,n,ic,oc,oh,ow,kh,kw,stride,m,k,"
+    "nOut,batchAmortized,ppu,elems,dataflow,tm,tn,tk}"
+    "LayerResult{cycles,utilization,dramBytes,energyPj,macs,"
+    "memoryBound}";
+
+constexpr std::uint64_t kCacheFileMagic = 0x4c45474f44534543ull;
+constexpr std::uint64_t kCacheFileVersion = 1;
+
+void
+putWord(std::ostream &out, std::uint64_t w)
+{
+    out.write(reinterpret_cast<const char *>(&w), sizeof(w));
+}
+
+bool
+getWord(std::istream &in, std::uint64_t *w)
+{
+    in.read(reinterpret_cast<char *>(w), sizeof(*w));
+    return bool(in);
 }
 
 } // namespace
@@ -60,7 +101,13 @@ makeCacheKey(const HardwareConfig &hw, const Layer &l,
     put(std::uint64_t(hw.l2Y));
     put(std::uint64_t(hw.naiveFusion));
     // Ordered dataflow list, 4 bits per entry (tag + 1 so that an
-    // empty slot differs from DataflowTag 0).
+    // empty slot differs from DataflowTag 0). The word holds at most
+    // 16 tags; a longer list would shift earlier tags out and let two
+    // distinct configs collide on one key, so it is a hard error.
+    if (hw.dataflows.size() > 16)
+        panic("makeCacheKey: more than 16 dataflow tags cannot be "
+              "packed into one key word — spill to a second word "
+              "before keying such configs");
     std::uint64_t dfs = 0;
     for (DataflowTag t : hw.dataflows)
         dfs = (dfs << 4) | (std::uint64_t(t) + 1);
@@ -138,6 +185,124 @@ CostCache::size() const
         n += s->map.size();
     }
     return n;
+}
+
+std::uint64_t
+CostCache::schemaHash()
+{
+    std::uint64_t h = 1469598103934665603ull; // FNV offset basis.
+    for (const char *p = kCacheFileSchema; *p; ++p) {
+        h ^= std::uint8_t(*p);
+        h *= 1099511628211ull; // FNV prime.
+    }
+    return h;
+}
+
+bool
+CostCache::save(const std::string &path) const
+{
+    // Snapshot under the shard locks first so the header count is
+    // exact even if writers race the save.
+    std::vector<std::pair<CacheKey, LayerResult>> entries;
+    for (const auto &s : shards_) {
+        std::lock_guard<std::mutex> lk(s->mu);
+        for (const auto &kv : s->map)
+            entries.push_back(kv);
+    }
+
+    // Write to a sibling temp file and rename over the target, so an
+    // interrupted save can never leave a truncated file behind in
+    // place of a previously valid cache.
+    const std::string tmp = path + ".tmp";
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out)
+        return false;
+    putWord(out, kCacheFileMagic);
+    putWord(out, kCacheFileVersion);
+    putWord(out, schemaHash());
+    putWord(out, std::uint64_t(entries.size()));
+    for (const auto &kv : entries) {
+        for (std::uint64_t w : kv.first.words)
+            putWord(out, w);
+        const LayerResult &r = kv.second;
+        putWord(out, std::uint64_t(r.cycles));
+        putWord(out, doubleBits(r.utilization));
+        putWord(out, std::uint64_t(r.dramBytes));
+        putWord(out, doubleBits(r.energyPj));
+        putWord(out, std::uint64_t(r.macs));
+        putWord(out, std::uint64_t(r.memoryBound ? 1 : 0));
+    }
+    out.flush();
+    if (!out) {
+        out.close();
+        std::remove(tmp.c_str());
+        return false;
+    }
+    out.close();
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        std::remove(tmp.c_str());
+        return false;
+    }
+    return true;
+}
+
+bool
+CostCache::load(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary | std::ios::ate);
+    if (!in)
+        return false;
+    const std::uint64_t fileBytes = std::uint64_t(in.tellg());
+    in.seekg(0);
+    std::uint64_t magic = 0, version = 0, schema = 0, count = 0;
+    if (!getWord(in, &magic) || magic != kCacheFileMagic)
+        return false;
+    if (!getWord(in, &version) || version != kCacheFileVersion)
+        return false;
+    if (!getWord(in, &schema) || schema != schemaHash())
+        return false;
+    if (!getWord(in, &count))
+        return false;
+    // Entries are fixed-size, so the header count must match the
+    // file length exactly — a corrupt count word is rejected here
+    // rather than trusted for the allocation below. Divide instead
+    // of multiplying so a hostile count cannot overflow the check.
+    const std::uint64_t headerBytes = 4 * sizeof(std::uint64_t);
+    const std::uint64_t entryBytes =
+        (std::tuple_size<decltype(CacheKey::words)>::value + 6) *
+        sizeof(std::uint64_t);
+    const std::uint64_t payload = fileBytes - headerBytes;
+    if (payload % entryBytes != 0 || count != payload / entryBytes)
+        return false;
+
+    // Decode fully before touching the cache: a truncated file must
+    // not leave a half-merged state behind.
+    std::vector<std::pair<CacheKey, LayerResult>> entries;
+    entries.reserve(std::size_t(count));
+    for (std::uint64_t e = 0; e < count; ++e) {
+        CacheKey key;
+        for (std::uint64_t &w : key.words)
+            if (!getWord(in, &w))
+                return false;
+        key.hashValue = key.computeHash();
+        std::uint64_t cycles = 0, util = 0, dram = 0, energy = 0,
+                      macs = 0, membound = 0;
+        if (!getWord(in, &cycles) || !getWord(in, &util) ||
+            !getWord(in, &dram) || !getWord(in, &energy) ||
+            !getWord(in, &macs) || !getWord(in, &membound))
+            return false;
+        LayerResult r;
+        r.cycles = Int(cycles);
+        r.utilization = bitsDouble(util);
+        r.dramBytes = Int(dram);
+        r.energyPj = bitsDouble(energy);
+        r.macs = Int(macs);
+        r.memoryBound = membound != 0;
+        entries.emplace_back(key, r);
+    }
+    for (const auto &kv : entries)
+        insert(kv.first, kv.second);
+    return true;
 }
 
 void

@@ -20,6 +20,7 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -74,6 +75,34 @@ class CostCache
     std::uint64_t misses() const { return misses_.load(); }
     std::size_t size() const;
     void clear();
+
+    /**
+     * @name Persistence (warm-starting model-zoo sweeps)
+     *
+     * Versioned binary serialization of every (key, result) entry.
+     * The file header carries a magic word, a format version, and a
+     * schema hash over the CacheKey/LayerResult field layout, so a
+     * file written by an older build whose key layout differs is
+     * *rejected* by load() (cold start), never misread. Entries are
+     * host-endian; the magic word doubles as the endianness check.
+     * @{
+     */
+
+    /** Hash of the serialized CacheKey/LayerResult field layout. */
+    static std::uint64_t schemaHash();
+
+    /** Write all entries to `path`. False on I/O failure. */
+    bool save(const std::string &path) const;
+
+    /**
+     * Merge entries from `path` into the cache (first writer wins,
+     * as with insert). False — leaving the cache untouched — when
+     * the file is missing, truncated, or from a different schema or
+     * format version. Hit/miss counters are not affected.
+     */
+    bool load(const std::string &path);
+
+    /** @} */
 
   private:
     struct Shard

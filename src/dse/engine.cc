@@ -2,6 +2,7 @@
 
 #include <chrono>
 #include <unordered_set>
+#include <utility>
 
 namespace lego
 {
@@ -9,8 +10,22 @@ namespace dse
 {
 
 DseEngine::DseEngine(DseOptions opt)
-    : opt_(opt), cache_(), pool_(opt.threads), evaluator_(&cache_)
-{}
+    : opt_(std::move(opt)), cache_(), pool_(opt_.threads),
+      evaluator_(&cache_)
+{
+    // Warm-start from the persisted cache when one is configured; a
+    // missing or stale (schema-mismatched) file is just a cold start.
+    if (!opt_.cachePath.empty())
+        cache_.load(opt_.cachePath);
+}
+
+bool
+DseEngine::saveCache() const
+{
+    if (opt_.cachePath.empty())
+        return false;
+    return cache_.save(opt_.cachePath);
+}
 
 DseResult
 DseEngine::explore(const CandidateSpace &space, const Model &m)
@@ -23,6 +38,8 @@ DseEngine::explore(const CandidateSpace &space, const Model &m)
     sopt.seed = opt_.seed;
     sopt.samples = opt_.samples;
     sopt.rounds = opt_.rounds;
+    sopt.mutation = opt_.mutation;
+    sopt.model = &m;
     std::unique_ptr<Strategy> strat =
         makeStrategy(opt_.strategy, sopt);
 
@@ -66,6 +83,7 @@ DseEngine::explore(const CandidateSpace &space, const Model &m)
             break;
     }
 
+    res.stats.pruned = strat->pruned();
     res.stats.cacheHits = cache_.hits() - hits0;
     res.stats.cacheMisses = cache_.misses() - misses0;
     res.stats.wallSeconds =

@@ -30,15 +30,24 @@ struct DseOptions
     int threads = 1;               //!< Worker pool size.
     StrategyKind strategy = StrategyKind::Exhaustive;
     std::uint64_t seed = 0x1e90ull;
-    std::size_t samples = 64;      //!< Random/Anneal batch size.
-    int rounds = 6;                //!< Anneal mutation rounds.
+    std::size_t samples = 64;      //!< Random/Anneal/Genetic batch size.
+    int rounds = 6;                //!< Anneal/Genetic mutation rounds.
+    double mutation = 0.25;        //!< Genetic mutation probability.
     std::size_t maxEvals = 0;      //!< 0 = unlimited.
+    /**
+     * Optional persistent memo-cache file. When set, the engine
+     * warm-starts from it at construction (a missing or stale file
+     * just means a cold start) and saveCache() writes back to it, so
+     * repeated model-zoo sweeps skip already-costed evaluations.
+     */
+    std::string cachePath;
 };
 
 struct DseStats
 {
     std::size_t proposed = 0;  //!< Ids proposed by the strategy.
     std::size_t evaluated = 0; //!< Unique candidates actually scored.
+    std::size_t pruned = 0;    //!< Skipped as infeasible (PrunedExhaustive).
     std::uint64_t cacheHits = 0;
     std::uint64_t cacheMisses = 0;
     double wallSeconds = 0;
@@ -67,6 +76,12 @@ class DseEngine
 
     /** Score one explicit configuration as a DSE point. */
     DsePoint evaluate(const HardwareConfig &hw, const Model &m);
+
+    /**
+     * Persist the memo cache to options().cachePath. Returns false
+     * when no cache path is configured or the write failed.
+     */
+    bool saveCache() const;
 
     const DseOptions &options() const { return opt_; }
     CostCache &cache() { return cache_; }

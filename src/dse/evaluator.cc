@@ -22,14 +22,6 @@ tileCandidates(Int dim)
     return out;
 }
 
-/** Does the tile fit the L1 buffers (double-buffered)? */
-bool
-fitsL1(const HardwareConfig &hw, Int tm, Int tn, Int tk)
-{
-    Int bytes = tm * tk + tk * tn + tm * tn * 3; // 24-bit partials.
-    return 2 * bytes <= hw.l1Kb * 1024;
-}
-
 /** The mapper's tie-breaking order on layer results. */
 bool
 betterResult(const LayerResult &r, const LayerResult &best)
@@ -41,6 +33,35 @@ betterResult(const LayerResult &r, const LayerResult &best)
 }
 
 } // namespace
+
+bool
+fitsL1(const HardwareConfig &hw, Int tm, Int tn, Int tk)
+{
+    // Operands at the datapath width, accumulators always 24-bit.
+    Int operand = (tm * tk + tk * tn) * Int(hw.dataBits) / 8;
+    Int partial = tm * tn * 3;
+    return 2 * (operand + partial) <= hw.l1Kb * 1024;
+}
+
+bool
+feasible(const HardwareConfig &hw, const Layer &l)
+{
+    if (!l.isTensorOp())
+        return true;
+    // The smallest entry of tileCandidates(dim) is min(16, dim).
+    return fitsL1(hw, std::min<Int>(16, l.gemmM()),
+                  std::min<Int>(16, l.gemmN()),
+                  std::min<Int>(16, l.gemmK()));
+}
+
+bool
+feasible(const HardwareConfig &hw, const Model &m)
+{
+    for (const Layer &l : m.layers)
+        if (!feasible(hw, l))
+            return false;
+    return true;
+}
 
 std::vector<Mapping>
 mappingCandidates(const HardwareConfig &hw, const Layer &l)

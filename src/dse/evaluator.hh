@@ -33,6 +33,26 @@ namespace dse
 std::vector<Mapping> mappingCandidates(const HardwareConfig &hw,
                                        const Layer &l);
 
+/**
+ * Does a (tm, tn, tk) GEMM tile fit the L1 buffers double-buffered?
+ * Operand footprints are counted at the datapath width
+ * (`hw.dataBits`); partial sums are always 24-bit accumulators.
+ * This is THE fit rule: the mapping sweep and the feasibility
+ * pruning below must agree on it.
+ */
+bool fitsL1(const HardwareConfig &hw, Int tm, Int tn, Int tk);
+
+/**
+ * Can the hardware's L1 hold at least the *smallest* candidate tile
+ * of the layer? A candidate failing this for any layer of a model
+ * can only ever be costed through the degenerate fallback mapping,
+ * so exhaustive search may skip it (StrategyKind::PrunedExhaustive).
+ */
+bool feasible(const HardwareConfig &hw, const Layer &l);
+
+/** feasible() over every layer of a model. */
+bool feasible(const HardwareConfig &hw, const Model &m);
+
 class Evaluator
 {
   public:

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <set>
 
+#include "dse/evaluator.hh"
+
 namespace lego
 {
 namespace dse
@@ -37,6 +39,8 @@ strategyName(StrategyKind k)
       case StrategyKind::Exhaustive: return "exhaustive";
       case StrategyKind::Random: return "random";
       case StrategyKind::Anneal: return "anneal";
+      case StrategyKind::Genetic: return "genetic";
+      case StrategyKind::PrunedExhaustive: return "pruned-exhaustive";
     }
     return "?";
 }
@@ -157,6 +161,133 @@ class AnnealStrategy : public Strategy
     int round_ = 0;
 };
 
+/**
+ * SparseMap-style evolution over the mixed-radix candidate digits.
+ * Round 0 seeds a uniform population; every later round breeds
+ * `samples` children by per-digit uniform crossover between two
+ * tournament-selected members of the Pareto archive, followed by a
+ * probabilistic +/-1 mutation through CandidateSpace::neighbor.
+ * Elitism is supplied by the archive itself: parents are only ever
+ * drawn from the current non-dominated set, which the engine never
+ * regresses. All randomness stays in the strategy's SplitMix64
+ * stream, so the search is deterministic for a fixed seed and any
+ * worker count.
+ */
+class GeneticStrategy : public Strategy
+{
+  public:
+    explicit GeneticStrategy(const StrategyOptions &opt)
+        : rng_(opt.seed), samples_(opt.samples), rounds_(opt.rounds),
+          mutation_(opt.mutation)
+    {}
+
+    std::vector<std::size_t>
+    nextBatch(const CandidateSpace &space,
+              const ParetoArchive &archive) override
+    {
+        std::size_t n = space.size();
+        if (n == 0 || round_ > rounds_)
+            return {};
+        std::vector<std::size_t> out;
+        if (round_ == 0) {
+            out = sampleWithoutReplacement(rng_, n, samples_);
+        } else {
+            std::vector<DsePoint> parents = archive.sorted();
+            if (parents.empty())
+                return {};
+            for (std::size_t i = 0; i < samples_; ++i)
+                out.push_back(child(space, parents));
+        }
+        ++round_;
+        return out;
+    }
+
+  private:
+    /**
+     * Binary tournament over the sorted archive: sorted() orders by
+     * (latency, energy, area), so of two uniform picks the earlier
+     * one wins — a deterministic fitness proxy on a set whose
+     * members are otherwise mutually non-dominated.
+     */
+    std::size_t
+    tournament(std::size_t nParents)
+    {
+        std::size_t a = std::size_t(rng_.below(nParents));
+        std::size_t b = std::size_t(rng_.below(nParents));
+        return std::min(a, b);
+    }
+
+    std::size_t
+    child(const CandidateSpace &space,
+          const std::vector<DsePoint> &parents)
+    {
+        std::size_t da[CandidateSpace::kAxes];
+        std::size_t db[CandidateSpace::kAxes];
+        space.decodeDigits(parents[tournament(parents.size())].id, da);
+        space.decodeDigits(parents[tournament(parents.size())].id, db);
+        std::size_t kid[CandidateSpace::kAxes];
+        for (std::size_t a = 0; a < CandidateSpace::kAxes; ++a)
+            kid[a] = rng_.unit() < 0.5 ? da[a] : db[a];
+        std::size_t id = space.encodeDigits(kid);
+        if (rng_.unit() < mutation_) {
+            std::size_t axis =
+                std::size_t(rng_.below(CandidateSpace::kAxes));
+            int delta = rng_.unit() < 0.5 ? 1 : -1;
+            id = space.neighbor(id, axis, delta);
+        }
+        return id;
+    }
+
+    SplitMix64 rng_;
+    std::size_t samples_;
+    int rounds_;
+    double mutation_;
+    int round_ = 0;
+};
+
+/**
+ * Exhaustive enumeration minus the candidates the dse::feasible
+ * predicate rejects: if a candidate's L1 cannot hold even the
+ * smallest tile for some layer, every mapping sweep on it would
+ * collapse to the degenerate fallback, so it is skipped up front and
+ * counted in DseStats::pruned.
+ */
+class PrunedExhaustiveStrategy : public Strategy
+{
+  public:
+    explicit PrunedExhaustiveStrategy(const StrategyOptions &opt)
+        : model_(opt.model)
+    {
+        if (!model_)
+            panic("PrunedExhaustive strategy built without "
+                  "StrategyOptions::model — the engine must fill it "
+                  "in for every explore() call");
+    }
+
+    std::vector<std::size_t>
+    nextBatch(const CandidateSpace &space, const ParetoArchive &) override
+    {
+        if (done_)
+            return {};
+        done_ = true;
+        std::vector<std::size_t> out;
+        for (std::size_t id = 0; id < space.size(); ++id) {
+            if (feasible(space.decode(id), *model_))
+                out.push_back(id);
+            else
+                ++pruned_;
+        }
+        return out;
+    }
+
+    std::size_t pruned() const override { return pruned_; }
+
+  private:
+    const Model *model_;
+    std::size_t pruned_ = 0;
+    bool done_ = false;
+};
+
 } // namespace
 
 std::unique_ptr<Strategy>
@@ -169,6 +300,10 @@ makeStrategy(StrategyKind kind, const StrategyOptions &opt)
         return std::make_unique<RandomStrategy>(opt);
       case StrategyKind::Anneal:
         return std::make_unique<AnnealStrategy>(opt);
+      case StrategyKind::Genetic:
+        return std::make_unique<GeneticStrategy>(opt);
+      case StrategyKind::PrunedExhaustive:
+        return std::make_unique<PrunedExhaustiveStrategy>(opt);
     }
     return nullptr;
 }

@@ -20,6 +20,9 @@
 
 namespace lego
 {
+
+struct Model;
+
 namespace dse
 {
 
@@ -44,6 +47,13 @@ enum class StrategyKind
     Exhaustive, //!< Every candidate in index order.
     Random,     //!< Fixed-size uniform sample without replacement.
     Anneal,     //!< Random seed population + local mutation rounds.
+    Genetic,    //!< SparseMap-style evolution over candidate digits.
+    /**
+     * Exhaustive enumeration that skips candidates whose L1 cannot
+     * hold even the smallest tile for some layer of the model (the
+     * dse::feasible predicate). Needs StrategyOptions::model.
+     */
+    PrunedExhaustive,
 };
 
 std::string strategyName(StrategyKind k);
@@ -61,14 +71,24 @@ class Strategy
     virtual std::vector<std::size_t>
     nextBatch(const CandidateSpace &space,
               const ParetoArchive &archive) = 0;
+
+    /** Candidates skipped as infeasible (pruning strategies only). */
+    virtual std::size_t pruned() const { return 0; }
 };
 
 /** Tuning knobs shared by the stochastic strategies. */
 struct StrategyOptions
 {
     std::uint64_t seed = 0x1e90ull;
-    std::size_t samples = 64; //!< Random: total; Anneal: per round.
-    int rounds = 6;           //!< Anneal rounds after the seed round.
+    std::size_t samples = 64; //!< Random: total; Anneal/Genetic: per round.
+    int rounds = 6;           //!< Anneal/Genetic rounds after the seed round.
+    double mutation = 0.25;   //!< Genetic: per-child mutation probability.
+    /**
+     * Workload being explored; the engine fills this in for every
+     * explore() call. Required by PrunedExhaustive (its feasibility
+     * rule is per-model), ignored by the other strategies.
+     */
+    const Model *model = nullptr;
 };
 
 std::unique_ptr<Strategy> makeStrategy(StrategyKind kind,

@@ -9,6 +9,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <fstream>
+
 #include "lego.hh"
 
 namespace lego
@@ -211,6 +214,87 @@ TEST(CandidateSpace, DecodeCoversAndNeighborClamps)
     EXPECT_EQ(s.neighbor(s.neighbor(mid, 1, 1), 1, -1), mid);
 }
 
+TEST(CandidateSpace, NeighborReflectsAtEdges)
+{
+    CandidateSpace s = dse::defaultSpace();
+    // Candidate 0 sits at the all-zeros corner: every -1 move used to
+    // clamp back onto the parent and be discarded by the engine's
+    // dedupe. It must now reflect to digit 1 on the moved axis.
+    const std::size_t home = 0;
+    for (std::size_t axis = 0; axis < CandidateSpace::kAxes; ++axis) {
+        std::size_t down = s.neighbor(home, axis, -1);
+        EXPECT_NE(down, home);
+        std::size_t d[CandidateSpace::kAxes];
+        s.decodeDigits(down, d);
+        for (std::size_t a = 0; a < CandidateSpace::kAxes; ++a)
+            EXPECT_EQ(d[a], a == axis ? 1u : 0u) << "axis " << axis;
+    }
+    // Same at the top corner, stepping up.
+    std::size_t top = s.size() - 1;
+    EXPECT_NE(s.neighbor(top, 0, +1), top);
+    EXPECT_LT(s.neighbor(top, 0, +1), s.size());
+    // Oversized deltas stay in range and still move.
+    EXPECT_NE(s.neighbor(home, 0, -100), home);
+    EXPECT_LT(s.neighbor(home, 0, -100), s.size());
+    // A delta equal to the reflection period would land back home;
+    // the move must still produce a fresh id.
+    int period = 2 * (int(s.arrays.size()) - 1);
+    EXPECT_NE(s.neighbor(home, 0, period), home);
+    // Only a single-option axis may hand back the parent's own id.
+    CandidateSpace one = s;
+    one.ppuOptions = {8};
+    EXPECT_EQ(one.neighbor(0, 2, +1), 0u);
+    EXPECT_EQ(one.neighbor(0, 2, -3), 0u);
+}
+
+TEST(CostCache, DataflowPackingCannotCollide)
+{
+    Layer l = conv("c", 8, 8, 8, 3);
+    Mapping map{DataflowTag::MN, 16, 16, 16};
+    // 16 tags pack losslessly: sets differing only in the *first*
+    // (oldest-packed) tag must key differently — this is the entry
+    // the old unchecked shift pushed out of the 64-bit word.
+    HardwareConfig a, b;
+    a.dataflows.assign(16, DataflowTag::MN);
+    b.dataflows = a.dataflows;
+    b.dataflows[0] = DataflowTag::ICOC;
+    EXPECT_FALSE(dse::makeCacheKey(a, l, map) ==
+                 dse::makeCacheKey(b, l, map));
+    // A 17th tag cannot be packed; keying such a config would shift
+    // the first tag out and alias distinct configs, so it panics.
+    HardwareConfig c = a;
+    c.dataflows.push_back(DataflowTag::OHOW);
+    EXPECT_THROW(dse::makeCacheKey(c, l, map), PanicError);
+}
+
+TEST(Evaluator, FitsL1ScalesWithDataBits)
+{
+    // A 16x16x16 tile: 512 operand elements, 768 partial-sum bytes.
+    // Double-buffered that is 2560 bytes at 8-bit operands and 3584
+    // at 16-bit, so a 3 KB L1 separates the two widths.
+    HardwareConfig hw;
+    hw.l1Kb = 3;
+    EXPECT_TRUE(dse::fitsL1(hw, 16, 16, 16));
+    hw.dataBits = 16;
+    EXPECT_FALSE(dse::fitsL1(hw, 16, 16, 16));
+
+    // Wider datapaths therefore admit fewer tilings of a layer.
+    HardwareConfig h8, h16;
+    h8.l1Kb = h16.l1Kb = 48;
+    h16.dataBits = 16;
+    Layer l = conv("c", 64, 64, 28, 3);
+    EXPECT_GT(dse::mappingCandidates(h8, l).size(),
+              dse::mappingCandidates(h16, l).size());
+
+    // The feasibility predicate shares the same rule.
+    HardwareConfig tiny;
+    tiny.l1Kb = 2;
+    EXPECT_FALSE(dse::feasible(tiny, l));
+    EXPECT_TRUE(dse::feasible(HardwareConfig{}, l));
+    Layer act = ppu("relu", PpuOp::Relu, 1000);
+    EXPECT_TRUE(dse::feasible(tiny, act)); // Non-tensor: always fits.
+}
+
 TEST(Mapper, ThinClientMatchesEvaluator)
 {
     HardwareConfig hw;
@@ -270,7 +354,8 @@ TEST(Engine, ThreadCountDeterminism)
     CandidateSpace space = dse::eyerissEquivalentSpace();
     for (StrategyKind kind :
          {StrategyKind::Exhaustive, StrategyKind::Random,
-          StrategyKind::Anneal}) {
+          StrategyKind::Anneal, StrategyKind::Genetic,
+          StrategyKind::PrunedExhaustive}) {
         DseOptions o1;
         o1.threads = 1;
         o1.strategy = kind;
@@ -330,6 +415,122 @@ TEST(Engine, ExhaustiveArchiveIsTrueFrontier)
                 }
         }
     }
+}
+
+TEST(Engine, GeneticConvergesOnSmallSpace)
+{
+    // On a space the genetic budget can cover, evolution must find a
+    // non-empty frontier of exactly-evaluated points and never score
+    // more candidates than the space holds.
+    CandidateSpace space = dse::eyerissEquivalentSpace();
+    Model m = makeLeNet();
+    DseOptions opt;
+    opt.threads = 4;
+    opt.strategy = StrategyKind::Genetic;
+    opt.samples = 24;
+    opt.rounds = 5;
+    DseResult r = DseEngine(opt).explore(space, m);
+    EXPECT_FALSE(r.archive.empty());
+    EXPECT_LE(r.stats.evaluated, space.size());
+    EXPECT_GE(r.stats.proposed, r.stats.evaluated);
+    Evaluator plain(nullptr);
+    for (const DsePoint &p : r.archive.points()) {
+        DsePoint fresh = plain.evaluate(space.decode(p.id), m, p.id);
+        EXPECT_EQ(p.latencyCycles, fresh.latencyCycles);
+        EXPECT_EQ(p.energyPj, fresh.energyPj);
+        EXPECT_EQ(p.areaMm2, fresh.areaMm2);
+    }
+}
+
+TEST(Engine, PrunedExhaustiveSkipsInfeasible)
+{
+    // A space with L1 options too small for LeNet's first conv
+    // (smallest tile needs 1280 bytes double-buffered): those
+    // candidates must be pruned, counted, and absent from the result.
+    CandidateSpace s;
+    s.arrays = {{8, 8}, {16, 16}};
+    s.l1KbOptions = {1, 2, 64, 256};
+    s.ppuOptions = {8};
+    s.dataflowSets = {{DataflowTag::MN},
+                      {DataflowTag::MN, DataflowTag::ICOC}};
+    Model m = makeLeNet();
+
+    DseOptions ex;
+    ex.threads = 4;
+    DseResult re = DseEngine(ex).explore(s, m);
+    DseOptions pr = ex;
+    pr.strategy = StrategyKind::PrunedExhaustive;
+    DseResult rp = DseEngine(pr).explore(s, m);
+
+    std::size_t infeasible = 0;
+    for (std::size_t id = 0; id < s.size(); ++id)
+        if (!dse::feasible(s.decode(id), m))
+            ++infeasible;
+    ASSERT_GT(infeasible, 0u);
+    EXPECT_EQ(rp.stats.pruned, infeasible);
+    EXPECT_EQ(rp.stats.evaluated, s.size() - infeasible);
+    EXPECT_EQ(re.stats.pruned, 0u);
+    EXPECT_EQ(re.stats.evaluated, s.size());
+
+    // Every archived point is feasible, and the pruned frontier is a
+    // subset of the exhaustive frontier.
+    for (const DsePoint &p : rp.archive.points()) {
+        EXPECT_TRUE(dse::feasible(p.hw, m)) << "id " << p.id;
+        bool inExhaustive = false;
+        for (const DsePoint &q : re.archive.points())
+            if (q.id == p.id)
+                inExhaustive = true;
+        EXPECT_TRUE(inExhaustive) << "id " << p.id;
+    }
+}
+
+TEST(CostCache, SaveLoadWarmStart)
+{
+    std::string path =
+        testing::TempDir() + "lego_dse_cache_roundtrip.bin";
+    std::remove(path.c_str());
+
+    CandidateSpace space = dse::eyerissEquivalentSpace();
+    Model m = makeLeNet();
+    DseOptions opt;
+    opt.threads = 4;
+    opt.cachePath = path;
+
+    DseEngine cold(opt);
+    DseResult rc = cold.explore(space, m);
+    EXPECT_GT(rc.stats.cacheMisses, 0u);
+    ASSERT_TRUE(cold.saveCache());
+
+    // A fresh engine warm-starts from the file: every layer costing
+    // is a hit, and the frontier is bit-identical.
+    DseEngine warm(opt);
+    EXPECT_EQ(warm.cache().size(), cold.cache().size());
+    DseResult rw = warm.explore(space, m);
+    EXPECT_EQ(rw.stats.cacheMisses, 0u);
+    EXPECT_GT(rw.stats.cacheHits, 0u);
+    expectSameFrontier(rc.archive, rw.archive);
+
+    // A valid header whose count word is corrupted must be rejected
+    // (the count is cross-checked against the file length, never
+    // trusted for an allocation).
+    {
+        std::fstream f(path,
+                       std::ios::binary | std::ios::in | std::ios::out);
+        f.seekp(3 * std::streamoff(sizeof(std::uint64_t)));
+        std::uint64_t huge = ~0ull;
+        f.write(reinterpret_cast<const char *>(&huge), sizeof(huge));
+    }
+    CostCache corruptCount;
+    EXPECT_FALSE(corruptCount.load(path));
+    EXPECT_EQ(corruptCount.size(), 0u);
+
+    // Corrupt or stale files are rejected wholesale, not misread.
+    std::ofstream(path, std::ios::binary) << "not a cache file";
+    CostCache fresh;
+    EXPECT_FALSE(fresh.load(path));
+    EXPECT_EQ(fresh.size(), 0u);
+    EXPECT_FALSE(fresh.load(path + ".does-not-exist"));
+    std::remove(path.c_str());
 }
 
 TEST(Engine, MaxEvalsCapsWork)
