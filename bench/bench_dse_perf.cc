@@ -1,0 +1,451 @@
+/**
+ * @file
+ * Tracked DSE performance harness. Runs fixed sweeps twice — once
+ * with the naive evaluator policy (no layer-class deduplication, no
+ * bound pruning: the pre-optimization hot path) and once with the
+ * optimized defaults — asserts the outputs are bit-identical, and
+ * emits BENCH_dse.json with evaluation counts, cache-level hits,
+ * pruning counters, and wall times so every PR has a perf
+ * trajectory.
+ *
+ * Usage:
+ *   bench_dse_perf [--baseline FILE] [--out FILE]
+ *
+ * --baseline compares the optimized model-evaluation counts against
+ * a previously committed BENCH_dse.json and fails (exit 1) on a
+ * >10% regression in any sweep. The headline sweep (the timeloop_dse
+ * exhaustive hardware sweep) must also show a >= 10x reduction in
+ * runLayerWithEff invocations over the naive policy.
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "lego.hh"
+
+using namespace lego;
+
+namespace
+{
+
+struct SweepNumbers
+{
+    std::string name;
+    std::uint64_t modelEvals = 0;      //!< runLayerWithEff calls (optimized).
+    std::uint64_t naiveModelEvals = 0; //!< Same sweep, naive policy.
+    std::uint64_t l0Hits = 0;
+    std::uint64_t l0Misses = 0;
+    std::uint64_t l1Hits = 0;
+    std::uint64_t l1Misses = 0;
+    std::uint64_t mappingsPruned = 0;
+    std::uint64_t dataflowsPruned = 0;
+    std::uint64_t layersDeduped = 0;
+    std::uint64_t frontierPoints = 0;
+    double wallSeconds = 0;
+    double naiveWallSeconds = 0;
+    bool identicalOutput = false;
+
+    double reduction() const
+    {
+        return modelEvals > 0
+                   ? double(naiveModelEvals) / double(modelEvals)
+                   : 0.0;
+    }
+};
+
+dse::EvalPolicy
+naivePolicy()
+{
+    dse::EvalPolicy p;
+    p.dedupLayerClasses = false;
+    p.pruneMappings = false;
+    return p;
+}
+
+HardwareConfig
+eyerissConfig()
+{
+    HardwareConfig hw;
+    hw.name = "eyeriss";
+    hw.rows = 12;
+    hw.cols = 14;
+    hw.l1Kb = 182;
+    hw.freqGhz = 0.2;
+    hw.numPpus = 4;
+    hw.dataflows = {DataflowTag::KHOH};
+    return hw;
+}
+
+bool
+sameFrontier(const dse::ParetoArchive &a, const dse::ParetoArchive &b)
+{
+    std::vector<dse::DsePoint> pa = a.sorted(), pb = b.sorted();
+    if (pa.size() != pb.size())
+        return false;
+    for (std::size_t i = 0; i < pa.size(); ++i)
+        if (pa[i].id != pb[i].id ||
+            pa[i].latencyCycles != pb[i].latencyCycles ||
+            pa[i].energyPj != pb[i].energyPj ||
+            pa[i].areaMm2 != pb[i].areaMm2)
+            return false;
+    return true;
+}
+
+bool
+sameSchedule(const ScheduleResult &a, const ScheduleResult &b)
+{
+    if (a.perLayer.size() != b.perLayer.size())
+        return false;
+    if (a.summary.totalCycles != b.summary.totalCycles ||
+        a.summary.totalEnergyPj != b.summary.totalEnergyPj ||
+        a.summary.dramBytes != b.summary.dramBytes)
+        return false;
+    for (std::size_t i = 0; i < a.perLayer.size(); ++i) {
+        const MappedLayer &x = a.perLayer[i], &y = b.perLayer[i];
+        if (x.mapping.dataflow != y.mapping.dataflow ||
+            x.mapping.tm != y.mapping.tm ||
+            x.mapping.tn != y.mapping.tn ||
+            x.mapping.tk != y.mapping.tk ||
+            x.result.cycles != y.result.cycles ||
+            x.result.energyPj != y.result.energyPj ||
+            x.result.utilization != y.result.utilization ||
+            x.result.dramBytes != y.result.dramBytes)
+            return false;
+    }
+    return true;
+}
+
+/** Counter snapshot so every sweep reports deltas, not lifetimes. */
+struct CounterSnap
+{
+    std::uint64_t l0h = 0, l0m = 0, l1h = 0, l1m = 0;
+    dse::EvalCounters ec;
+};
+
+CounterSnap
+snapCounters(dse::DseEngine &engine)
+{
+    CounterSnap c;
+    c.l0h = engine.cache().l0Hits();
+    c.l0m = engine.cache().l0Misses();
+    c.l1h = engine.cache().hits();
+    c.l1m = engine.cache().misses();
+    c.ec = engine.evaluator().counters();
+    return c;
+}
+
+void
+fillCounters(SweepNumbers *s, dse::DseEngine &engine,
+             const CounterSnap &c0)
+{
+    CounterSnap c1 = snapCounters(engine);
+    s->modelEvals = c1.ec.modelEvals - c0.ec.modelEvals;
+    s->l0Hits = c1.l0h - c0.l0h;
+    s->l0Misses = c1.l0m - c0.l0m;
+    s->l1Hits = c1.l1h - c0.l1h;
+    s->l1Misses = c1.l1m - c0.l1m;
+    s->mappingsPruned =
+        c1.ec.mappingsPruned - c0.ec.mappingsPruned;
+    s->dataflowsPruned =
+        c1.ec.dataflowsPruned - c0.ec.dataflowsPruned;
+    s->layersDeduped = c1.ec.layersDeduped - c0.ec.layersDeduped;
+}
+
+/** The timeloop_dse hardware sweep: exhaustive Eyeriss-box x RN50. */
+SweepNumbers
+sweepTimeloopExhaustive(const Model &rn50)
+{
+    SweepNumbers s;
+    s.name = "timeloop_exhaustive_rn50";
+    dse::CandidateSpace space = dse::eyerissEquivalentSpace();
+
+    dse::DseOptions naive;
+    naive.threads = 1;
+    naive.eval = naivePolicy();
+    dse::DseEngine naiveEngine(naive);
+    dse::DseResult rn = naiveEngine.explore(space, rn50);
+    s.naiveModelEvals = rn.stats.modelEvals;
+    s.naiveWallSeconds = rn.stats.wallSeconds;
+
+    dse::DseOptions opt;
+    opt.threads = 1;
+    dse::DseEngine engine(opt);
+    CounterSnap c0 = snapCounters(engine);
+    dse::DseResult ro = engine.explore(space, rn50);
+    fillCounters(&s, engine, c0);
+    s.wallSeconds = ro.stats.wallSeconds;
+    s.frontierPoints = ro.archive.size();
+    s.identicalOutput = sameFrontier(rn.archive, ro.archive);
+    return s;
+}
+
+/** Mapping-space search on the fixed Eyeriss instance. */
+SweepNumbers
+sweepMappingSearch(const Model &rn50)
+{
+    SweepNumbers s;
+    s.name = "mapping_search_rn50";
+    HardwareConfig eyeriss = eyerissConfig();
+
+    dse::DseOptions naive;
+    naive.threads = 1;
+    naive.eval = naivePolicy();
+    dse::DseEngine naiveEngine(naive);
+    auto t0 = std::chrono::steady_clock::now();
+    ScheduleResult a = naiveEngine.mapModel(eyeriss, rn50);
+    s.naiveWallSeconds =
+        std::chrono::duration<double>(
+            std::chrono::steady_clock::now() - t0)
+            .count();
+    s.naiveModelEvals =
+        naiveEngine.evaluator().counters().modelEvals;
+
+    dse::DseOptions opt;
+    opt.threads = 1;
+    dse::DseEngine engine(opt);
+    CounterSnap c0 = snapCounters(engine);
+    t0 = std::chrono::steady_clock::now();
+    ScheduleResult b = engine.mapModel(eyeriss, rn50);
+    s.wallSeconds = std::chrono::duration<double>(
+                        std::chrono::steady_clock::now() - t0)
+                        .count();
+    fillCounters(&s, engine, c0);
+    s.identicalOutput = sameSchedule(a, b);
+    return s;
+}
+
+/**
+ * Warm re-run of the mapping search on one engine: every surviving
+ * lookup is served by the thread-local L0 (zero locks, zero model
+ * evaluations), and the schedule must be bit-identical to the cold
+ * run's.
+ */
+SweepNumbers
+sweepMappingSearchWarm(const Model &rn50)
+{
+    SweepNumbers s;
+    s.name = "mapping_search_rn50_warm";
+    HardwareConfig eyeriss = eyerissConfig();
+
+    dse::DseOptions opt;
+    opt.threads = 1;
+    dse::DseEngine engine(opt);
+    ScheduleResult cold = engine.mapModel(eyeriss, rn50);
+
+    // No separate naive engine here: the interesting numbers are 0
+    // model evaluations and an all-L0 hit path.
+    CounterSnap c0 = snapCounters(engine);
+    auto t0 = std::chrono::steady_clock::now();
+    ScheduleResult warm = engine.mapModel(eyeriss, rn50);
+    s.wallSeconds = std::chrono::duration<double>(
+                        std::chrono::steady_clock::now() - t0)
+                        .count();
+    fillCounters(&s, engine, c0);
+    s.naiveModelEvals = s.modelEvals;
+    s.naiveWallSeconds = s.wallSeconds;
+    s.identicalOutput = sameSchedule(cold, warm);
+    return s;
+}
+
+/** Transformer dedup: BERT's repeated blocks collapse to classes. */
+SweepNumbers
+sweepBert()
+{
+    SweepNumbers s;
+    s.name = "mapping_search_bert";
+    Model bert = makeBert();
+    HardwareConfig hw; // The paper's 16x16 deployment default.
+
+    dse::DseOptions naive;
+    naive.threads = 1;
+    naive.eval = naivePolicy();
+    dse::DseEngine naiveEngine(naive);
+    auto t0 = std::chrono::steady_clock::now();
+    ScheduleResult a = naiveEngine.mapModel(hw, bert);
+    s.naiveWallSeconds =
+        std::chrono::duration<double>(
+            std::chrono::steady_clock::now() - t0)
+            .count();
+    s.naiveModelEvals =
+        naiveEngine.evaluator().counters().modelEvals;
+
+    dse::DseOptions opt;
+    opt.threads = 1;
+    dse::DseEngine engine(opt);
+    CounterSnap c0 = snapCounters(engine);
+    t0 = std::chrono::steady_clock::now();
+    ScheduleResult b = engine.mapModel(hw, bert);
+    s.wallSeconds = std::chrono::duration<double>(
+                        std::chrono::steady_clock::now() - t0)
+                        .count();
+    fillCounters(&s, engine, c0);
+    s.identicalOutput = sameSchedule(a, b);
+    return s;
+}
+
+void
+writeJson(const std::string &path,
+          const std::vector<SweepNumbers> &sweeps)
+{
+    std::ofstream out(path);
+    out << "{\n";
+    out << "  \"bench\": \"bench_dse_perf\",\n";
+    out << "  \"schema\": 1,\n";
+    out << "  \"sweeps\": [\n";
+    for (std::size_t i = 0; i < sweeps.size(); ++i) {
+        const SweepNumbers &s = sweeps[i];
+        char buf[1024];
+        std::snprintf(
+            buf, sizeof(buf),
+            "    {\n"
+            "      \"name\": \"%s\",\n"
+            "      \"model_evals\": %llu,\n"
+            "      \"naive_model_evals\": %llu,\n"
+            "      \"eval_reduction\": %.2f,\n"
+            "      \"l0_hits\": %llu,\n"
+            "      \"l0_misses\": %llu,\n"
+            "      \"l1_hits\": %llu,\n"
+            "      \"l1_misses\": %llu,\n"
+            "      \"mappings_pruned\": %llu,\n"
+            "      \"dataflows_pruned\": %llu,\n"
+            "      \"layers_deduped\": %llu,\n"
+            "      \"frontier_points\": %llu,\n"
+            "      \"wall_seconds\": %.4f,\n"
+            "      \"naive_wall_seconds\": %.4f,\n"
+            "      \"identical_output\": %s\n"
+            "    }%s\n",
+            s.name.c_str(), (unsigned long long)s.modelEvals,
+            (unsigned long long)s.naiveModelEvals, s.reduction(),
+            (unsigned long long)s.l0Hits,
+            (unsigned long long)s.l0Misses,
+            (unsigned long long)s.l1Hits,
+            (unsigned long long)s.l1Misses,
+            (unsigned long long)s.mappingsPruned,
+            (unsigned long long)s.dataflowsPruned,
+            (unsigned long long)s.layersDeduped,
+            (unsigned long long)s.frontierPoints, s.wallSeconds,
+            s.naiveWallSeconds, s.identicalOutput ? "true" : "false",
+            i + 1 < sweeps.size() ? "," : "");
+        out << buf;
+    }
+    out << "  ]\n}\n";
+}
+
+/**
+ * Pull "model_evals" for a named sweep out of a committed
+ * BENCH_dse.json. Minimal scanner for the flat format writeJson
+ * emits — not a general JSON parser. Returns false when the sweep
+ * is absent.
+ */
+bool
+baselineModelEvals(const std::string &text, const std::string &sweep,
+                   std::uint64_t *out)
+{
+    std::string tag = "\"name\": \"" + sweep + "\"";
+    std::size_t at = text.find(tag);
+    if (at == std::string::npos)
+        return false;
+    std::size_t key = text.find("\"model_evals\":", at);
+    if (key == std::string::npos)
+        return false;
+    *out = std::strtoull(
+        text.c_str() + key + std::strlen("\"model_evals\":"), nullptr,
+        10);
+    return true;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string outPath = "BENCH_dse.json";
+    std::string baselinePath;
+    for (int i = 1; i < argc; ++i) {
+        if (!std::strcmp(argv[i], "--baseline") && i + 1 < argc)
+            baselinePath = argv[++i];
+        else if (!std::strcmp(argv[i], "--out") && i + 1 < argc)
+            outPath = argv[++i];
+    }
+    // Read the baseline up front: the default output path overwrites
+    // the committed file the baseline is usually read from.
+    std::string baselineText;
+    if (!baselinePath.empty()) {
+        std::ifstream in(baselinePath);
+        std::stringstream ss;
+        ss << in.rdbuf();
+        baselineText = ss.str();
+        if (baselineText.empty())
+            std::printf("warning: baseline %s missing or empty\n",
+                        baselinePath.c_str());
+    }
+
+    Model rn50 = makeResNet50();
+    std::vector<SweepNumbers> sweeps;
+    sweeps.push_back(sweepTimeloopExhaustive(rn50));
+    sweeps.push_back(sweepMappingSearch(rn50));
+    sweeps.push_back(sweepMappingSearchWarm(rn50));
+    sweeps.push_back(sweepBert());
+
+    bool ok = true;
+    for (const SweepNumbers &s : sweeps) {
+        std::printf("=== %s ===\n", s.name.c_str());
+        std::printf("model evals: %llu (naive %llu, %.1fx "
+                    "reduction)\n",
+                    (unsigned long long)s.modelEvals,
+                    (unsigned long long)s.naiveModelEvals,
+                    s.reduction());
+        std::printf("cache: L0 %llu hits / %llu misses, L1 %llu "
+                    "hits / %llu misses\n",
+                    (unsigned long long)s.l0Hits,
+                    (unsigned long long)s.l0Misses,
+                    (unsigned long long)s.l1Hits,
+                    (unsigned long long)s.l1Misses);
+        std::printf("pruned: %llu tilings (%llu whole dataflows), "
+                    "deduped: %llu layer instances\n",
+                    (unsigned long long)s.mappingsPruned,
+                    (unsigned long long)s.dataflowsPruned,
+                    (unsigned long long)s.layersDeduped);
+        std::printf("wall: %.3fs (naive %.3fs)\n", s.wallSeconds,
+                    s.naiveWallSeconds);
+        std::printf("identical output: %s\n\n",
+                    s.identicalOutput ? "yes" : "NO");
+        if (!s.identicalOutput) {
+            std::printf("FAIL: %s diverged from the naive sweep\n",
+                        s.name.c_str());
+            ok = false;
+        }
+        if (!baselineText.empty()) {
+            std::uint64_t base = 0;
+            if (baselineModelEvals(baselineText, s.name, &base)) {
+                // >10% regression in evaluation count fails CI.
+                if (double(s.modelEvals) > 1.10 * double(base)) {
+                    std::printf("FAIL: %s model_evals %llu regressed "
+                                ">10%% over baseline %llu\n",
+                                s.name.c_str(),
+                                (unsigned long long)s.modelEvals,
+                                (unsigned long long)base);
+                    ok = false;
+                }
+            }
+        }
+    }
+
+    // The headline acceptance number: the hardware-DSE sweep must do
+    // >= 10x fewer performance-model evaluations than the naive
+    // exhaustive path at identical output.
+    if (sweeps[0].reduction() < 10.0) {
+        std::printf("FAIL: %s reduction %.1fx < 10x\n",
+                    sweeps[0].name.c_str(), sweeps[0].reduction());
+        ok = false;
+    }
+
+    writeJson(outPath, sweeps);
+    std::printf("wrote %s\n", outPath.c_str());
+    return ok ? 0 : 1;
+}

@@ -115,6 +115,14 @@ main()
                 (unsigned long long)r.stats.cacheHits,
                 (unsigned long long)r.stats.cacheMisses,
                 r.stats.wallSeconds);
+    std::printf("hot path: %llu model evals, %llu tilings pruned "
+                "(%llu whole dataflows), %llu layers deduped, "
+                "L0 %llu hits\n",
+                (unsigned long long)r.stats.modelEvals,
+                (unsigned long long)r.stats.mappingsPruned,
+                (unsigned long long)r.stats.dataflowsPruned,
+                (unsigned long long)r.stats.layersDeduped,
+                (unsigned long long)r.stats.l0Hits);
     const dse::DsePoint *pick =
         r.archive.bestUnderLatency(base.latencyCycles, 2);
     if (pick) {

@@ -71,6 +71,31 @@ class PanicError : public std::logic_error
 /** Emit a non-fatal warning on stderr. */
 void warn(const std::string &msg);
 
+/**
+ * @name 64-bit FNV-1a
+ * The one hash used for content signatures (DSE cache keys, layer
+ * signatures, schema hashes). Words are folded LSB-first so the
+ * result does not depend on host endianness.
+ * @{
+ */
+constexpr std::uint64_t kFnv1aOffset = 1469598103934665603ull;
+constexpr std::uint64_t kFnv1aPrime = 1099511628211ull;
+
+inline std::uint64_t
+fnv1aByte(std::uint64_t h, std::uint8_t b)
+{
+    return (h ^ b) * kFnv1aPrime;
+}
+
+inline std::uint64_t
+fnv1aWord(std::uint64_t h, std::uint64_t w)
+{
+    for (int b = 0; b < 8; ++b)
+        h = fnv1aByte(h, std::uint8_t((w >> (8 * b)) & 0xff));
+    return h;
+}
+/** @} */
+
 /** GCD that treats gcd(0, x) = |x| and gcd(0, 0) = 0. */
 inline Int
 gcdInt(Int a, Int b)

@@ -5,6 +5,8 @@
 #include <fstream>
 #include <utility>
 
+#include "model/layer_class.hh"
+
 namespace lego
 {
 namespace dse
@@ -64,13 +66,9 @@ getWord(std::istream &in, std::uint64_t *w)
 std::uint64_t
 CacheKey::computeHash() const
 {
-    std::uint64_t h = 1469598103934665603ull; // FNV offset basis.
-    for (std::uint64_t w : words) {
-        for (int b = 0; b < 8; ++b) {
-            h ^= (w >> (8 * b)) & 0xff;
-            h *= 1099511628211ull; // FNV prime.
-        }
-    }
+    std::uint64_t h = kFnv1aOffset;
+    for (std::uint64_t w : words)
+        h = fnv1aWord(h, w);
     return h;
 }
 
@@ -113,22 +111,12 @@ makeCacheKey(const HardwareConfig &hw, const Layer &l,
         dfs = (dfs << 4) | (std::uint64_t(t) + 1);
     put(dfs);
 
-    // Layer shape (name and repeat excluded on purpose).
-    put(std::uint64_t(l.kind));
-    put(std::uint64_t(l.n));
-    put(std::uint64_t(l.ic));
-    put(std::uint64_t(l.oc));
-    put(std::uint64_t(l.oh));
-    put(std::uint64_t(l.ow));
-    put(std::uint64_t(l.kh));
-    put(std::uint64_t(l.kw));
-    put(std::uint64_t(l.stride));
-    put(std::uint64_t(l.m));
-    put(std::uint64_t(l.k));
-    put(std::uint64_t(l.nOut));
-    put(std::uint64_t(l.batchAmortized));
-    put(std::uint64_t(l.ppu));
-    put(std::uint64_t(l.elems));
+    // Layer shape (name and repeat excluded on purpose). Sourced
+    // from the canonical LayerSignature serialization, so the
+    // layer-class dedup and the cache key can never key on
+    // different field sets.
+    for (std::uint64_t w : layerSignature(l).words())
+        put(w);
 
     // Mapping.
     put(std::uint64_t(map.dataflow));
@@ -139,7 +127,56 @@ makeCacheKey(const HardwareConfig &hw, const Layer &l,
     return key;
 }
 
-CostCache::CostCache(int shards)
+namespace
+{
+
+/**
+ * Thread-local L0: a direct-mapped open-addressing table shared by
+ * every CostCache a thread talks to. Slots are tagged with the
+ * owning cache's process-unique id and clear()-epoch; a mismatched
+ * tag is simply a miss, so stale entries (other caches, cleared
+ * caches, reused addresses — ids are never reused) cannot leak.
+ * Power-of-two size so the index is a mask of the precomputed key
+ * hash.
+ */
+constexpr std::size_t kL0Slots = 4096;
+
+struct L0Slot
+{
+    bool used = false;
+    std::uint64_t owner = 0;
+    std::uint64_t epoch = 0;
+    CacheKey key;
+    LayerResult val;
+};
+
+struct L0Table
+{
+    std::vector<L0Slot> slots{kL0Slots};
+
+    L0Slot &slotFor(const CacheKey &key)
+    {
+        return slots[std::size_t(key.hashValue) & (kL0Slots - 1)];
+    }
+};
+
+L0Table &
+tlsL0()
+{
+    thread_local L0Table table;
+    return table;
+}
+
+std::uint64_t
+nextCacheId()
+{
+    static std::atomic<std::uint64_t> counter{1};
+    return counter.fetch_add(1, std::memory_order_relaxed);
+}
+
+} // namespace
+
+CostCache::CostCache(int shards) : id_(nextCacheId())
 {
     int n = shards < 1 ? 1 : shards;
     shards_.reserve(std::size_t(n));
@@ -172,8 +209,48 @@ void
 CostCache::insert(const CacheKey &key, const LayerResult &result)
 {
     Shard &s = shardFor(key);
-    std::lock_guard<std::mutex> lk(s.mu);
-    s.map.emplace(key, result);
+    bool created;
+    {
+        std::lock_guard<std::mutex> lk(s.mu);
+        created = s.map.emplace(key, result).second;
+    }
+    if (created)
+        inserts_.fetch_add(1, std::memory_order_relaxed);
+}
+
+bool
+CostCache::lookupFast(const CacheKey &key, LayerResult *out)
+{
+    const std::uint64_t epoch = epoch_.load(std::memory_order_relaxed);
+    L0Slot &slot = tlsL0().slotFor(key);
+    if (slot.used && slot.owner == id_ && slot.epoch == epoch &&
+        slot.key == key) {
+        l0Hits_.fetch_add(1, std::memory_order_relaxed);
+        *out = slot.val;
+        return true;
+    }
+    l0Misses_.fetch_add(1, std::memory_order_relaxed);
+    if (!lookup(key, out))
+        return false;
+    // Promote the L1 hit so this worker's next lookup is lock-free.
+    slot.used = true;
+    slot.owner = id_;
+    slot.epoch = epoch;
+    slot.key = key;
+    slot.val = *out;
+    return true;
+}
+
+void
+CostCache::insertFast(const CacheKey &key, const LayerResult &result)
+{
+    insert(key, result);
+    L0Slot &slot = tlsL0().slotFor(key);
+    slot.used = true;
+    slot.owner = id_;
+    slot.epoch = epoch_.load(std::memory_order_relaxed);
+    slot.key = key;
+    slot.val = result;
 }
 
 std::size_t
@@ -190,11 +267,9 @@ CostCache::size() const
 std::uint64_t
 CostCache::schemaHash()
 {
-    std::uint64_t h = 1469598103934665603ull; // FNV offset basis.
-    for (const char *p = kCacheFileSchema; *p; ++p) {
-        h ^= std::uint8_t(*p);
-        h *= 1099511628211ull; // FNV prime.
-    }
+    std::uint64_t h = kFnv1aOffset;
+    for (const char *p = kCacheFileSchema; *p; ++p)
+        h = fnv1aByte(h, std::uint8_t(*p));
     return h;
 }
 
@@ -312,8 +387,15 @@ CostCache::clear()
         std::lock_guard<std::mutex> lk(s->mu);
         s->map.clear();
     }
+    // Invalidate every thread's L0 entries for this cache: slots are
+    // tagged with the epoch at fill time, so bumping it turns them
+    // all into misses without touching other threads' storage.
+    epoch_.fetch_add(1, std::memory_order_relaxed);
     hits_.store(0);
     misses_.store(0);
+    l0Hits_.store(0);
+    l0Misses_.store(0);
+    inserts_.store(0);
 }
 
 } // namespace dse

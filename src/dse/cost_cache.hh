@@ -59,7 +59,29 @@ struct CacheKeyHash
 CacheKey makeCacheKey(const HardwareConfig &hw, const Layer &l,
                       const Mapping &map);
 
-/** Sharded, thread-safe (key -> LayerResult) memo table. */
+/**
+ * Sharded, thread-safe (key -> LayerResult) memo table with a
+ * thread-local L0 in front.
+ *
+ * Two levels:
+ *  - **L0** — a fixed-size, open-addressed (direct-mapped) table in
+ *    thread-local storage. The common per-worker re-lookup takes
+ *    zero locks: one hash index, one exact key compare. Entries are
+ *    tagged with the owning cache's id and clear()-epoch, so a
+ *    thread serving several caches (or a cache that was cleared)
+ *    can never read a stale result.
+ *  - **L1** — the sharded mutex-protected table (one mutex per
+ *    shard, keys distributed by hash). This is the level that
+ *    persists via save()/load(); L0 is never serialized.
+ *
+ * Counter contract (exact under any worker count; all relaxed
+ * atomics): every lookupFast counts exactly one of l0Hits/l0Misses;
+ * every L0 miss falls through to one L1 lookup, which counts exactly
+ * one of hits/misses — so hits() + misses() == l0Misses() when all
+ * traffic goes through lookupFast. inserts() counts entries actually
+ * created (losing racers of a duplicate insert are not counted), so
+ * inserts() == size() on a cache that was never cleared.
+ */
 class CostCache
 {
   public:
@@ -71,8 +93,20 @@ class CostCache
     /** Insert (first writer wins; duplicates are identical anyway). */
     void insert(const CacheKey &key, const LayerResult &result);
 
+    /**
+     * Two-level lookup: thread-local L0 first (no locks), then the
+     * sharded table (promoting the entry into L0 on an L1 hit).
+     */
+    bool lookupFast(const CacheKey &key, LayerResult *out);
+
+    /** insert() that also fills the caller's L0 slot. */
+    void insertFast(const CacheKey &key, const LayerResult &result);
+
     std::uint64_t hits() const { return hits_.load(); }
     std::uint64_t misses() const { return misses_.load(); }
+    std::uint64_t l0Hits() const { return l0Hits_.load(); }
+    std::uint64_t l0Misses() const { return l0Misses_.load(); }
+    std::uint64_t inserts() const { return inserts_.load(); }
     std::size_t size() const;
     void clear();
 
@@ -114,8 +148,15 @@ class CostCache
     Shard &shardFor(const CacheKey &key);
 
     std::vector<std::unique_ptr<Shard>> shards_;
+    /** Process-unique instance id tagged into L0 slots. */
+    std::uint64_t id_;
+    /** Bumped by clear() so stale L0 entries die everywhere. */
+    std::atomic<std::uint64_t> epoch_{0};
     std::atomic<std::uint64_t> hits_{0};
     std::atomic<std::uint64_t> misses_{0};
+    std::atomic<std::uint64_t> l0Hits_{0};
+    std::atomic<std::uint64_t> l0Misses_{0};
+    std::atomic<std::uint64_t> inserts_{0};
 };
 
 } // namespace dse

@@ -11,7 +11,7 @@ namespace dse
 
 DseEngine::DseEngine(DseOptions opt)
     : opt_(std::move(opt)), cache_(), pool_(opt_.threads),
-      evaluator_(&cache_)
+      evaluator_(&cache_, opt_.eval)
 {
     // Warm-start from the persisted cache when one is configured; a
     // missing or stale (schema-mismatched) file is just a cold start.
@@ -33,6 +33,8 @@ DseEngine::explore(const CandidateSpace &space, const Model &m)
     auto t0 = std::chrono::steady_clock::now();
     DseResult res;
     std::uint64_t hits0 = cache_.hits(), misses0 = cache_.misses();
+    std::uint64_t l0h0 = cache_.l0Hits(), l0m0 = cache_.l0Misses();
+    EvalCounters ec0 = evaluator_.counters();
 
     StrategyOptions sopt;
     sopt.seed = opt_.seed;
@@ -86,6 +88,14 @@ DseEngine::explore(const CandidateSpace &space, const Model &m)
     res.stats.pruned = strat->pruned();
     res.stats.cacheHits = cache_.hits() - hits0;
     res.stats.cacheMisses = cache_.misses() - misses0;
+    res.stats.l0Hits = cache_.l0Hits() - l0h0;
+    res.stats.l0Misses = cache_.l0Misses() - l0m0;
+    EvalCounters ec1 = evaluator_.counters();
+    res.stats.modelEvals = ec1.modelEvals - ec0.modelEvals;
+    res.stats.mappingsPruned = ec1.mappingsPruned - ec0.mappingsPruned;
+    res.stats.dataflowsPruned =
+        ec1.dataflowsPruned - ec0.dataflowsPruned;
+    res.stats.layersDeduped = ec1.layersDeduped - ec0.layersDeduped;
     res.stats.wallSeconds =
         std::chrono::duration<double>(
             std::chrono::steady_clock::now() - t0)

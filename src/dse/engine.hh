@@ -41,6 +41,13 @@ struct DseOptions
      * repeated model-zoo sweeps skip already-costed evaluations.
      */
     std::string cachePath;
+    /**
+     * Evaluator reuse/pruning switches. The defaults (both on) keep
+     * results bit-identical to the naive sweep; turning them off
+     * exists for equivalence tests and perf baselines
+     * (bench_dse_perf).
+     */
+    EvalPolicy eval;
 };
 
 struct DseStats
@@ -48,8 +55,16 @@ struct DseStats
     std::size_t proposed = 0;  //!< Ids proposed by the strategy.
     std::size_t evaluated = 0; //!< Unique candidates actually scored.
     std::size_t pruned = 0;    //!< Skipped as infeasible (PrunedExhaustive).
-    std::uint64_t cacheHits = 0;
-    std::uint64_t cacheMisses = 0;
+    std::uint64_t cacheHits = 0;   //!< Sharded (L1) cache hits.
+    std::uint64_t cacheMisses = 0; //!< Sharded (L1) cache misses.
+    std::uint64_t l0Hits = 0;      //!< Thread-local L0 hits (no locks).
+    std::uint64_t l0Misses = 0;    //!< L0 misses (fell through to L1).
+    /** runLayerWithEff invocations issued by this engine's
+     *  evaluator — the hot-path unit of work. Per-engine exact. */
+    std::uint64_t modelEvals = 0;
+    std::uint64_t mappingsPruned = 0;  //!< Tilings cut by the cycle bound.
+    std::uint64_t dataflowsPruned = 0; //!< Dataflows cut by the floor.
+    std::uint64_t layersDeduped = 0;   //!< Layer instances broadcast, not searched.
     double wallSeconds = 0;
 };
 
@@ -86,6 +101,7 @@ class DseEngine
     const DseOptions &options() const { return opt_; }
     CostCache &cache() { return cache_; }
     WorkerPool &pool() { return pool_; }
+    const Evaluator &evaluator() const { return evaluator_; }
 
   private:
     DseOptions opt_;

@@ -22,7 +22,29 @@ tileCandidates(Int dim)
     return out;
 }
 
-/** The mapper's tie-breaking order on layer results. */
+/**
+ * Append the fitsL1-filtered tilings of one dataflow in canonical
+ * (tm, tn, tk) order. The tile ladders are hoisted to the caller so
+ * the triple loop never reallocates them.
+ */
+void
+appendTilings(const HardwareConfig &hw, DataflowTag df, Int m, Int n,
+              Int k, const std::vector<Int> &tms,
+              const std::vector<Int> &tns, const std::vector<Int> &tks,
+              std::vector<Mapping> *out)
+{
+    for (Int tm : tms)
+        for (Int tn : tns)
+            for (Int tk : tks) {
+                if (!fitsL1(hw, std::min(tm, m), std::min(tn, n),
+                            std::min(tk, k)))
+                    continue;
+                out->push_back(Mapping{df, tm, tn, tk});
+            }
+}
+
+} // namespace
+
 bool
 betterResult(const LayerResult &r, const LayerResult &best)
 {
@@ -31,8 +53,6 @@ betterResult(const LayerResult &r, const LayerResult &best)
            (r.cycles == best.cycles && r.energyPj == best.energyPj &&
             r.utilization > best.utilization);
 }
-
-} // namespace
 
 bool
 fitsL1(const HardwareConfig &hw, Int tm, Int tn, Int tk)
@@ -70,15 +90,13 @@ mappingCandidates(const HardwareConfig &hw, const Layer &l)
     if (!l.isTensorOp())
         return out;
     const Int m = l.gemmM(), n = l.gemmN(), k = l.gemmK();
+    const std::vector<Int> tms = tileCandidates(m);
+    const std::vector<Int> tns = tileCandidates(n);
+    const std::vector<Int> tks = tileCandidates(k);
+    out.reserve(hw.dataflows.size() * tms.size() * tns.size() *
+                tks.size());
     for (DataflowTag df : hw.dataflows)
-        for (Int tm : tileCandidates(m))
-            for (Int tn : tileCandidates(n))
-                for (Int tk : tileCandidates(k)) {
-                    if (!fitsL1(hw, std::min(tm, m), std::min(tn, n),
-                                std::min(tk, k)))
-                        continue;
-                    out.push_back(Mapping{df, tm, tn, tk});
-                }
+        appendTilings(hw, df, m, n, k, tms, tns, tks, &out);
     return out;
 }
 
@@ -86,14 +104,17 @@ LayerResult
 Evaluator::scoredRunLayer(const HardwareConfig &hw, const Layer &l,
                           const Mapping &map, double spatialEff) const
 {
-    if (!cache_)
+    if (!cache_) {
+        modelEvals_.fetch_add(1, std::memory_order_relaxed);
         return runLayerWithEff(hw, l, map, spatialEff);
+    }
     CacheKey key = makeCacheKey(hw, l, map);
     LayerResult res;
-    if (cache_->lookup(key, &res))
+    if (cache_->lookupFast(key, &res))
         return res;
+    modelEvals_.fetch_add(1, std::memory_order_relaxed);
     res = runLayerWithEff(hw, l, map, spatialEff);
-    cache_->insert(key, res);
+    cache_->insertFast(key, res);
     return res;
 }
 
@@ -101,6 +122,7 @@ MappedLayer
 Evaluator::searchMapping(const HardwareConfig &hw,
                          const Layer &l) const
 {
+    searches_.fetch_add(1, std::memory_order_relaxed);
     MappedLayer best;
     best.result.cycles = std::numeric_limits<Int>::max();
     if (!l.isTensorOp()) {
@@ -108,26 +130,85 @@ Evaluator::searchMapping(const HardwareConfig &hw,
         return best;
     }
 
-    // Candidates come dataflow-major, so the spatial efficiency is
-    // memoized once per dataflow and shared by all of its tilings.
-    bool haveSe = false;
-    DataflowTag seDf = DataflowTag::MN;
-    double se = 0;
-    for (const Mapping &map : mappingCandidates(hw, l)) {
-        if (!haveSe || map.dataflow != seDf) {
-            seDf = map.dataflow;
-            se = spatialEfficiency(hw, l, seDf);
-            haveSe = true;
+    const Int m = l.gemmM(), n = l.gemmN(), k = l.gemmK();
+    const std::vector<Int> tms = tileCandidates(m);
+    const std::vector<Int> tns = tileCandidates(n);
+    const std::vector<Int> tks = tileCandidates(k);
+    const Int kNoBest = std::numeric_limits<Int>::max();
+
+    std::vector<Mapping> cands;
+    std::vector<Int> bounds;
+    std::vector<std::size_t> order;
+    for (DataflowTag df : hw.dataflows) {
+        // The spatial efficiency is computed once per dataflow and
+        // shared by all of its tilings.
+        const double se = spatialEfficiency(hw, l, df);
+        cands.clear();
+        appendTilings(hw, df, m, n, k, tms, tns, tks, &cands);
+        if (cands.empty())
+            continue;
+
+        if (policy_.pruneMappings && best.result.cycles != kNoBest &&
+            cycleLowerBound(hw, l, se) > best.result.cycles) {
+            // The roofline floor of this dataflow already loses to
+            // the incumbent: no tiling of it can win or tie.
+            dataflowsPruned_.fetch_add(1, std::memory_order_relaxed);
+            mappingsPruned_.fetch_add(cands.size(),
+                                      std::memory_order_relaxed);
+            continue;
         }
-        LayerResult r = scoredRunLayer(hw, l, map, se);
-        if (betterResult(r, best.result)) {
-            best.mapping = map;
-            best.result = r;
+
+        if (!policy_.pruneMappings) {
+            for (const Mapping &map : cands) {
+                LayerResult r = scoredRunLayer(hw, l, map, se);
+                if (betterResult(r, best.result)) {
+                    best.mapping = map;
+                    best.result = r;
+                }
+            }
+            continue;
+        }
+
+        // Branch-and-bound: admit tilings in ascending order of the
+        // exact cycle bound and cut once the bound passes the
+        // incumbent. The bound IS the mapping's true cycle count
+        // (sim/perf.hh mappingCycles shares the cycle model with
+        // runLayerWithEff), so a cut tiling is strictly slower than
+        // the incumbent and can never win a (cycles, energy,
+        // utilization) tie — the selected mapping is bit-identical
+        // to the exhaustive sweep's. stable_sort keeps equal-cycle
+        // tilings in canonical order, preserving tie-breaks too.
+        bounds.resize(cands.size());
+        order.resize(cands.size());
+        for (std::size_t i = 0; i < cands.size(); ++i) {
+            bounds[i] = mappingCycles(hw, l, cands[i], se);
+            order[i] = i;
+        }
+        std::stable_sort(order.begin(), order.end(),
+                         [&](std::size_t a, std::size_t b) {
+                             return bounds[a] < bounds[b];
+                         });
+        for (std::size_t oi = 0; oi < order.size(); ++oi) {
+            const std::size_t i = order[oi];
+            if (bounds[i] > best.result.cycles) {
+                mappingsPruned_.fetch_add(order.size() - oi,
+                                          std::memory_order_relaxed);
+                break;
+            }
+            LayerResult r = scoredRunLayer(hw, l, cands[i], se);
+            if (betterResult(r, best.result)) {
+                best.mapping = cands[i];
+                best.result = r;
+            }
         }
     }
-    if (best.result.cycles == std::numeric_limits<Int>::max()) {
-        // Nothing fit: smallest tiles as a fallback.
-        Mapping map{hw.dataflows.front(), 16, 16, 16};
+
+    if (best.result.cycles == kNoBest) {
+        // Nothing fit: smallest tiles as a fallback, clamped to the
+        // problem so a tiny GEMM never reports a tile larger than
+        // its own dimension.
+        Mapping map{hw.dataflows.front(), std::min<Int>(16, m),
+                    std::min<Int>(16, n), std::min<Int>(16, k)};
         best.mapping = map;
         best.result = scoredRunLayer(
             hw, l, map, spatialEfficiency(hw, l, map.dataflow));
@@ -139,19 +220,43 @@ ScheduleResult
 Evaluator::mapModel(const HardwareConfig &hw, const Model &m,
                     WorkerPool *pool) const
 {
-    ScheduleResult out;
     std::vector<MappedLayer> mapped(m.layers.size());
-    auto mapOne = [&](std::size_t i) {
-        mapped[i] = searchMapping(hw, m.layers[i]);
-    };
-    if (pool) {
-        pool->parallelFor(m.layers.size(), mapOne);
+    if (policy_.dedupLayerClasses) {
+        // Search one representative per shape-identical class and
+        // broadcast: class members produce bit-identical results by
+        // construction (the signature covers every field the sweep
+        // reads).
+        const std::vector<LayerClass> classes = groupLayerClasses(m);
+        std::vector<MappedLayer> byClass(classes.size());
+        auto mapOne = [&](std::size_t c) {
+            byClass[c] =
+                searchMapping(hw, m.layers[classes[c].representative]);
+        };
+        if (pool) {
+            pool->parallelFor(classes.size(), mapOne);
+        } else {
+            for (std::size_t c = 0; c < classes.size(); ++c)
+                mapOne(c);
+        }
+        for (std::size_t c = 0; c < classes.size(); ++c)
+            for (std::size_t idx : classes[c].members)
+                mapped[idx] = byClass[c];
+        layersDeduped_.fetch_add(m.layers.size() - classes.size(),
+                                 std::memory_order_relaxed);
     } else {
-        for (std::size_t i = 0; i < m.layers.size(); ++i)
-            mapOne(i);
+        auto mapOne = [&](std::size_t i) {
+            mapped[i] = searchMapping(hw, m.layers[i]);
+        };
+        if (pool) {
+            pool->parallelFor(m.layers.size(), mapOne);
+        } else {
+            for (std::size_t i = 0; i < m.layers.size(); ++i)
+                mapOne(i);
+        }
     }
     // Ordered reduction: aggregate in layer order regardless of the
     // order workers finished in.
+    ScheduleResult out;
     for (std::size_t i = 0; i < m.layers.size(); ++i) {
         const Layer &l = m.layers[i];
         accumulate(out.summary, mapped[i].result, l.isTensorOp(),
@@ -178,6 +283,19 @@ Evaluator::evaluate(const HardwareConfig &hw, const Model &m,
     p.powerMw = cost.totalPowerMw();
     p.summary = sched.summary;
     return p;
+}
+
+EvalCounters
+Evaluator::counters() const
+{
+    EvalCounters c;
+    c.searches = searches_.load(std::memory_order_relaxed);
+    c.layersDeduped = layersDeduped_.load(std::memory_order_relaxed);
+    c.mappingsPruned = mappingsPruned_.load(std::memory_order_relaxed);
+    c.dataflowsPruned =
+        dataflowsPruned_.load(std::memory_order_relaxed);
+    c.modelEvals = modelEvals_.load(std::memory_order_relaxed);
+    return c;
 }
 
 } // namespace dse

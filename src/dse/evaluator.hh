@@ -2,22 +2,38 @@
  * @file
  * Candidate evaluation engine: scores hardware candidates through the
  * existing layer performance model (runLayer) and chip cost roll-up
- * (archCost). Owns the per-layer mapping sweep that used to live in
- * mapper::mapLayer — the mapper is now a thin client of this code —
- * with two accelerations:
+ * (archCost). Owns THE mapping-search implementation (the mapper's
+ * mapLayer/scheduleModel are thin clients), with four accelerations:
  *
+ *  - layer-class deduplication: mapModel groups shape-identical
+ *    layers (model/layer_class.hh) and searches each class once,
+ *    broadcasting the result to every instance;
+ *  - bound-based pruning: tilings are admitted through the exact
+ *    cycle bound (sim/perf.hh mappingCycles) sorted ascending, and
+ *    the sweep is cut once the bound passes the incumbent; whole
+ *    dataflows are skipped when their roofline floor
+ *    (cycleLowerBound) already loses;
  *  - spatialEfficiency is computed once per (hw, layer, dataflow)
  *    and shared by every tiling candidate of that dataflow;
  *  - each (hw, layer, mapping) evaluation is memoized in an optional
- *    CostCache shared across DSE worker threads.
+ *    CostCache (thread-local L0 in front of the sharded table).
+ *
+ * Both optimizations preserve the exact result of the naive sweep:
+ * the bound equals the true cycle count, ties keep their canonical
+ * order, and class members are shape-identical by construction. The
+ * naive path stays available through EvalPolicy for equivalence
+ * tests and perf baselines.
  */
 
 #ifndef LEGO_DSE_EVALUATOR_HH
 #define LEGO_DSE_EVALUATOR_HH
 
+#include <atomic>
+
 #include "dse/cost_cache.hh"
 #include "dse/pareto.hh"
 #include "dse/worker_pool.hh"
+#include "model/layer_class.hh"
 #include "model/models.hh"
 
 namespace lego
@@ -53,24 +69,61 @@ bool feasible(const HardwareConfig &hw, const Layer &l);
 /** feasible() over every layer of a model. */
 bool feasible(const HardwareConfig &hw, const Model &m);
 
+/**
+ * THE tie-breaking order on layer results (cycles, then energy, then
+ * utilization — the paper's VI-A mapping search). Shared by every
+ * client that ranks mappings; do not re-implement it.
+ */
+bool betterResult(const LayerResult &r, const LayerResult &best);
+
+/**
+ * Reuse/pruning switches of the evaluator. Both default on; the
+ * naive configuration reproduces the pre-optimization exhaustive
+ * sweep bit-for-bit and exists for equivalence tests and the perf
+ * baseline in bench_dse_perf.
+ */
+struct EvalPolicy
+{
+    bool dedupLayerClasses = true; //!< Search one layer per class.
+    bool pruneMappings = true;     //!< Branch-and-bound the sweep.
+};
+
+/** Reuse/pruning work counters (monotonic, any-thread exact). */
+struct EvalCounters
+{
+    std::uint64_t searches = 0;        //!< searchMapping calls run.
+    std::uint64_t layersDeduped = 0;   //!< Instances broadcast, not searched.
+    std::uint64_t mappingsPruned = 0;  //!< Tilings cut by the cycle bound.
+    std::uint64_t dataflowsPruned = 0; //!< Dataflows cut by the floor.
+    /** runLayerWithEff invocations issued by THIS evaluator (cache
+     *  misses + uncached runs) — exact even when other engines or
+     *  mapper clients evaluate concurrently in the process. */
+    std::uint64_t modelEvals = 0;
+};
+
 class Evaluator
 {
   public:
     /** cache may be null: every evaluation is then computed fresh. */
-    explicit Evaluator(CostCache *cache = nullptr) : cache_(cache) {}
+    explicit Evaluator(CostCache *cache = nullptr,
+                       EvalPolicy policy = EvalPolicy())
+        : cache_(cache), policy_(policy)
+    {}
 
     /**
-     * Sweep the layer's mapping candidates and keep the best
-     * (cycles, then energy, then utilization — the paper's VI-A
-     * mapping search).
+     * Sweep the layer's mapping candidates and keep the best under
+     * betterResult. With pruning enabled the sweep is cut through
+     * the exact cycle bound; the selected mapping and result are
+     * bit-identical to the exhaustive sweep.
      */
     MappedLayer searchMapping(const HardwareConfig &hw,
                               const Layer &l) const;
 
     /**
-     * Map every layer of the model, fanning the per-layer sweeps
+     * Map every layer of the model, fanning the per-class sweeps
      * across `pool` (inline when null), and aggregate — equivalent
-     * to scheduleModel but parallel and memoized.
+     * to scheduleModel but parallel, memoized, and deduplicated
+     * across shape-identical layers.
      */
     ScheduleResult mapModel(const HardwareConfig &hw, const Model &m,
                             WorkerPool *pool = nullptr) const;
@@ -80,6 +133,10 @@ class Evaluator
                       std::size_t id = 0) const;
 
     CostCache *cache() const { return cache_; }
+    const EvalPolicy &policy() const { return policy_; }
+
+    /** Snapshot of the reuse/pruning counters. */
+    EvalCounters counters() const;
 
   private:
     LayerResult scoredRunLayer(const HardwareConfig &hw,
@@ -87,6 +144,12 @@ class Evaluator
                                double spatialEff) const;
 
     CostCache *cache_;
+    EvalPolicy policy_;
+    mutable std::atomic<std::uint64_t> searches_{0};
+    mutable std::atomic<std::uint64_t> layersDeduped_{0};
+    mutable std::atomic<std::uint64_t> mappingsPruned_{0};
+    mutable std::atomic<std::uint64_t> dataflowsPruned_{0};
+    mutable std::atomic<std::uint64_t> modelEvals_{0};
 };
 
 } // namespace dse

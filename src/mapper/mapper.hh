@@ -4,7 +4,8 @@
  * the hardware's switchable spatial dataflows and L1 tilings through
  * the performance model and keep the best mapping (cycles first,
  * energy as tie-break). This is the "simple mapping search tool"
- * guiding the scheduler in the paper.
+ * guiding the scheduler in the paper. The sweep itself lives in
+ * dse::Evaluator — mapLayer is a thin client (see schedule.cc).
  */
 
 #ifndef LEGO_MAPPER_MAPPER_HH

@@ -1,18 +1,25 @@
 #include "mapper/schedule.hh"
 
+#include "dse/evaluator.hh"
+
 namespace lego
 {
+
+// There is exactly ONE mapping-search implementation:
+// dse::Evaluator (bound-pruned sweep, layer-class deduplication,
+// spatial-efficiency memoization, optional cost cache). Both
+// historical entry points are thin clients of it.
+
+MappedLayer
+mapLayer(const HardwareConfig &hw, const Layer &l)
+{
+    return dse::Evaluator().searchMapping(hw, l);
+}
 
 ScheduleResult
 scheduleModel(const HardwareConfig &hw, const Model &m)
 {
-    ScheduleResult out;
-    for (const Layer &l : m.layers) {
-        MappedLayer ml = mapLayer(hw, l);
-        accumulate(out.summary, ml.result, l.isTensorOp(), l.repeat);
-        out.perLayer.push_back(std::move(ml));
-    }
-    return out;
+    return dse::Evaluator().mapModel(hw, m);
 }
 
 } // namespace lego

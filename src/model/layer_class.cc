@@ -1,0 +1,77 @@
+#include "model/layer_class.hh"
+
+#include <unordered_map>
+
+namespace lego
+{
+
+std::array<std::uint64_t, LayerSignature::kWords>
+LayerSignature::words() const
+{
+    return {
+        std::uint64_t(kind),   std::uint64_t(n),
+        std::uint64_t(ic),     std::uint64_t(oc),
+        std::uint64_t(oh),     std::uint64_t(ow),
+        std::uint64_t(kh),     std::uint64_t(kw),
+        std::uint64_t(stride), std::uint64_t(m),
+        std::uint64_t(k),      std::uint64_t(nOut),
+        std::uint64_t(batchAmortized),
+        std::uint64_t(ppu),    std::uint64_t(elems),
+    };
+}
+
+std::uint64_t
+LayerSignature::hash() const
+{
+    std::uint64_t h = kFnv1aOffset;
+    for (std::uint64_t w : words())
+        h = fnv1aWord(h, w);
+    return h;
+}
+
+LayerSignature
+layerSignature(const Layer &l)
+{
+    LayerSignature s;
+    s.kind = l.kind;
+    s.n = l.n;
+    s.ic = l.ic;
+    s.oc = l.oc;
+    s.oh = l.oh;
+    s.ow = l.ow;
+    s.kh = l.kh;
+    s.kw = l.kw;
+    s.stride = l.stride;
+    s.m = l.m;
+    s.k = l.k;
+    s.nOut = l.nOut;
+    s.batchAmortized = l.batchAmortized;
+    s.ppu = l.ppu;
+    s.elems = l.elems;
+    return s;
+}
+
+std::vector<LayerClass>
+groupLayerClasses(const Model &m)
+{
+    std::vector<LayerClass> classes;
+    std::unordered_map<LayerSignature, std::size_t, LayerSignatureHash>
+        index;
+    index.reserve(m.layers.size());
+    for (std::size_t i = 0; i < m.layers.size(); ++i) {
+        LayerSignature sig = layerSignature(m.layers[i]);
+        auto it = index.find(sig);
+        if (it == index.end()) {
+            index.emplace(sig, classes.size());
+            LayerClass cls;
+            cls.representative = i;
+            cls.members.push_back(i);
+            classes.push_back(std::move(cls));
+        } else {
+            classes[it->second].members.push_back(i);
+        }
+    }
+    return classes;
+}
+
+} // namespace lego

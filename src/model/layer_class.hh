@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Layer-class deduplication for the mapping search: two layers whose
+ * mapping-relevant shape fields are identical (everything the
+ * performance model and the mapping sweep read — kind, GEMM dims,
+ * conv geometry, batch amortization, PPU op/size; name and repeat
+ * count excluded) always receive the identical best mapping on the
+ * same hardware. Grouping a model's layers into such classes lets
+ * the evaluator search each class once and broadcast the result to
+ * every instance: transformer and CNN models collapse from dozens of
+ * layer instances to a handful of classes.
+ */
+
+#ifndef LEGO_MODEL_LAYER_CLASS_HH
+#define LEGO_MODEL_LAYER_CLASS_HH
+
+#include <array>
+#include <cstdint>
+
+#include "model/layer.hh"
+
+namespace lego
+{
+
+/**
+ * Canonical mapping-relevant signature of a layer. Exact-match
+ * equality over every field the mapping sweep depends on. words()
+ * is THE canonical serialization of a layer's shape: the DSE cache
+ * key builds its layer section from it, so the dedup equivalence
+ * ("equal signature => identical search result") and the cache key
+ * can never diverge. A new Layer field read by the performance
+ * model must be added here (and to the cache-file schema string) —
+ * everything else follows.
+ */
+struct LayerSignature
+{
+    LayerKind kind = LayerKind::Conv;
+    Int n = 0, ic = 0, oc = 0, oh = 0, ow = 0, kh = 0, kw = 0;
+    Int stride = 0, m = 0, k = 0, nOut = 0;
+    bool batchAmortized = false;
+    PpuOp ppu = PpuOp::Relu;
+    Int elems = 0;
+
+    static constexpr std::size_t kWords = 15;
+
+    /** The canonical field serialization, in schema order. */
+    std::array<std::uint64_t, kWords> words() const;
+
+    bool operator==(const LayerSignature &o) const
+    {
+        return words() == o.words();
+    }
+
+    /** 64-bit FNV-1a over words(). */
+    std::uint64_t hash() const;
+};
+
+struct LayerSignatureHash
+{
+    std::size_t operator()(const LayerSignature &s) const
+    {
+        return std::size_t(s.hash());
+    }
+};
+
+/** The signature of one layer (name and repeat excluded). */
+LayerSignature layerSignature(const Layer &l);
+
+/**
+ * One equivalence class of shape-identical layers in a model:
+ * `representative` is the first instance (its search result is valid
+ * for every member), `members` lists all instance indices in layer
+ * order, including the representative.
+ */
+struct LayerClass
+{
+    std::size_t representative = 0;
+    std::vector<std::size_t> members;
+};
+
+/**
+ * Group `m.layers` into shape-identical classes, ordered by first
+ * occurrence. Every layer index appears in exactly one class.
+ */
+std::vector<LayerClass> groupLayerClasses(const Model &m);
+
+} // namespace lego
+
+#endif // LEGO_MODEL_LAYER_CLASS_HH

@@ -19,7 +19,76 @@ eff(Int dim, int p)
     return double(dim) / double(tiles * p);
 }
 
+/** Compute cycles and DRAM traffic of one mapping — the one cycle
+ *  model shared by runLayerWithEff and the mappingCycles bound. */
+struct CycleModel
+{
+    Int compute = 0; //!< Pipeline cycles incl. fill/drain.
+    Int traffic = 0; //!< DRAM bytes moved.
+    Int mem = 0;     //!< DRAM cycles for `traffic`.
+};
+
+CycleModel
+cycleModel(const HardwareConfig &hw, const Layer &l, const Mapping &map,
+           double spatialEff)
+{
+    CycleModel cm;
+    const Int m = l.gemmM(), n = l.gemmN(), k = l.gemmK();
+
+    // ---- compute cycles ------------------------------------------------
+    double se = std::max(spatialEff, 1e-4);
+    double ideal = double(l.macs()) / double(hw.totalFus());
+    // Pipeline fill/drain per L1 tile.
+    Int tm = std::min<Int>(map.tm, m);
+    Int tn = std::min<Int>(map.tn, n);
+    Int tk = std::min<Int>(map.tk, k);
+    Int tiles = ceilDiv(m, tm) * ceilDiv(n, tn) * ceilDiv(k, tk);
+    Int fill = (hw.rows + hw.cols + 8) * tiles;
+    cm.compute = Int(std::ceil(ideal / se)) + fill;
+
+    // ---- DRAM traffic --------------------------------------------------
+    // Weights stream once per M-tile sweep; activations once per
+    // N-tile sweep; outputs with partial-sum spills when K is tiled.
+    Int wbytes = l.weightBytes();
+    Int xbytes = l.inputBytes();
+    Int obytes = l.outputBytes();
+    Int reload_w = l.batchAmortized ? 1 : ceilDiv(m, tm);
+    Int reload_x = ceilDiv(n, tn);
+    // Window reuse keeps conv inputs at their true footprint; only
+    // the N-tiling refetch multiplies it.
+    cm.traffic = wbytes * reload_w + xbytes * reload_x +
+                 obytes * (2 * ceilDiv(k, tk) - 1);
+    cm.mem = dramCycles(hw.dram, cm.traffic, hw.freqGhz);
+    return cm;
+}
+
 } // namespace
+
+Int
+mappingCycles(const HardwareConfig &hw, const Layer &l,
+              const Mapping &map, double spatialEff)
+{
+    CycleModel cm = cycleModel(hw, l, map, spatialEff);
+    return std::max(cm.compute, cm.mem);
+}
+
+Int
+cycleLowerBound(const HardwareConfig &hw, const Layer &l,
+                double spatialEff)
+{
+    // Compute floor: every tiling pays the ideal MAC latency at this
+    // dataflow's spatial efficiency plus at least one pipeline fill
+    // (tiles >= 1 in cycleModel).
+    double se = std::max(spatialEff, 1e-4);
+    double ideal = double(l.macs()) / double(hw.totalFus());
+    Int compute = Int(std::ceil(ideal / se)) + (hw.rows + hw.cols + 8);
+    // Bandwidth floor: the reload factors of cycleModel are all >= 1,
+    // so no tiling moves less than one pass of each operand.
+    Int traffic =
+        l.weightBytes() + l.inputBytes() + l.outputBytes();
+    Int mem = dramCycles(hw.dram, traffic, hw.freqGhz);
+    return std::max(compute, mem);
+}
 
 double
 spatialEfficiency(const HardwareConfig &hw, const Layer &l,
@@ -72,42 +141,17 @@ runLayerWithEff(const HardwareConfig &hw, const Layer &l,
     if (!l.isTensorOp())
         return runPpuLayer(hw, l);
 
-    const Int m = l.gemmM(), n = l.gemmN(), k = l.gemmK();
     res.macs = l.macs();
-
-    // ---- compute cycles ----------------------------------------------
-    double se = std::max(spatialEff, 1e-4);
-    double ideal = double(res.macs) / double(hw.totalFus());
-    // Pipeline fill/drain per L1 tile.
-    Int tm = std::min<Int>(map.tm, m);
-    Int tn = std::min<Int>(map.tn, n);
-    Int tk = std::min<Int>(map.tk, k);
-    Int tiles = ceilDiv(m, tm) * ceilDiv(n, tn) * ceilDiv(k, tk);
-    Int fill = (hw.rows + hw.cols + 8) * tiles;
-    Int compute = Int(std::ceil(ideal / se)) + fill;
-
-    // ---- DRAM traffic --------------------------------------------------
-    // Weights stream once per M-tile sweep; activations once per
-    // N-tile sweep; outputs with partial-sum spills when K is tiled.
-    Int wbytes = l.weightBytes();
-    Int xbytes = l.inputBytes();
-    Int obytes = l.outputBytes();
-    Int reload_w = l.batchAmortized ? 1 : ceilDiv(m, tm);
-    Int reload_x = ceilDiv(n, tn);
-    // Window reuse keeps conv inputs at their true footprint; only
-    // the N-tiling refetch multiplies it.
-    Int traffic = wbytes * reload_w + xbytes * reload_x +
-                  obytes * (2 * ceilDiv(k, tk) - 1);
+    CycleModel cm = cycleModel(hw, l, map, spatialEff);
+    Int traffic = cm.traffic;
     res.dramBytes = traffic;
-    Int mem = dramCycles(hw.dram, traffic, hw.freqGhz);
-
-    res.cycles = std::max(compute, mem);
-    res.memoryBound = mem > compute;
+    res.cycles = std::max(cm.compute, cm.mem);
+    res.memoryBound = cm.mem > cm.compute;
     // Array utilization against the compute pipeline (memory stalls
     // are reported via memoryBound; the mapper uses this to break
     // bandwidth-bound ties toward the busier array).
     res.utilization = double(res.macs) / double(hw.totalFus()) /
-                      std::max<double>(1.0, double(compute));
+                      std::max<double>(1.0, double(cm.compute));
 
     // ---- energy ---------------------------------------------------------
     ChipCost cc = archCost(hw);

@@ -42,6 +42,31 @@ struct LayerResult
 double spatialEfficiency(const HardwareConfig &hw, const Layer &l,
                          DataflowTag df);
 
+/**
+ * Exact cycle count of one mapping — the cycle half of
+ * runLayerWithEff without the energy roll-up. Shares the compute /
+ * DRAM-traffic model with runLayerWithEff (same helper, cannot
+ * drift), so for every mapping
+ *
+ *     mappingCycles(hw, l, map, se) == runLayerWithEff(...).cycles
+ *
+ * The mapping sweep uses this as a cheap admission bound: tilings
+ * whose cycle count already exceeds the incumbent are cut before the
+ * full evaluation (branch-and-bound instead of exhaustive).
+ */
+Int mappingCycles(const HardwareConfig &hw, const Layer &l,
+                  const Mapping &map, double spatialEff);
+
+/**
+ * Roofline floor on cycles over ALL tilings of (layer, dataflow):
+ * max of the compute bound (peak MACs at the dataflow's spatial
+ * efficiency plus one pipeline fill) and the bandwidth bound (each
+ * operand moved exactly once). No mapping of this dataflow can beat
+ * it, so a floor above the incumbent prunes the whole dataflow.
+ */
+Int cycleLowerBound(const HardwareConfig &hw, const Layer &l,
+                    double spatialEff);
+
 /** Simulate one tensor layer under a specific mapping. */
 LayerResult runLayer(const HardwareConfig &hw, const Layer &l,
                      const Mapping &map);

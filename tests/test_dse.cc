@@ -70,16 +70,18 @@ TEST(CostCache, CachedEqualsFresh)
 {
     HardwareConfig hw;
     Layer l = conv("c", 64, 128, 28, 3);
-    Mapping map{DataflowTag::MN, 64, 64, 64};
 
     CostCache cache;
     Evaluator cached(&cache);
     Evaluator fresh(nullptr);
 
     MappedLayer a = cached.searchMapping(hw, l); // Fills the cache.
-    MappedLayer b = cached.searchMapping(hw, l); // All hits.
+    MappedLayer b = cached.searchMapping(hw, l); // All cache hits.
     MappedLayer c = fresh.searchMapping(hw, l);
-    EXPECT_GT(cache.hits(), 0u);
+    // The repeat search runs on the same thread, so its hits land in
+    // the thread-local L0 (the sharded level is only consulted on L0
+    // misses).
+    EXPECT_GT(cache.l0Hits(), 0u);
 
     // Bit-identical across cached and fresh paths.
     for (const MappedLayer *m : {&b, &c}) {
@@ -93,14 +95,17 @@ TEST(CostCache, CachedEqualsFresh)
         EXPECT_EQ(a.mapping.tk, m->mapping.tk);
     }
 
-    // And a single cached lookup equals a direct model call.
-    LayerResult direct = runLayer(hw, l, map);
+    // And a single cached lookup equals a direct model call. The
+    // winning mapping is always evaluated (never pruned), so its
+    // entry must be in the sharded table.
+    LayerResult direct = runLayer(hw, l, a.mapping);
     CostCache c2;
     Evaluator e2(&c2);
     ScheduleResult unused = e2.mapModel(hw, Model{"m", {l}});
     (void)unused;
     LayerResult viaKey;
-    ASSERT_TRUE(c2.lookup(dse::makeCacheKey(hw, l, map), &viaKey));
+    ASSERT_TRUE(
+        c2.lookup(dse::makeCacheKey(hw, l, a.mapping), &viaKey));
     EXPECT_EQ(direct.cycles, viaKey.cycles);
     EXPECT_EQ(direct.energyPj, viaKey.energyPj);
 }
@@ -130,12 +135,27 @@ TEST(CostCache, SharedShapesHitAcrossLayers)
     Model m;
     m.name = "twins";
     m.layers = {conv("a", 32, 32, 28, 3), conv("b", 32, 32, 28, 3)};
+
+    // Default policy: the second twin is never searched at all — the
+    // class broadcast serves it without a single cache lookup.
     CostCache cache;
     Evaluator e(&cache);
     ScheduleResult r = e.mapModel(HardwareConfig{}, m);
-    EXPECT_GT(cache.hits(), 0u); // Second twin fully memoized.
+    EXPECT_EQ(e.counters().layersDeduped, 1u);
+    EXPECT_EQ(e.counters().searches, 1u);
     EXPECT_EQ(r.perLayer[0].result.cycles,
               r.perLayer[1].result.cycles);
+
+    // With deduplication off the second twin re-issues the same
+    // keys; on one thread those are L0 hits (zero locks taken).
+    dse::EvalPolicy naiveDedup;
+    naiveDedup.dedupLayerClasses = false;
+    CostCache cache2;
+    Evaluator e2(&cache2, naiveDedup);
+    ScheduleResult r2 = e2.mapModel(HardwareConfig{}, m);
+    EXPECT_GT(cache2.l0Hits(), 0u); // Second twin fully memoized.
+    EXPECT_EQ(r2.perLayer[0].result.cycles,
+              r2.perLayer[1].result.cycles);
 }
 
 TEST(Pareto, ArchiveHoldsNoDominatedPoint)
@@ -293,6 +313,152 @@ TEST(Evaluator, FitsL1ScalesWithDataBits)
     EXPECT_TRUE(dse::feasible(HardwareConfig{}, l));
     Layer act = ppu("relu", PpuOp::Relu, 1000);
     EXPECT_TRUE(dse::feasible(tiny, act)); // Non-tensor: always fits.
+}
+
+/** The exact-cycle bound can never disagree with the model. */
+TEST(Perf, MappingCyclesMatchesModelAndFloorHolds)
+{
+    HardwareConfig hw;
+    hw.dataflows = {DataflowTag::MN, DataflowTag::ICOC,
+                    DataflowTag::OHOW, DataflowTag::KHOH};
+    for (const Layer &l :
+         {conv("c", 64, 128, 28, 3), conv("s", 32, 64, 56, 1, 2),
+          linear("fc", 64, 512, 1000), matmul("mm", 256, 64, 256),
+          dwconv("dw", 96, 56, 3)}) {
+        for (DataflowTag df : hw.dataflows) {
+            double se = spatialEfficiency(hw, l, df);
+            Int dfFloor = cycleLowerBound(hw, l, se);
+            for (const Mapping &map : dse::mappingCandidates(hw, l)) {
+                if (map.dataflow != df)
+                    continue;
+                LayerResult r = runLayerWithEff(hw, l, map, se);
+                EXPECT_EQ(mappingCycles(hw, l, map, se), r.cycles);
+                EXPECT_LE(dfFloor, r.cycles);
+            }
+        }
+    }
+}
+
+/** Bound pruning must keep mapping AND result bit-identical. */
+TEST(Evaluator, PruningPreservesSelection)
+{
+    dse::EvalPolicy naivePolicy;
+    naivePolicy.pruneMappings = false;
+    naivePolicy.dedupLayerClasses = false;
+
+    std::vector<HardwareConfig> configs(3);
+    configs[0].dataflows = {DataflowTag::MN, DataflowTag::ICOC};
+    configs[1].rows = 12;
+    configs[1].cols = 14;
+    configs[1].l1Kb = 182;
+    configs[1].dataflows = {DataflowTag::KHOH, DataflowTag::MN};
+    configs[2].l1Kb = 48;
+    configs[2].dataBits = 16;
+    configs[2].dataflows = {DataflowTag::ICOC, DataflowTag::OHOW,
+                            DataflowTag::MN};
+
+    for (const HardwareConfig &hw : configs) {
+        for (const Layer &l :
+             {conv("c", 64, 128, 28, 3), conv("d", 256, 256, 14, 3),
+              linear("fc", 64, 512, 1000), matmul("mm", 16, 16, 16),
+              dwconv("dw", 96, 56, 3)}) {
+            MappedLayer naive =
+                dse::Evaluator(nullptr, naivePolicy)
+                    .searchMapping(hw, l);
+            dse::Evaluator pruned(nullptr);
+            MappedLayer fast = pruned.searchMapping(hw, l);
+            EXPECT_EQ(naive.mapping.dataflow, fast.mapping.dataflow);
+            EXPECT_EQ(naive.mapping.tm, fast.mapping.tm);
+            EXPECT_EQ(naive.mapping.tn, fast.mapping.tn);
+            EXPECT_EQ(naive.mapping.tk, fast.mapping.tk);
+            EXPECT_EQ(naive.result.cycles, fast.result.cycles);
+            EXPECT_EQ(naive.result.energyPj, fast.result.energyPj);
+            EXPECT_EQ(naive.result.utilization,
+                      fast.result.utilization);
+            EXPECT_EQ(naive.result.dramBytes, fast.result.dramBytes);
+        }
+    }
+}
+
+/** The no-fit fallback may not report tiles beyond the problem. */
+TEST(Evaluator, FallbackMappingClampsToProblem)
+{
+    HardwareConfig tiny;
+    tiny.l1Kb = 0; // Nothing fits: every layer takes the fallback.
+    Layer small = matmul("mm", 3, 5, 7);
+    MappedLayer ml = dse::Evaluator().searchMapping(tiny, small);
+    EXPECT_LE(ml.mapping.tm, small.gemmM());
+    EXPECT_LE(ml.mapping.tn, small.gemmN());
+    EXPECT_LE(ml.mapping.tk, small.gemmK());
+    EXPECT_EQ(ml.mapping.tm, 3);
+    EXPECT_EQ(ml.mapping.tn, 7);
+    EXPECT_EQ(ml.mapping.tk, 5);
+
+    Layer big = matmul("big", 64, 64, 64);
+    MappedLayer mb = dse::Evaluator().searchMapping(tiny, big);
+    EXPECT_EQ(mb.mapping.tm, 16);
+    EXPECT_EQ(mb.mapping.tn, 16);
+    EXPECT_EQ(mb.mapping.tk, 16);
+}
+
+/**
+ * Cache statistics are exact: with the naive policy every candidate
+ * of every (distinct-shape) layer issues exactly one lookup, so the
+ * L0/L1 counters are fully predictable — under 1 worker and under 8.
+ */
+TEST(CostCache, CountersExactUnderWorkerCounts)
+{
+    Model m;
+    m.name = "distinct";
+    m.layers = {conv("a", 32, 64, 28, 3), conv("b", 64, 64, 14, 3),
+                linear("fc", 8, 256, 512), matmul("mm", 64, 32, 64)};
+
+    for (int threads : {1, 8}) {
+        dse::DseOptions opt;
+        opt.threads = threads;
+        opt.eval.dedupLayerClasses = false;
+        opt.eval.pruneMappings = false;
+        dse::DseEngine engine(opt);
+
+        std::uint64_t expectLookups = 0;
+        for (const Layer &l : m.layers)
+            expectLookups +=
+                dse::mappingCandidates(HardwareConfig{}, l).size();
+        ASSERT_GT(expectLookups, 0u);
+
+        // Cold: every lookup misses both levels and inserts once.
+        engine.mapModel(HardwareConfig{}, m);
+        dse::CostCache &cache = engine.cache();
+        EXPECT_EQ(cache.l0Hits(), 0u) << threads;
+        EXPECT_EQ(cache.l0Misses(), expectLookups) << threads;
+        EXPECT_EQ(cache.hits(), 0u) << threads;
+        EXPECT_EQ(cache.misses(), expectLookups) << threads;
+        EXPECT_EQ(cache.inserts(), expectLookups) << threads;
+        EXPECT_EQ(cache.size(), expectLookups) << threads;
+
+        // Warm: the same lookups all hit — split between L0 (same
+        // worker re-lookup) and L1 (first touch from a new worker),
+        // but the sum and the lack of misses/inserts are exact.
+        engine.mapModel(HardwareConfig{}, m);
+        EXPECT_EQ(cache.l0Hits() + cache.hits(), expectLookups)
+            << threads;
+        EXPECT_EQ(cache.l0Misses() + cache.l0Hits(),
+                  2 * expectLookups)
+            << threads;
+        EXPECT_EQ(cache.misses(), expectLookups) << threads;
+        EXPECT_EQ(cache.inserts(), expectLookups) << threads;
+        EXPECT_EQ(cache.size(), expectLookups) << threads;
+        if (threads == 1) {
+            // One worker: warm lookups are L0 hits except keys whose
+            // direct-mapped slot was evicted by a colliding key —
+            // those fall through and hit L1 instead (still counted
+            // exactly once, by the sum checks above).
+            EXPECT_GT(cache.l0Hits(), 0u);
+        }
+        // Every L1 access came from an L0 miss.
+        EXPECT_EQ(cache.hits() + cache.misses(), cache.l0Misses())
+            << threads;
+    }
 }
 
 TEST(Mapper, ThinClientMatchesEvaluator)

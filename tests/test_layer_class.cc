@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Tests for layer-class deduplication: signature equality semantics,
+ * grouping invariants (partition, first-occurrence representatives),
+ * and the evaluator's broadcast being bit-identical to the naive
+ * per-layer mapping search on models with repeated blocks.
+ */
+
+#include <gtest/gtest.h>
+
+#include "lego.hh"
+
+namespace lego
+{
+namespace
+{
+
+/** A CNN trunk with explicitly repeated blocks (no `repeat` field):
+ *  the shape-identical instances must collapse into classes. */
+Model
+repeatedBlockModel()
+{
+    Model m;
+    m.name = "blocks";
+    for (int i = 0; i < 4; ++i) {
+        m.layers.push_back(
+            conv("b" + std::to_string(i) + ".a", 64, 64, 28, 3));
+        m.layers.push_back(
+            conv("b" + std::to_string(i) + ".b", 64, 256, 28, 1));
+        m.layers.push_back(ppu("b" + std::to_string(i) + ".relu",
+                               PpuOp::Relu, 256 * 28 * 28));
+    }
+    m.layers.push_back(linear("head", 1, 256, 1000));
+    return m;
+}
+
+TEST(LayerClass, SignatureIgnoresNameAndRepeat)
+{
+    Layer a = conv("stage1", 64, 64, 56, 3);
+    Layer b = conv("stage9", 64, 64, 56, 3);
+    b.repeat = 7;
+    EXPECT_TRUE(layerSignature(a) == layerSignature(b));
+    EXPECT_EQ(layerSignature(a).hash(), layerSignature(b).hash());
+
+    // Every shape field participates.
+    Layer c = conv("stage1", 64, 64, 57, 3);
+    EXPECT_FALSE(layerSignature(a) == layerSignature(c));
+    Layer d = conv("stage1", 64, 64, 56, 3, /*stride=*/2);
+    EXPECT_FALSE(layerSignature(a) == layerSignature(d));
+    Layer e = linear("fc", 16, 16, 16);
+    Layer f = matmul("mm", 16, 16, 16);
+    EXPECT_FALSE(layerSignature(e) == layerSignature(f)); // kind.
+    Layer g = ppu("relu", PpuOp::Relu, 100);
+    Layer h = ppu("gelu", PpuOp::Gelu, 100);
+    EXPECT_FALSE(layerSignature(g) == layerSignature(h));
+}
+
+TEST(LayerClass, GroupsArePartitionInFirstOccurrenceOrder)
+{
+    Model m = repeatedBlockModel();
+    std::vector<LayerClass> classes = groupLayerClasses(m);
+    // 3 unique block layers + the head.
+    ASSERT_EQ(classes.size(), 4u);
+
+    std::vector<bool> seen(m.layers.size(), false);
+    std::size_t lastRep = 0;
+    for (std::size_t c = 0; c < classes.size(); ++c) {
+        const LayerClass &cls = classes[c];
+        ASSERT_FALSE(cls.members.empty());
+        // Representative is the first member, classes are ordered by
+        // first occurrence.
+        EXPECT_EQ(cls.members.front(), cls.representative);
+        if (c > 0) {
+            EXPECT_GT(cls.representative, lastRep);
+        }
+        lastRep = cls.representative;
+        for (std::size_t idx : cls.members) {
+            ASSERT_LT(idx, m.layers.size());
+            EXPECT_FALSE(seen[idx]) << "index " << idx << " twice";
+            seen[idx] = true;
+            // Members really are shape-identical to the rep.
+            EXPECT_TRUE(
+                layerSignature(m.layers[idx]) ==
+                layerSignature(m.layers[cls.representative]));
+        }
+    }
+    for (std::size_t i = 0; i < seen.size(); ++i)
+        EXPECT_TRUE(seen[i]) << "index " << i << " unassigned";
+}
+
+/** Broadcast must be bit-identical to the naive per-layer search. */
+TEST(LayerClass, BroadcastMatchesNaivePerLayerPath)
+{
+    Model m = repeatedBlockModel();
+    HardwareConfig hw;
+    hw.dataflows = {DataflowTag::MN, DataflowTag::ICOC};
+
+    dse::EvalPolicy naive;
+    naive.dedupLayerClasses = false;
+    naive.pruneMappings = false;
+    dse::Evaluator plain(nullptr, naive);
+    dse::Evaluator fast(nullptr); // Dedup + pruning on.
+
+    ScheduleResult a = plain.mapModel(hw, m);
+    ScheduleResult b = fast.mapModel(hw, m);
+    EXPECT_EQ(fast.counters().layersDeduped,
+              m.layers.size() - 4u);
+
+    EXPECT_EQ(a.summary.totalCycles, b.summary.totalCycles);
+    EXPECT_EQ(a.summary.totalEnergyPj, b.summary.totalEnergyPj);
+    EXPECT_EQ(a.summary.dramBytes, b.summary.dramBytes);
+    ASSERT_EQ(a.perLayer.size(), b.perLayer.size());
+    for (std::size_t i = 0; i < a.perLayer.size(); ++i) {
+        const MappedLayer &x = a.perLayer[i], &y = b.perLayer[i];
+        EXPECT_EQ(x.mapping.dataflow, y.mapping.dataflow) << i;
+        EXPECT_EQ(x.mapping.tm, y.mapping.tm) << i;
+        EXPECT_EQ(x.mapping.tn, y.mapping.tn) << i;
+        EXPECT_EQ(x.mapping.tk, y.mapping.tk) << i;
+        EXPECT_EQ(x.result.cycles, y.result.cycles) << i;
+        EXPECT_EQ(x.result.energyPj, y.result.energyPj) << i;
+        EXPECT_EQ(x.result.utilization, y.result.utilization) << i;
+        EXPECT_EQ(x.result.dramBytes, y.result.dramBytes) << i;
+    }
+}
+
+/** Same identity through the engine, fanned across 8 workers. */
+TEST(LayerClass, BroadcastIdenticalAcrossWorkerCounts)
+{
+    Model m = repeatedBlockModel();
+    HardwareConfig hw;
+
+    dse::DseOptions naive;
+    naive.threads = 8;
+    naive.eval.dedupLayerClasses = false;
+    naive.eval.pruneMappings = false;
+    ScheduleResult a = dse::DseEngine(naive).mapModel(hw, m);
+
+    dse::DseOptions fast;
+    fast.threads = 8;
+    ScheduleResult b = dse::DseEngine(fast).mapModel(hw, m);
+
+    EXPECT_EQ(a.summary.totalCycles, b.summary.totalCycles);
+    EXPECT_EQ(a.summary.totalEnergyPj, b.summary.totalEnergyPj);
+    ASSERT_EQ(a.perLayer.size(), b.perLayer.size());
+    for (std::size_t i = 0; i < a.perLayer.size(); ++i) {
+        EXPECT_EQ(a.perLayer[i].result.cycles,
+                  b.perLayer[i].result.cycles);
+        EXPECT_EQ(a.perLayer[i].mapping.tm, b.perLayer[i].mapping.tm);
+    }
+}
+
+} // namespace
+} // namespace lego
