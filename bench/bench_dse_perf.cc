@@ -45,6 +45,7 @@ struct SweepNumbers
     std::uint64_t mappingsPruned = 0;
     std::uint64_t dataflowsPruned = 0;
     std::uint64_t layersDeduped = 0;
+    std::uint64_t crossModelDeduped = 0;
     std::uint64_t frontierPoints = 0;
     double wallSeconds = 0;
     double naiveWallSeconds = 0;
@@ -64,6 +65,10 @@ naivePolicy()
     dse::EvalPolicy p;
     p.dedupLayerClasses = false;
     p.pruneMappings = false;
+    // The naive reference must re-sweep every repeated layer shape
+    // itself, not copy a memoized frontier produced by the very
+    // mechanism under test.
+    p.memoFrontiers = false;
     return p;
 }
 
@@ -154,6 +159,8 @@ fillCounters(SweepNumbers *s, dse::DseEngine &engine,
     s->dataflowsPruned =
         c1.ec.dataflowsPruned - c0.ec.dataflowsPruned;
     s->layersDeduped = c1.ec.layersDeduped - c0.ec.layersDeduped;
+    s->crossModelDeduped =
+        c1.ec.crossModelDeduped - c0.ec.crossModelDeduped;
 }
 
 /** The timeloop_dse hardware sweep: exhaustive Eyeriss-box x RN50. */
@@ -288,6 +295,112 @@ sweepBert()
     return s;
 }
 
+/**
+ * Frontier-valued mapping sweep (K = 8) on the Eyeriss instance.
+ * Asserts THE tentpole invariant end-to-end: the best-latency
+ * composition over per-layer frontiers is bit-identical to the
+ * scalar (K = 1) schedule, so widening the search never perturbs
+ * the classical answer. Eval counts are tracked so frontier-sweep
+ * regressions gate CI like the scalar sweeps.
+ */
+SweepNumbers
+sweepFrontierSearch(const Model &rn50)
+{
+    SweepNumbers s;
+    s.name = "frontier_sweep_rn50";
+    HardwareConfig eyeriss = eyerissConfig();
+
+    // Naive reference: same K without dedup/pruning.
+    dse::DseOptions naive;
+    naive.threads = 1;
+    naive.eval = naivePolicy();
+    naive.compose.frontierK = 8;
+    dse::DseEngine naiveEngine(naive);
+    auto t0 = std::chrono::steady_clock::now();
+    ScheduleResult a = naiveEngine.mapModelComposed(eyeriss, rn50);
+    s.naiveWallSeconds =
+        std::chrono::duration<double>(
+            std::chrono::steady_clock::now() - t0)
+            .count();
+    s.naiveModelEvals =
+        naiveEngine.evaluator().counters().modelEvals;
+
+    dse::DseOptions opt;
+    opt.threads = 1;
+    opt.compose.frontierK = 8;
+    dse::DseEngine engine(opt);
+    CounterSnap c0 = snapCounters(engine);
+    t0 = std::chrono::steady_clock::now();
+    ScheduleResult b = engine.mapModelComposed(eyeriss, rn50);
+    s.wallSeconds = std::chrono::duration<double>(
+                        std::chrono::steady_clock::now() - t0)
+                        .count();
+    fillCounters(&s, engine, c0);
+    s.frontierPoints = b.compose.frontierPoints;
+
+    // The scalar schedule from an untouched engine: the frontier
+    // sweep's unbudgeted composition must reproduce it exactly, and
+    // the naive-vs-optimized frontier runs must agree too.
+    dse::DseOptions sopt;
+    sopt.threads = 1;
+    ScheduleResult scalar =
+        dse::DseEngine(sopt).mapModel(eyeriss, rn50);
+    s.identicalOutput =
+        sameSchedule(a, b) && sameSchedule(scalar, b);
+    return s;
+}
+
+/**
+ * Zoo-level dedup scenario (the multimodel_mnicoc example's
+ * workload): MobileNetV2 + EfficientNetV2 + BERT share one class
+ * table on the MN/IC-OC switchable deployment config, so
+ * shape-identical layers of different networks (the CNNs' shared
+ * 1280->1000 classifier head) are searched once. Identity: the zoo
+ * schedules equal independent per-model schedules bit-for-bit.
+ */
+SweepNumbers
+sweepMultiModel()
+{
+    SweepNumbers s;
+    s.name = "multimodel_mnicoc";
+    HardwareConfig hw; // The paper's MN+ICOC deployment default.
+    Model mbv2 = makeMobileNetV2();
+    Model effnet = makeEfficientNetV2();
+    Model bert = makeBert();
+    std::vector<const Model *> zoo = {&mbv2, &effnet, &bert};
+
+    dse::DseOptions naive;
+    naive.threads = 1;
+    naive.eval = naivePolicy();
+    dse::DseEngine naiveEngine(naive);
+    auto t0 = std::chrono::steady_clock::now();
+    ScheduleResult na = naiveEngine.mapModel(hw, mbv2);
+    ScheduleResult ne = naiveEngine.mapModel(hw, effnet);
+    ScheduleResult nb = naiveEngine.mapModel(hw, bert);
+    s.naiveWallSeconds =
+        std::chrono::duration<double>(
+            std::chrono::steady_clock::now() - t0)
+            .count();
+    s.naiveModelEvals =
+        naiveEngine.evaluator().counters().modelEvals;
+
+    dse::DseOptions opt;
+    opt.threads = 1;
+    dse::DseEngine engine(opt);
+    CounterSnap c0 = snapCounters(engine);
+    t0 = std::chrono::steady_clock::now();
+    std::vector<ScheduleResult> shared = engine.mapZoo(hw, zoo);
+    s.wallSeconds = std::chrono::duration<double>(
+                        std::chrono::steady_clock::now() - t0)
+                        .count();
+    fillCounters(&s, engine, c0);
+    s.identicalOutput = shared.size() == 3 &&
+                        sameSchedule(na, shared[0]) &&
+                        sameSchedule(ne, shared[1]) &&
+                        sameSchedule(nb, shared[2]);
+    return s;
+}
+
 void
 writeJson(const std::string &path,
           const std::vector<SweepNumbers> &sweeps)
@@ -314,6 +427,7 @@ writeJson(const std::string &path,
             "      \"mappings_pruned\": %llu,\n"
             "      \"dataflows_pruned\": %llu,\n"
             "      \"layers_deduped\": %llu,\n"
+            "      \"cross_model_deduped\": %llu,\n"
             "      \"frontier_points\": %llu,\n"
             "      \"wall_seconds\": %.4f,\n"
             "      \"naive_wall_seconds\": %.4f,\n"
@@ -328,6 +442,7 @@ writeJson(const std::string &path,
             (unsigned long long)s.mappingsPruned,
             (unsigned long long)s.dataflowsPruned,
             (unsigned long long)s.layersDeduped,
+            (unsigned long long)s.crossModelDeduped,
             (unsigned long long)s.frontierPoints, s.wallSeconds,
             s.naiveWallSeconds, s.identicalOutput ? "true" : "false",
             i + 1 < sweeps.size() ? "," : "");
@@ -391,6 +506,8 @@ main(int argc, char **argv)
     sweeps.push_back(sweepMappingSearch(rn50));
     sweeps.push_back(sweepMappingSearchWarm(rn50));
     sweeps.push_back(sweepBert());
+    sweeps.push_back(sweepFrontierSearch(rn50));
+    sweeps.push_back(sweepMultiModel());
 
     bool ok = true;
     for (const SweepNumbers &s : sweeps) {
@@ -407,10 +524,12 @@ main(int argc, char **argv)
                     (unsigned long long)s.l1Hits,
                     (unsigned long long)s.l1Misses);
         std::printf("pruned: %llu tilings (%llu whole dataflows), "
-                    "deduped: %llu layer instances\n",
+                    "deduped: %llu layer instances (%llu "
+                    "cross-model)\n",
                     (unsigned long long)s.mappingsPruned,
                     (unsigned long long)s.dataflowsPruned,
-                    (unsigned long long)s.layersDeduped);
+                    (unsigned long long)s.layersDeduped,
+                    (unsigned long long)s.crossModelDeduped);
         std::printf("wall: %.3fs (naive %.3fs)\n", s.wallSeconds,
                     s.naiveWallSeconds);
         std::printf("identical output: %s\n\n",

@@ -197,5 +197,48 @@ main()
                 (unsigned long long)rw.stats.cacheMisses,
                 100.0 * hitRate, warmOk ? "yes" : "NO");
     std::remove(cachePath.c_str());
-    return same && warmOk ? 0 : 1;
+
+    // ---- 5. per-layer frontiers + budget-composed schedules --------
+    std::printf("\n=== Frontier-composed mapping schedules (K = 8, "
+                "Eyeriss, ResNet50) ===\n");
+    dse::DseOptions fopt;
+    fopt.threads = 8;
+    fopt.compose.frontierK = 8;
+    dse::DseEngine fengine(fopt);
+    ScheduleResult unbudgeted = fengine.mapModelComposed(eyeriss, rn50);
+    // THE invariant: the unbudgeted composition over K = 8 frontiers
+    // reproduces the scalar (stage 1) schedule bit-for-bit.
+    bool k1Identity =
+        unbudgeted.summary.totalCycles ==
+            searched.summary.totalCycles &&
+        unbudgeted.summary.totalEnergyPj ==
+            searched.summary.totalEnergyPj;
+    for (std::size_t i = 0; i < searched.perLayer.size(); ++i) {
+        const Mapping &a = searched.perLayer[i].mapping;
+        const Mapping &b = unbudgeted.perLayer[i].mapping;
+        k1Identity = k1Identity && a.dataflow == b.dataflow &&
+                     a.tm == b.tm && a.tn == b.tn && a.tk == b.tk;
+    }
+    std::printf("%zu frontier points across %zu layers; best-latency "
+                "composition identical to scalar schedule: %s\n",
+                unbudgeted.compose.frontierPoints,
+                rn50.layers.size(), k1Identity ? "yes" : "NO");
+    const double e0 = unbudgeted.summary.totalEnergyPj;
+    for (double frac : {0.999, 0.995, 0.99}) {
+        // The frontiers are already in hand — composition is pure
+        // selection, so budget points reuse them instead of
+        // re-sweeping the mapping space.
+        ComposeOptions co;
+        co.frontierK = 8;
+        co.energyBudgetPj = frac * e0;
+        ScheduleResult comp =
+            composeSchedule(rn50, unbudgeted.perLayerFrontier, co);
+        std::printf("energy budget %5.1f%%: %lld cycles, %.3f mJ, "
+                    "%zu swaps, %s\n", 100 * frac,
+                    (long long)comp.summary.totalCycles,
+                    comp.summary.totalEnergyPj * 1e-9,
+                    comp.compose.swaps,
+                    comp.compose.feasible ? "met" : "infeasible");
+    }
+    return same && warmOk && k1Identity ? 0 : 1;
 }

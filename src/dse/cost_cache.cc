@@ -34,8 +34,8 @@ bitsDouble(std::uint64_t u)
 /**
  * Canonical description of everything a cache file stores, in field
  * order. Any change to makeCacheKey's layout or to the serialized
- * LayerResult fields MUST be reflected here so that stale files are
- * rejected instead of misread.
+ * LayerResult/FrontierPoint fields MUST be reflected here so that
+ * stale files are rejected instead of misread.
  */
 const char kCacheFileSchema[] =
     "CacheKey{words[32]:rows,cols,l1Kb,freqGhz,dram.bandwidthGBs,"
@@ -43,10 +43,18 @@ const char kCacheFileSchema[] =
     "naiveFusion,dataflows4b<=16,kind,n,ic,oc,oh,ow,kh,kw,stride,m,k,"
     "nOut,batchAmortized,ppu,elems,dataflow,tm,tn,tk}"
     "LayerResult{cycles,utilization,dramBytes,energyPj,macs,"
-    "memoryBound}";
+    "memoryBound}"
+    "FrontierKey{mapping:=sentinel,K,0,0}"
+    "FrontierPoint{dataflow,tm,tn,tk,LayerResult,seq}";
 
 constexpr std::uint64_t kCacheFileMagic = 0x4c45474f44534543ull;
-constexpr std::uint64_t kCacheFileVersion = 1;
+/** v2: frontier-entry section appended (PR 4). v1 files are
+ *  rejected by the version check — deliberate cold start. */
+constexpr std::uint64_t kCacheFileVersion = 2;
+
+/** Mapping-slot sentinel marking a frontier key. No per-mapping key
+ *  can carry it: real dataflow tags are small enum values. */
+constexpr std::uint64_t kFrontierKeySentinel = ~0ull;
 
 void
 putWord(std::ostream &out, std::uint64_t w)
@@ -61,28 +69,56 @@ getWord(std::istream &in, std::uint64_t *w)
     return bool(in);
 }
 
-} // namespace
-
-std::uint64_t
-CacheKey::computeHash() const
+void
+putResult(std::ostream &out, const LayerResult &r)
 {
-    std::uint64_t h = kFnv1aOffset;
-    for (std::uint64_t w : words)
-        h = fnv1aWord(h, w);
-    return h;
+    putWord(out, std::uint64_t(r.cycles));
+    putWord(out, doubleBits(r.utilization));
+    putWord(out, std::uint64_t(r.dramBytes));
+    putWord(out, doubleBits(r.energyPj));
+    putWord(out, std::uint64_t(r.macs));
+    putWord(out, std::uint64_t(r.memoryBound ? 1 : 0));
 }
 
-CacheKey
-makeCacheKey(const HardwareConfig &hw, const Layer &l,
-             const Mapping &map)
+bool
+getResult(std::istream &in, LayerResult *r)
 {
-    CacheKey key;
+    std::uint64_t cycles = 0, util = 0, dram = 0, energy = 0,
+                  macs = 0, membound = 0;
+    if (!getWord(in, &cycles) || !getWord(in, &util) ||
+        !getWord(in, &dram) || !getWord(in, &energy) ||
+        !getWord(in, &macs) || !getWord(in, &membound))
+        return false;
+    r->cycles = Int(cycles);
+    r->utilization = bitsDouble(util);
+    r->dramBytes = Int(dram);
+    r->energyPj = bitsDouble(energy);
+    r->macs = Int(macs);
+    r->memoryBound = membound != 0;
+    return true;
+}
+
+constexpr std::uint64_t kResultWords = 6;
+/** Derived from the key type so a grown CacheKey::words can never
+ *  desync the load-time entry-size prechecks from save()'s layout. */
+constexpr std::uint64_t kKeyWords =
+    std::tuple_size<decltype(CacheKey::words)>::value;
+/** dataflow, tm, tn, tk, LayerResult, seq. */
+constexpr std::uint64_t kFrontierPointWords = 4 + kResultWords + 1;
+
+/**
+ * Fill the shared hardware + layer sections of a key; returns the
+ * put functor so callers append their own mapping section.
+ */
+std::size_t
+keyPrefix(const HardwareConfig &hw, const Layer &l, CacheKey *key)
+{
     std::size_t i = 0;
     auto put = [&](std::uint64_t w) {
-        if (i >= key.words.size())
+        if (i >= key->words.size())
             panic("makeCacheKey: key word capacity exceeded — grow "
                   "CacheKey::words for the newly keyed field");
-        key.words[i++] = w;
+        key->words[i++] = w;
     };
 
     // Hardware (everything but the cosmetic name).
@@ -117,12 +153,48 @@ makeCacheKey(const HardwareConfig &hw, const Layer &l,
     // different field sets.
     for (std::uint64_t w : layerSignature(l).words())
         put(w);
+    return i;
+}
 
+} // namespace
+
+std::uint64_t
+CacheKey::computeHash() const
+{
+    std::uint64_t h = kFnv1aOffset;
+    for (std::uint64_t w : words)
+        h = fnv1aWord(h, w);
+    return h;
+}
+
+CacheKey
+makeCacheKey(const HardwareConfig &hw, const Layer &l,
+             const Mapping &map)
+{
+    CacheKey key;
+    std::size_t i = keyPrefix(hw, l, &key);
     // Mapping.
-    put(std::uint64_t(map.dataflow));
-    put(std::uint64_t(map.tm));
-    put(std::uint64_t(map.tn));
-    put(std::uint64_t(map.tk));
+    key.words[i++] = std::uint64_t(map.dataflow);
+    key.words[i++] = std::uint64_t(map.tm);
+    key.words[i++] = std::uint64_t(map.tn);
+    key.words[i++] = std::uint64_t(map.tk);
+    key.hashValue = key.computeHash();
+    return key;
+}
+
+CacheKey
+makeFrontierKey(const HardwareConfig &hw, const Layer &l,
+                std::size_t k)
+{
+    CacheKey key;
+    std::size_t i = keyPrefix(hw, l, &key);
+    // Sentinel mapping section: (sentinel, K, 0, 0). The sentinel is
+    // not a representable dataflow tag, so frontier and per-mapping
+    // keys occupy disjoint key spaces.
+    key.words[i++] = kFrontierKeySentinel;
+    key.words[i++] = std::uint64_t(k);
+    key.words[i++] = 0;
+    key.words[i++] = 0;
     key.hashValue = key.computeHash();
     return key;
 }
@@ -131,39 +203,50 @@ namespace
 {
 
 /**
- * Thread-local L0: a direct-mapped open-addressing table shared by
- * every CostCache a thread talks to. Slots are tagged with the
- * owning cache's process-unique id and clear()-epoch; a mismatched
- * tag is simply a miss, so stale entries (other caches, cleared
- * caches, reused addresses — ids are never reused) cannot leak.
- * Power-of-two size so the index is a mask of the precomputed key
- * hash.
+ * Thread-local L0: direct-mapped open-addressing tables shared by
+ * every CostCache a thread talks to (one table for scalar entries,
+ * one for frontiers). Slots are tagged with the owning cache's
+ * process-unique id and clear()-epoch; a mismatched tag is simply a
+ * miss, so stale entries (other caches, cleared caches, reused
+ * addresses — ids are never reused) cannot leak. Power-of-two sizes
+ * so the index is a mask of the precomputed key hash.
  */
 constexpr std::size_t kL0Slots = 4096;
+constexpr std::size_t kL0FrontSlots = 512;
 
+template <class V>
 struct L0Slot
 {
     bool used = false;
     std::uint64_t owner = 0;
     std::uint64_t epoch = 0;
     CacheKey key;
-    LayerResult val;
+    V val;
 };
 
+template <class V, std::size_t N>
 struct L0Table
 {
-    std::vector<L0Slot> slots{kL0Slots};
+    std::vector<L0Slot<V>> slots{N};
 
-    L0Slot &slotFor(const CacheKey &key)
+    L0Slot<V> &slotFor(const CacheKey &key)
     {
-        return slots[std::size_t(key.hashValue) & (kL0Slots - 1)];
+        return slots[std::size_t(key.hashValue) & (N - 1)];
     }
 };
 
-L0Table &
+L0Table<LayerResult, kL0Slots> &
 tlsL0()
 {
-    thread_local L0Table table;
+    thread_local L0Table<LayerResult, kL0Slots> table;
+    return table;
+}
+
+L0Table<std::vector<FrontierPoint>, kL0FrontSlots> &
+tlsFrontL0()
+{
+    thread_local L0Table<std::vector<FrontierPoint>, kL0FrontSlots>
+        table;
     return table;
 }
 
@@ -222,7 +305,7 @@ bool
 CostCache::lookupFast(const CacheKey &key, LayerResult *out)
 {
     const std::uint64_t epoch = epoch_.load(std::memory_order_relaxed);
-    L0Slot &slot = tlsL0().slotFor(key);
+    auto &slot = tlsL0().slotFor(key);
     if (slot.used && slot.owner == id_ && slot.epoch == epoch &&
         slot.key == key) {
         l0Hits_.fetch_add(1, std::memory_order_relaxed);
@@ -245,12 +328,77 @@ void
 CostCache::insertFast(const CacheKey &key, const LayerResult &result)
 {
     insert(key, result);
-    L0Slot &slot = tlsL0().slotFor(key);
+    auto &slot = tlsL0().slotFor(key);
     slot.used = true;
     slot.owner = id_;
     slot.epoch = epoch_.load(std::memory_order_relaxed);
     slot.key = key;
     slot.val = result;
+}
+
+bool
+CostCache::lookupFrontier(const CacheKey &key,
+                          std::vector<FrontierPoint> *out)
+{
+    Shard &s = shardFor(key);
+    std::lock_guard<std::mutex> lk(s.mu);
+    auto it = s.fronts.find(key);
+    if (it == s.fronts.end()) {
+        frontMisses_.fetch_add(1, std::memory_order_relaxed);
+        return false;
+    }
+    frontHits_.fetch_add(1, std::memory_order_relaxed);
+    *out = it->second;
+    return true;
+}
+
+void
+CostCache::insertFrontier(const CacheKey &key,
+                          const std::vector<FrontierPoint> &points)
+{
+    Shard &s = shardFor(key);
+    bool created;
+    {
+        std::lock_guard<std::mutex> lk(s.mu);
+        created = s.fronts.emplace(key, points).second;
+    }
+    if (created)
+        frontInserts_.fetch_add(1, std::memory_order_relaxed);
+}
+
+bool
+CostCache::lookupFrontierFast(const CacheKey &key,
+                              std::vector<FrontierPoint> *out)
+{
+    const std::uint64_t epoch = epoch_.load(std::memory_order_relaxed);
+    auto &slot = tlsFrontL0().slotFor(key);
+    if (slot.used && slot.owner == id_ && slot.epoch == epoch &&
+        slot.key == key) {
+        frontHits_.fetch_add(1, std::memory_order_relaxed);
+        *out = slot.val;
+        return true;
+    }
+    if (!lookupFrontier(key, out))
+        return false;
+    slot.used = true;
+    slot.owner = id_;
+    slot.epoch = epoch;
+    slot.key = key;
+    slot.val = *out;
+    return true;
+}
+
+void
+CostCache::insertFrontierFast(const CacheKey &key,
+                              const std::vector<FrontierPoint> &points)
+{
+    insertFrontier(key, points);
+    auto &slot = tlsFrontL0().slotFor(key);
+    slot.used = true;
+    slot.owner = id_;
+    slot.epoch = epoch_.load(std::memory_order_relaxed);
+    slot.key = key;
+    slot.val = points;
 }
 
 std::size_t
@@ -260,6 +408,17 @@ CostCache::size() const
     for (const auto &s : shards_) {
         std::lock_guard<std::mutex> lk(s->mu);
         n += s->map.size();
+    }
+    return n;
+}
+
+std::size_t
+CostCache::frontierCount() const
+{
+    std::size_t n = 0;
+    for (const auto &s : shards_) {
+        std::lock_guard<std::mutex> lk(s->mu);
+        n += s->fronts.size();
     }
     return n;
 }
@@ -276,13 +435,17 @@ CostCache::schemaHash()
 bool
 CostCache::save(const std::string &path) const
 {
-    // Snapshot under the shard locks first so the header count is
+    // Snapshot under the shard locks first so the header counts are
     // exact even if writers race the save.
     std::vector<std::pair<CacheKey, LayerResult>> entries;
+    std::vector<std::pair<CacheKey, std::vector<FrontierPoint>>>
+        frontEntries;
     for (const auto &s : shards_) {
         std::lock_guard<std::mutex> lk(s->mu);
         for (const auto &kv : s->map)
             entries.push_back(kv);
+        for (const auto &kv : s->fronts)
+            frontEntries.push_back(kv);
     }
 
     // Write to a sibling temp file and rename over the target, so an
@@ -299,13 +462,21 @@ CostCache::save(const std::string &path) const
     for (const auto &kv : entries) {
         for (std::uint64_t w : kv.first.words)
             putWord(out, w);
-        const LayerResult &r = kv.second;
-        putWord(out, std::uint64_t(r.cycles));
-        putWord(out, doubleBits(r.utilization));
-        putWord(out, std::uint64_t(r.dramBytes));
-        putWord(out, doubleBits(r.energyPj));
-        putWord(out, std::uint64_t(r.macs));
-        putWord(out, std::uint64_t(r.memoryBound ? 1 : 0));
+        putResult(out, kv.second);
+    }
+    putWord(out, std::uint64_t(frontEntries.size()));
+    for (const auto &kv : frontEntries) {
+        for (std::uint64_t w : kv.first.words)
+            putWord(out, w);
+        putWord(out, std::uint64_t(kv.second.size()));
+        for (const FrontierPoint &p : kv.second) {
+            putWord(out, std::uint64_t(p.mapping.dataflow));
+            putWord(out, std::uint64_t(p.mapping.tm));
+            putWord(out, std::uint64_t(p.mapping.tn));
+            putWord(out, std::uint64_t(p.mapping.tk));
+            putResult(out, p.result);
+            putWord(out, p.seq);
+        }
     }
     out.flush();
     if (!out) {
@@ -338,16 +509,16 @@ CostCache::load(const std::string &path)
         return false;
     if (!getWord(in, &count))
         return false;
-    // Entries are fixed-size, so the header count must match the
-    // file length exactly — a corrupt count word is rejected here
-    // rather than trusted for the allocation below. Divide instead
-    // of multiplying so a hostile count cannot overflow the check.
-    const std::uint64_t headerBytes = 4 * sizeof(std::uint64_t);
-    const std::uint64_t entryBytes =
-        (std::tuple_size<decltype(CacheKey::words)>::value + 6) *
-        sizeof(std::uint64_t);
-    const std::uint64_t payload = fileBytes - headerBytes;
-    if (payload % entryBytes != 0 || count != payload / entryBytes)
+    // Counts are cross-checked against the remaining file length
+    // before any allocation, so a corrupt count word can neither
+    // overflow nor balloon the reserve below. Divide instead of
+    // multiplying so a hostile count cannot overflow the check.
+    auto remainingWords = [&]() -> std::uint64_t {
+        const std::uint64_t at = std::uint64_t(in.tellg());
+        return at > fileBytes ? 0 : (fileBytes - at) / sizeof(std::uint64_t);
+    };
+    const std::uint64_t entryWords = kKeyWords + kResultWords;
+    if (count > remainingWords() / entryWords)
         return false;
 
     // Decode fully before touching the cache: a truncated file must
@@ -360,23 +531,65 @@ CostCache::load(const std::string &path)
             if (!getWord(in, &w))
                 return false;
         key.hashValue = key.computeHash();
-        std::uint64_t cycles = 0, util = 0, dram = 0, energy = 0,
-                      macs = 0, membound = 0;
-        if (!getWord(in, &cycles) || !getWord(in, &util) ||
-            !getWord(in, &dram) || !getWord(in, &energy) ||
-            !getWord(in, &macs) || !getWord(in, &membound))
-            return false;
         LayerResult r;
-        r.cycles = Int(cycles);
-        r.utilization = bitsDouble(util);
-        r.dramBytes = Int(dram);
-        r.energyPj = bitsDouble(energy);
-        r.macs = Int(macs);
-        r.memoryBound = membound != 0;
+        if (!getResult(in, &r))
+            return false;
         entries.emplace_back(key, r);
     }
+
+    std::uint64_t frontCount = 0;
+    if (!getWord(in, &frontCount))
+        return false;
+    if (frontCount > remainingWords() / (kKeyWords + 1))
+        return false;
+    std::vector<std::pair<CacheKey, std::vector<FrontierPoint>>>
+        frontEntries;
+    frontEntries.reserve(std::size_t(frontCount));
+    for (std::uint64_t e = 0; e < frontCount; ++e) {
+        CacheKey key;
+        for (std::uint64_t &w : key.words)
+            if (!getWord(in, &w))
+                return false;
+        key.hashValue = key.computeHash();
+        std::uint64_t points = 0;
+        if (!getWord(in, &points))
+            return false;
+        // save() never writes an empty frontier; accepting one here
+        // would defer the failure to a mid-sweep panic instead of
+        // the contractual load-time wholesale rejection.
+        if (points == 0 ||
+            points > remainingWords() / kFrontierPointWords)
+            return false;
+        std::vector<FrontierPoint> pts;
+        pts.reserve(std::size_t(points));
+        for (std::uint64_t pi = 0; pi < points; ++pi) {
+            std::uint64_t df = 0, tm = 0, tn = 0, tk = 0, seq = 0;
+            FrontierPoint p;
+            if (!getWord(in, &df) || !getWord(in, &tm) ||
+                !getWord(in, &tn) || !getWord(in, &tk))
+                return false;
+            p.mapping.dataflow = DataflowTag(df);
+            p.mapping.tm = Int(tm);
+            p.mapping.tn = Int(tn);
+            p.mapping.tk = Int(tk);
+            if (!getResult(in, &p.result))
+                return false;
+            if (!getWord(in, &seq))
+                return false;
+            p.seq = seq;
+            pts.push_back(p);
+        }
+        frontEntries.emplace_back(key, std::move(pts));
+    }
+    // The sections must consume the file exactly — trailing bytes
+    // mean a corrupt length/count somewhere, so reject wholesale.
+    if (std::uint64_t(in.tellg()) != fileBytes)
+        return false;
+
     for (const auto &kv : entries)
         insert(kv.first, kv.second);
+    for (const auto &kv : frontEntries)
+        insertFrontier(kv.first, kv.second);
     return true;
 }
 
@@ -386,6 +599,7 @@ CostCache::clear()
     for (auto &s : shards_) {
         std::lock_guard<std::mutex> lk(s->mu);
         s->map.clear();
+        s->fronts.clear();
     }
     // Invalidate every thread's L0 entries for this cache: slots are
     // tagged with the epoch at fill time, so bumping it turns them
@@ -396,6 +610,9 @@ CostCache::clear()
     l0Hits_.store(0);
     l0Misses_.store(0);
     inserts_.store(0);
+    frontHits_.store(0);
+    frontMisses_.store(0);
+    frontInserts_.store(0);
 }
 
 } // namespace dse

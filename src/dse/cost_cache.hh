@@ -7,9 +7,16 @@
  * threads through sharded hash maps (one mutex per shard, keys
  * distributed by hash so contention stays low).
  *
+ * Besides scalar (key -> LayerResult) entries the cache memoizes
+ * whole per-layer mapping frontiers, keyed on (hardware, layer
+ * shape, K): a frontier hit skips the entire mapping sweep of that
+ * layer. Frontier entries have their own thread-local L0 in front of
+ * the sharded table and persist in the same cache file (format
+ * version 2).
+ *
  * Layer *names* and repeat counts are deliberately excluded from the
- * key: two layers with identical shapes hit the same entry even when
- * the model zoo lists them as distinct instances.
+ * keys: two layers with identical shapes hit the same entry even
+ * when the model zoo lists them as distinct instances.
  */
 
 #ifndef LEGO_DSE_COST_CACHE_HH
@@ -24,6 +31,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "dse/pareto.hh"
 #include "sim/perf.hh"
 
 namespace lego
@@ -60,17 +68,28 @@ CacheKey makeCacheKey(const HardwareConfig &hw, const Layer &l,
                       const Mapping &map);
 
 /**
- * Sharded, thread-safe (key -> LayerResult) memo table with a
- * thread-local L0 in front.
+ * Build the canonical key of a (hw, layer, K) frontier memo entry.
+ * Shares the hardware/layer sections with makeCacheKey; the mapping
+ * section is replaced by a sentinel plus K, so frontier keys can
+ * never collide with per-mapping keys.
+ */
+CacheKey makeFrontierKey(const HardwareConfig &hw, const Layer &l,
+                         std::size_t k);
+
+/**
+ * Sharded, thread-safe memo table with thread-local L0s in front,
+ * holding both (key -> LayerResult) scalar entries and
+ * (key -> frontier point list) frontier entries.
  *
  * Two levels:
- *  - **L0** — a fixed-size, open-addressed (direct-mapped) table in
- *    thread-local storage. The common per-worker re-lookup takes
- *    zero locks: one hash index, one exact key compare. Entries are
- *    tagged with the owning cache's id and clear()-epoch, so a
- *    thread serving several caches (or a cache that was cleared)
- *    can never read a stale result.
- *  - **L1** — the sharded mutex-protected table (one mutex per
+ *  - **L0** — fixed-size, open-addressed (direct-mapped) tables in
+ *    thread-local storage (one for scalar entries, one for
+ *    frontiers). The common per-worker re-lookup takes zero locks:
+ *    one hash index, one exact key compare. Entries are tagged with
+ *    the owning cache's id and clear()-epoch, so a thread serving
+ *    several caches (or a cache that was cleared) can never read a
+ *    stale result.
+ *  - **L1** — the sharded mutex-protected tables (one mutex per
  *    shard, keys distributed by hash). This is the level that
  *    persists via save()/load(); L0 is never serialized.
  *
@@ -80,7 +99,11 @@ CacheKey makeCacheKey(const HardwareConfig &hw, const Layer &l,
  * one of hits/misses — so hits() + misses() == l0Misses() when all
  * traffic goes through lookupFast. inserts() counts entries actually
  * created (losing racers of a duplicate insert are not counted), so
- * inserts() == size() on a cache that was never cleared.
+ * inserts() == size() on a cache that was never cleared. Frontier
+ * counters are coarser: frontHits() counts successful frontier
+ * lookups at either level, frontMisses() counts lookups that had to
+ * fall through to a full sweep, frontInserts() counts frontier
+ * entries actually created.
  */
 class CostCache
 {
@@ -102,27 +125,54 @@ class CostCache
     /** insert() that also fills the caller's L0 slot. */
     void insertFast(const CacheKey &key, const LayerResult &result);
 
+    /** @name Frontier entries (keys from makeFrontierKey) @{ */
+
+    /** Sharded lookup of a memoized frontier point list. */
+    bool lookupFrontier(const CacheKey &key,
+                        std::vector<FrontierPoint> *out);
+
+    /** Insert a frontier (first writer wins). */
+    void insertFrontier(const CacheKey &key,
+                        const std::vector<FrontierPoint> &points);
+
+    /** Two-level frontier lookup (thread-local L0, then sharded). */
+    bool lookupFrontierFast(const CacheKey &key,
+                            std::vector<FrontierPoint> *out);
+
+    /** insertFrontier() that also fills the caller's L0 slot. */
+    void insertFrontierFast(const CacheKey &key,
+                            const std::vector<FrontierPoint> &points);
+
+    /** @} */
+
     std::uint64_t hits() const { return hits_.load(); }
     std::uint64_t misses() const { return misses_.load(); }
     std::uint64_t l0Hits() const { return l0Hits_.load(); }
     std::uint64_t l0Misses() const { return l0Misses_.load(); }
     std::uint64_t inserts() const { return inserts_.load(); }
+    std::uint64_t frontHits() const { return frontHits_.load(); }
+    std::uint64_t frontMisses() const { return frontMisses_.load(); }
+    std::uint64_t frontInserts() const { return frontInserts_.load(); }
+    /** Scalar (per-mapping) entry count. */
     std::size_t size() const;
+    /** Frontier entry count. */
+    std::size_t frontierCount() const;
     void clear();
 
     /**
      * @name Persistence (warm-starting model-zoo sweeps)
      *
-     * Versioned binary serialization of every (key, result) entry.
-     * The file header carries a magic word, a format version, and a
-     * schema hash over the CacheKey/LayerResult field layout, so a
-     * file written by an older build whose key layout differs is
-     * *rejected* by load() (cold start), never misread. Entries are
-     * host-endian; the magic word doubles as the endianness check.
+     * Versioned binary serialization of every scalar and frontier
+     * entry. The file header carries a magic word, a format version,
+     * and a schema hash over the serialized field layout, so a file
+     * written by an older build — different version OR different
+     * schema — is *rejected* by load() (cold start), never misread.
+     * Entries are host-endian; the magic word doubles as the
+     * endianness check.
      * @{
      */
 
-    /** Hash of the serialized CacheKey/LayerResult field layout. */
+    /** Hash of the serialized CacheKey/LayerResult/frontier layout. */
     static std::uint64_t schemaHash();
 
     /** Write all entries to `path`. False on I/O failure. */
@@ -143,6 +193,9 @@ class CostCache
     {
         std::mutex mu;
         std::unordered_map<CacheKey, LayerResult, CacheKeyHash> map;
+        std::unordered_map<CacheKey, std::vector<FrontierPoint>,
+                           CacheKeyHash>
+            fronts;
     };
 
     Shard &shardFor(const CacheKey &key);
@@ -157,6 +210,9 @@ class CostCache
     std::atomic<std::uint64_t> l0Hits_{0};
     std::atomic<std::uint64_t> l0Misses_{0};
     std::atomic<std::uint64_t> inserts_{0};
+    std::atomic<std::uint64_t> frontHits_{0};
+    std::atomic<std::uint64_t> frontMisses_{0};
+    std::atomic<std::uint64_t> frontInserts_{0};
 };
 
 } // namespace dse

@@ -96,6 +96,8 @@ DseEngine::explore(const CandidateSpace &space, const Model &m)
     res.stats.dataflowsPruned =
         ec1.dataflowsPruned - ec0.dataflowsPruned;
     res.stats.layersDeduped = ec1.layersDeduped - ec0.layersDeduped;
+    res.stats.crossModelDeduped =
+        ec1.crossModelDeduped - ec0.crossModelDeduped;
     res.stats.wallSeconds =
         std::chrono::duration<double>(
             std::chrono::steady_clock::now() - t0)
@@ -107,6 +109,23 @@ ScheduleResult
 DseEngine::mapModel(const HardwareConfig &hw, const Model &m)
 {
     return evaluator_.mapModel(hw, m, &pool_);
+}
+
+ScheduleResult
+DseEngine::mapModelComposed(const HardwareConfig &hw, const Model &m)
+{
+    return composeSchedule(
+        m,
+        evaluator_.mapModelFrontier(hw, m, opt_.compose.frontierK,
+                                    &pool_),
+        opt_.compose);
+}
+
+std::vector<ScheduleResult>
+DseEngine::mapZoo(const HardwareConfig &hw,
+                  const std::vector<const Model *> &zoo)
+{
+    return evaluator_.mapZoo(hw, zoo, &pool_);
 }
 
 DsePoint

@@ -42,12 +42,20 @@ struct DseOptions
      */
     std::string cachePath;
     /**
-     * Evaluator reuse/pruning switches. The defaults (both on) keep
+     * Evaluator reuse/pruning switches. The defaults (all on) keep
      * results bit-identical to the naive sweep; turning them off
      * exists for equivalence tests and perf baselines
      * (bench_dse_perf).
      */
     EvalPolicy eval;
+    /**
+     * Frontier width and model-level budget used by
+     * mapModelComposed(). The defaults (K = 1, no budget) reproduce
+     * the classical best-latency schedule bit-for-bit. mapZoo() and
+     * mapModel() always run the classical K = 1 schedule and ignore
+     * these knobs.
+     */
+    ComposeOptions compose;
 };
 
 struct DseStats
@@ -63,8 +71,15 @@ struct DseStats
      *  evaluator — the hot-path unit of work. Per-engine exact. */
     std::uint64_t modelEvals = 0;
     std::uint64_t mappingsPruned = 0;  //!< Tilings cut by the cycle bound.
-    std::uint64_t dataflowsPruned = 0; //!< Dataflows cut by the floor.
+    /** Dataflows with no tiling evaluated before the global cut. */
+    std::uint64_t dataflowsPruned = 0;
     std::uint64_t layersDeduped = 0;   //!< Layer instances broadcast, not searched.
+    /** Extra class-search shares a zoo-level table produced across
+     *  models. Fed only by mapZoo traffic on this engine's evaluator
+     *  (explore() itself never maps zoos, so a pure explore() window
+     *  reports 0); the cache-level frontier counters live on
+     *  CostCache (frontHits()/frontMisses()) directly. */
+    std::uint64_t crossModelDeduped = 0;
     double wallSeconds = 0;
 };
 
@@ -88,6 +103,28 @@ class DseEngine
      * Equivalent to scheduleModel(hw, m) but parallel and cached.
      */
     ScheduleResult mapModel(const HardwareConfig &hw, const Model &m);
+
+    /**
+     * Frontier-composing schedule under options().compose: per-layer
+     * mapping frontiers of width frontierK, composed under the
+     * model-level energy/latency budget. With the default compose
+     * options this is mapModel() bit-for-bit.
+     */
+    ScheduleResult mapModelComposed(const HardwareConfig &hw,
+                                    const Model &m);
+
+    /**
+     * Zoo-level mapping with one class table across models (see
+     * Evaluator::mapZoo): classical K = 1 best-latency schedules,
+     * one per model — options().compose does not apply here.
+     * Cross-model shares are surfaced through
+     * evaluator().counters().crossModelDeduped; for budget-composed
+     * zoo schedules, run evaluator().mapZooFrontier() and
+     * composeSchedule() per model.
+     */
+    std::vector<ScheduleResult>
+    mapZoo(const HardwareConfig &hw,
+           const std::vector<const Model *> &zoo);
 
     /** Score one explicit configuration as a DSE point. */
     DsePoint evaluate(const HardwareConfig &hw, const Model &m);

@@ -118,119 +118,199 @@ Evaluator::scoredRunLayer(const HardwareConfig &hw, const Layer &l,
     return res;
 }
 
-MappedLayer
-Evaluator::searchMapping(const HardwareConfig &hw,
-                         const Layer &l) const
+MappingFrontier
+Evaluator::sweepFrontier(const HardwareConfig &hw, const Layer &l,
+                         std::size_t cap) const
 {
-    searches_.fetch_add(1, std::memory_order_relaxed);
-    MappedLayer best;
-    best.result.cycles = std::numeric_limits<Int>::max();
-    if (!l.isTensorOp()) {
-        best.result = runPpuLayer(hw, l);
-        return best;
-    }
-
+    MappingFrontier front(cap);
     const Int m = l.gemmM(), n = l.gemmN(), k = l.gemmK();
     const std::vector<Int> tms = tileCandidates(m);
     const std::vector<Int> tns = tileCandidates(n);
     const std::vector<Int> tks = tileCandidates(k);
-    const Int kNoBest = std::numeric_limits<Int>::max();
 
+    // All candidates in canonical order, with the per-dataflow spans
+    // (the spatial efficiency is computed once per dataflow and
+    // shared by all of its tilings).
+    struct DataflowSpan
+    {
+        std::size_t begin = 0, end = 0;
+        double se = 0;
+    };
     std::vector<Mapping> cands;
-    std::vector<Int> bounds;
-    std::vector<std::size_t> order;
+    std::vector<DataflowSpan> spans;
     for (DataflowTag df : hw.dataflows) {
-        // The spatial efficiency is computed once per dataflow and
-        // shared by all of its tilings.
-        const double se = spatialEfficiency(hw, l, df);
-        cands.clear();
+        DataflowSpan span;
+        span.begin = cands.size();
+        span.se = spatialEfficiency(hw, l, df);
         appendTilings(hw, df, m, n, k, tms, tns, tks, &cands);
-        if (cands.empty())
-            continue;
+        span.end = cands.size();
+        if (span.end > span.begin)
+            spans.push_back(span);
+    }
+    auto seOf = [&](std::size_t i) {
+        for (const DataflowSpan &s : spans)
+            if (i < s.end)
+                return s.se;
+        return 0.0; // Unreachable: every candidate is in a span.
+    };
 
-        if (policy_.pruneMappings && best.result.cycles != kNoBest &&
-            cycleLowerBound(hw, l, se) > best.result.cycles) {
-            // The roofline floor of this dataflow already loses to
-            // the incumbent: no tiling of it can win or tie.
-            dataflowsPruned_.fetch_add(1, std::memory_order_relaxed);
-            mappingsPruned_.fetch_add(cands.size(),
-                                      std::memory_order_relaxed);
-            continue;
-        }
-
-        if (!policy_.pruneMappings) {
-            for (const Mapping &map : cands) {
-                LayerResult r = scoredRunLayer(hw, l, map, se);
-                if (betterResult(r, best.result)) {
-                    best.mapping = map;
-                    best.result = r;
-                }
-            }
-            continue;
-        }
-
-        // Branch-and-bound: admit tilings in ascending order of the
-        // exact cycle bound and cut once the bound passes the
-        // incumbent. The bound IS the mapping's true cycle count
-        // (sim/perf.hh mappingCycles shares the cycle model with
-        // runLayerWithEff), so a cut tiling is strictly slower than
-        // the incumbent and can never win a (cycles, energy,
-        // utilization) tie — the selected mapping is bit-identical
-        // to the exhaustive sweep's. stable_sort keeps equal-cycle
-        // tilings in canonical order, preserving tie-breaks too.
-        bounds.resize(cands.size());
-        order.resize(cands.size());
+    if (!policy_.pruneMappings) {
+        // Naive reference: evaluate every candidate in canonical
+        // order into an UNBOUNDED frontier, then keep the sorted
+        // prefix. Unbounded insertion is insertion-order independent
+        // (no capacity trim can discard a point that later
+        // dominations would re-admit), so the kept prefix is the
+        // true top-K of the full non-dominated set.
+        MappingFrontier full(0);
         for (std::size_t i = 0; i < cands.size(); ++i) {
-            bounds[i] = mappingCycles(hw, l, cands[i], se);
-            order[i] = i;
+            FrontierPoint p;
+            p.mapping = cands[i];
+            p.result = scoredRunLayer(hw, l, cands[i], seOf(i));
+            p.seq = i;
+            full.insert(p);
         }
+        for (std::size_t i = 0;
+             i < full.size() && i < cap; ++i)
+            front.insert(full.points()[i]);
+    } else if (!cands.empty()) {
+        // Branch-and-bound: admit candidates of ALL dataflows in one
+        // globally ascending order of the exact cycle bound (the
+        // bound IS the true cycle count — sim/perf.hh mappingCycles
+        // shares the cycle model with runLayerWithEff; bounds are
+        // batch-evaluated per dataflow span). Under ascending-cycles
+        // insertion a new point can never dominate a strictly-faster
+        // kept point, so capacity trimming is exact, and once the
+        // frontier is full every remaining candidate with a bound
+        // past the worst kept point can only be trimmed — one global
+        // cut ends the sweep with the kept set equal to the naive
+        // path's top-K prefix. stable_sort keeps equal-cycle
+        // candidates in canonical order, preserving tie-breaks. At
+        // K = 1 this is the classical incumbent cut.
+        std::vector<Int> bounds(cands.size());
+        for (const DataflowSpan &s : spans)
+            mappingCyclesBatch(hw, l, cands.data() + s.begin,
+                               s.end - s.begin, s.se,
+                               bounds.data() + s.begin);
+        std::vector<std::size_t> order(cands.size());
+        for (std::size_t i = 0; i < cands.size(); ++i)
+            order[i] = i;
         std::stable_sort(order.begin(), order.end(),
                          [&](std::size_t a, std::size_t b) {
                              return bounds[a] < bounds[b];
                          });
+        std::vector<std::size_t> evalsPerSpan(spans.size(), 0);
+        auto spanOf = [&](std::size_t i) {
+            for (std::size_t s = 0; s < spans.size(); ++s)
+                if (i < spans[s].end)
+                    return s;
+            return spans.size() - 1;
+        };
         for (std::size_t oi = 0; oi < order.size(); ++oi) {
             const std::size_t i = order[oi];
-            if (bounds[i] > best.result.cycles) {
+            if (front.atCapacity() &&
+                bounds[i] > front.worst().result.cycles) {
                 mappingsPruned_.fetch_add(order.size() - oi,
                                           std::memory_order_relaxed);
                 break;
             }
-            LayerResult r = scoredRunLayer(hw, l, cands[i], se);
-            if (betterResult(r, best.result)) {
-                best.mapping = cands[i];
-                best.result = r;
-            }
+            const std::size_t s = spanOf(i);
+            ++evalsPerSpan[s];
+            FrontierPoint p;
+            p.mapping = cands[i];
+            p.result = scoredRunLayer(hw, l, cands[i], spans[s].se);
+            p.seq = i;
+            front.insert(p);
         }
+        // Dataflows cut wholesale: not one of their tilings was
+        // worth evaluating against the frontier.
+        for (std::size_t s = 0; s < spans.size(); ++s)
+            if (evalsPerSpan[s] == 0)
+                dataflowsPruned_.fetch_add(1,
+                                           std::memory_order_relaxed);
     }
 
-    if (best.result.cycles == kNoBest) {
+    if (front.empty()) {
         // Nothing fit: smallest tiles as a fallback, clamped to the
         // problem so a tiny GEMM never reports a tile larger than
         // its own dimension.
-        Mapping map{hw.dataflows.front(), std::min<Int>(16, m),
-                    std::min<Int>(16, n), std::min<Int>(16, k)};
-        best.mapping = map;
-        best.result = scoredRunLayer(
-            hw, l, map, spatialEfficiency(hw, l, map.dataflow));
+        FrontierPoint p;
+        p.mapping = Mapping{hw.dataflows.front(), std::min<Int>(16, m),
+                            std::min<Int>(16, n), std::min<Int>(16, k)};
+        p.result = scoredRunLayer(
+            hw, l, p.mapping,
+            spatialEfficiency(hw, l, p.mapping.dataflow));
+        p.seq = 0;
+        front.insert(p);
     }
+    return front;
+}
+
+MappingFrontier
+Evaluator::searchMappingFrontier(const HardwareConfig &hw,
+                                 const Layer &l, std::size_t k) const
+{
+    const std::size_t cap = k == 0 ? 1 : k;
+    if (!l.isTensorOp()) {
+        searches_.fetch_add(1, std::memory_order_relaxed);
+        MappingFrontier front(cap);
+        FrontierPoint p;
+        p.result = runPpuLayer(hw, l);
+        front.insert(p);
+        return front;
+    }
+
+    // Frontier memo, K > 1 only: K = 1 sweeps are fully covered by
+    // the per-mapping memo, and the scalar hot path must keep its
+    // exact cache-counter behavior. Memo hits skip the sweep and do
+    // not count as searches.
+    const bool memo = cache_ && policy_.memoFrontiers && cap > 1;
+    CacheKey fkey;
+    if (memo) {
+        fkey = makeFrontierKey(hw, l, cap);
+        std::vector<FrontierPoint> pts;
+        if (cache_->lookupFrontierFast(fkey, &pts)) {
+            MappingFrontier front(cap);
+            for (const FrontierPoint &p : pts)
+                front.insert(p);
+            return front;
+        }
+    }
+    searches_.fetch_add(1, std::memory_order_relaxed);
+    MappingFrontier front = sweepFrontier(hw, l, cap);
+    if (memo)
+        cache_->insertFrontierFast(fkey, front.points());
+    return front;
+}
+
+MappedLayer
+Evaluator::searchMapping(const HardwareConfig &hw,
+                         const Layer &l) const
+{
+    MappingFrontier front = searchMappingFrontier(hw, l, 1);
+    MappedLayer best;
+    best.mapping = front.best().mapping;
+    best.result = front.best().result;
     return best;
 }
 
-ScheduleResult
-Evaluator::mapModel(const HardwareConfig &hw, const Model &m,
-                    WorkerPool *pool) const
+std::vector<MappingFrontier>
+Evaluator::mapModelFrontier(const HardwareConfig &hw, const Model &m,
+                            std::size_t k, WorkerPool *pool) const
 {
-    std::vector<MappedLayer> mapped(m.layers.size());
+    const std::size_t cap = k == 0 ? 1 : k;
+    std::vector<MappingFrontier> fronts(m.layers.size(),
+                                        MappingFrontier(cap));
     if (policy_.dedupLayerClasses) {
         // Search one representative per shape-identical class and
-        // broadcast: class members produce bit-identical results by
-        // construction (the signature covers every field the sweep
-        // reads).
+        // broadcast: class members produce bit-identical frontiers
+        // by construction (the signature covers every field the
+        // sweep reads).
         const std::vector<LayerClass> classes = groupLayerClasses(m);
-        std::vector<MappedLayer> byClass(classes.size());
+        std::vector<MappingFrontier> byClass(classes.size(),
+                                             MappingFrontier(cap));
         auto mapOne = [&](std::size_t c) {
-            byClass[c] =
-                searchMapping(hw, m.layers[classes[c].representative]);
+            byClass[c] = searchMappingFrontier(
+                hw, m.layers[classes[c].representative], cap);
         };
         if (pool) {
             pool->parallelFor(classes.size(), mapOne);
@@ -240,12 +320,12 @@ Evaluator::mapModel(const HardwareConfig &hw, const Model &m,
         }
         for (std::size_t c = 0; c < classes.size(); ++c)
             for (std::size_t idx : classes[c].members)
-                mapped[idx] = byClass[c];
+                fronts[idx] = byClass[c];
         layersDeduped_.fetch_add(m.layers.size() - classes.size(),
                                  std::memory_order_relaxed);
     } else {
         auto mapOne = [&](std::size_t i) {
-            mapped[i] = searchMapping(hw, m.layers[i]);
+            fronts[i] = searchMappingFrontier(hw, m.layers[i], cap);
         };
         if (pool) {
             pool->parallelFor(m.layers.size(), mapOne);
@@ -254,15 +334,79 @@ Evaluator::mapModel(const HardwareConfig &hw, const Model &m,
                 mapOne(i);
         }
     }
-    // Ordered reduction: aggregate in layer order regardless of the
-    // order workers finished in.
-    ScheduleResult out;
-    for (std::size_t i = 0; i < m.layers.size(); ++i) {
-        const Layer &l = m.layers[i];
-        accumulate(out.summary, mapped[i].result, l.isTensorOp(),
-                   l.repeat);
-        out.perLayer.push_back(std::move(mapped[i]));
+    return fronts;
+}
+
+ScheduleResult
+Evaluator::mapModel(const HardwareConfig &hw, const Model &m,
+                    WorkerPool *pool) const
+{
+    // K = 1, no budget: the composer selects each layer's single
+    // frontier point — the classical best-latency schedule.
+    return composeSchedule(m, mapModelFrontier(hw, m, 1, pool),
+                           ComposeOptions{});
+}
+
+std::vector<std::vector<MappingFrontier>>
+Evaluator::mapZooFrontier(const HardwareConfig &hw,
+                          const std::vector<const Model *> &zoo,
+                          std::size_t k, WorkerPool *pool) const
+{
+    const std::size_t cap = k == 0 ? 1 : k;
+    std::vector<std::vector<MappingFrontier>> fronts(zoo.size());
+    if (!policy_.dedupLayerClasses) {
+        for (std::size_t mi = 0; mi < zoo.size(); ++mi)
+            fronts[mi] = mapModelFrontier(hw, *zoo[mi], cap, pool);
+        return fronts;
     }
+    for (std::size_t mi = 0; mi < zoo.size(); ++mi)
+        fronts[mi].assign(zoo[mi]->layers.size(),
+                          MappingFrontier(cap));
+
+    // One class table across the whole zoo: shape-identical layers
+    // of *different* models broadcast from the same search.
+    const std::vector<ZooLayerClass> classes =
+        groupLayerClassesZoo(zoo);
+    std::vector<MappingFrontier> byClass(classes.size(),
+                                         MappingFrontier(cap));
+    auto mapOne = [&](std::size_t c) {
+        const ZooLayerRef &rep = classes[c].representative;
+        byClass[c] = searchMappingFrontier(
+            hw, zoo[rep.model]->layers[rep.layer], cap);
+    };
+    if (pool) {
+        pool->parallelFor(classes.size(), mapOne);
+    } else {
+        for (std::size_t c = 0; c < classes.size(); ++c)
+            mapOne(c);
+    }
+    std::size_t totalLayers = 0, crossModel = 0;
+    for (std::size_t mi = 0; mi < zoo.size(); ++mi)
+        totalLayers += zoo[mi]->layers.size();
+    for (std::size_t c = 0; c < classes.size(); ++c) {
+        for (const ZooLayerRef &ref : classes[c].members)
+            fronts[ref.model][ref.layer] = byClass[c];
+        crossModel += classes[c].distinctModels - 1;
+    }
+    layersDeduped_.fetch_add(totalLayers - classes.size(),
+                             std::memory_order_relaxed);
+    crossModelDeduped_.fetch_add(crossModel,
+                                 std::memory_order_relaxed);
+    return fronts;
+}
+
+std::vector<ScheduleResult>
+Evaluator::mapZoo(const HardwareConfig &hw,
+                  const std::vector<const Model *> &zoo,
+                  WorkerPool *pool) const
+{
+    std::vector<std::vector<MappingFrontier>> fronts =
+        mapZooFrontier(hw, zoo, 1, pool);
+    std::vector<ScheduleResult> out;
+    out.reserve(zoo.size());
+    for (std::size_t mi = 0; mi < zoo.size(); ++mi)
+        out.push_back(composeSchedule(*zoo[mi], std::move(fronts[mi]),
+                                      ComposeOptions{}));
     return out;
 }
 
@@ -291,6 +435,8 @@ Evaluator::counters() const
     EvalCounters c;
     c.searches = searches_.load(std::memory_order_relaxed);
     c.layersDeduped = layersDeduped_.load(std::memory_order_relaxed);
+    c.crossModelDeduped =
+        crossModelDeduped_.load(std::memory_order_relaxed);
     c.mappingsPruned = mappingsPruned_.load(std::memory_order_relaxed);
     c.dataflowsPruned =
         dataflowsPruned_.load(std::memory_order_relaxed);

@@ -3,22 +3,33 @@
  * Candidate evaluation engine: scores hardware candidates through the
  * existing layer performance model (runLayer) and chip cost roll-up
  * (archCost). Owns THE mapping-search implementation (the mapper's
- * mapLayer/scheduleModel are thin clients), with four accelerations:
+ * mapLayer/scheduleModel are thin clients), which is
+ * *frontier-valued*: searchMappingFrontier sweeps a layer's mapping
+ * candidates and keeps a bounded Pareto frontier over (cycles,
+ * energy) — the scalar searchMapping is its K = 1 projection and is
+ * bit-identical to the historical best-mapping search. Four
+ * accelerations:
  *
  *  - layer-class deduplication: mapModel groups shape-identical
  *    layers (model/layer_class.hh) and searches each class once,
- *    broadcasting the result to every instance;
- *  - bound-based pruning: tilings are admitted through the exact
- *    cycle bound (sim/perf.hh mappingCycles) sorted ascending, and
- *    the sweep is cut once the bound passes the incumbent; whole
- *    dataflows are skipped when their roofline floor
- *    (cycleLowerBound) already loses;
+ *    broadcasting the result to every instance; mapZoo extends the
+ *    class table across *models*, so multi-network sweeps share
+ *    searches too (cross-model hits counted separately);
+ *  - bound-based pruning: the candidates of ALL dataflows are
+ *    admitted in one globally ascending order of the exact cycle
+ *    bound (sim/perf.hh mappingCycles, batch-evaluated over each
+ *    dataflow's contiguous candidate span), and ONE global cut ends
+ *    the sweep once the bound passes the WORST KEPT point of a full
+ *    frontier — at K = 1 this is exactly the classical incumbent
+ *    cut, firing right after the minimum-bound candidate's ties;
  *  - spatialEfficiency is computed once per (hw, layer, dataflow)
  *    and shared by every tiling candidate of that dataflow;
  *  - each (hw, layer, mapping) evaluation is memoized in an optional
- *    CostCache (thread-local L0 in front of the sharded table).
+ *    CostCache (thread-local L0 in front of the sharded table), and
+ *    whole frontiers are memoized per (hw, layer, K) for K > 1 —
+ *    K = 1 sweeps keep the exact scalar cache behavior.
  *
- * Both optimizations preserve the exact result of the naive sweep:
+ * All optimizations preserve the exact result of the naive sweep:
  * the bound equals the true cycle count, ties keep their canonical
  * order, and class members are shape-identical by construction. The
  * naive path stays available through EvalPolicy for equivalence
@@ -33,6 +44,7 @@
 #include "dse/cost_cache.hh"
 #include "dse/pareto.hh"
 #include "dse/worker_pool.hh"
+#include "mapper/schedule.hh"
 #include "model/layer_class.hh"
 #include "model/models.hh"
 
@@ -72,12 +84,14 @@ bool feasible(const HardwareConfig &hw, const Model &m);
 /**
  * THE tie-breaking order on layer results (cycles, then energy, then
  * utilization — the paper's VI-A mapping search). Shared by every
- * client that ranks mappings; do not re-implement it.
+ * client that ranks mappings; do not re-implement it. The mapping
+ * frontier's (objectives..., tie) order reduces to exactly this
+ * order at K = 1.
  */
 bool betterResult(const LayerResult &r, const LayerResult &best);
 
 /**
- * Reuse/pruning switches of the evaluator. Both default on; the
+ * Reuse/pruning switches of the evaluator. All default on; the
  * naive configuration reproduces the pre-optimization exhaustive
  * sweep bit-for-bit and exists for equivalence tests and the perf
  * baseline in bench_dse_perf.
@@ -86,15 +100,26 @@ struct EvalPolicy
 {
     bool dedupLayerClasses = true; //!< Search one layer per class.
     bool pruneMappings = true;     //!< Branch-and-bound the sweep.
+    /** Memoize whole frontiers per (hw, layer, K) for K > 1. K = 1
+     *  sweeps never consult the frontier memo, so the scalar hot
+     *  path keeps its exact per-mapping cache behavior. */
+    bool memoFrontiers = true;
 };
 
 /** Reuse/pruning work counters (monotonic, any-thread exact). */
 struct EvalCounters
 {
-    std::uint64_t searches = 0;        //!< searchMapping calls run.
+    /** Frontier sweeps actually run (frontier-memo hits excluded). */
+    std::uint64_t searches = 0;
     std::uint64_t layersDeduped = 0;   //!< Instances broadcast, not searched.
+    /** Extra broadcasts a zoo-level class table produced on top of
+     *  per-model dedup: for each class, one per additional *model*
+     *  sharing the shape. */
+    std::uint64_t crossModelDeduped = 0;
     std::uint64_t mappingsPruned = 0;  //!< Tilings cut by the cycle bound.
-    std::uint64_t dataflowsPruned = 0; //!< Dataflows cut by the floor.
+    /** Dataflows not one of whose tilings was evaluated before the
+     *  global bound cut ended the sweep. */
+    std::uint64_t dataflowsPruned = 0;
     /** runLayerWithEff invocations issued by THIS evaluator (cache
      *  misses + uncached runs) — exact even when other engines or
      *  mapper clients evaluate concurrently in the process. */
@@ -111,22 +136,62 @@ class Evaluator
     {}
 
     /**
-     * Sweep the layer's mapping candidates and keep the best under
-     * betterResult. With pruning enabled the sweep is cut through
-     * the exact cycle bound; the selected mapping and result are
-     * bit-identical to the exhaustive sweep.
+     * Sweep the layer's mapping candidates into a Pareto frontier
+     * over (cycles, energy) keeping at most k points (k = 0 is
+     * treated as 1), in deterministic (cycles, energy, utilization,
+     * sweep-ordinal) order. With pruning enabled, candidates whose
+     * cycle bound exceeds the worst kept point of a full frontier
+     * are cut — the kept set is bit-identical to the unpruned
+     * sweep's. The frontier's best point IS the scalar search
+     * answer.
+     */
+    MappingFrontier searchMappingFrontier(const HardwareConfig &hw,
+                                          const Layer &l,
+                                          std::size_t k) const;
+
+    /**
+     * Scalar projection: the best point of the K = 1 frontier.
+     * Bit-identical to the historical exhaustive best-mapping sweep.
      */
     MappedLayer searchMapping(const HardwareConfig &hw,
                               const Layer &l) const;
 
     /**
-     * Map every layer of the model, fanning the per-class sweeps
-     * across `pool` (inline when null), and aggregate — equivalent
-     * to scheduleModel but parallel, memoized, and deduplicated
-     * across shape-identical layers.
+     * Per-layer frontiers for every layer of the model (aligned with
+     * m.layers), fanning the per-class sweeps across `pool` (inline
+     * when null) and broadcasting across shape-identical layers.
+     */
+    std::vector<MappingFrontier>
+    mapModelFrontier(const HardwareConfig &hw, const Model &m,
+                     std::size_t k, WorkerPool *pool = nullptr) const;
+
+    /**
+     * Map every layer of the model at K = 1 and aggregate —
+     * equivalent to scheduleModel but parallel, memoized, and
+     * deduplicated across shape-identical layers.
      */
     ScheduleResult mapModel(const HardwareConfig &hw, const Model &m,
                             WorkerPool *pool = nullptr) const;
+
+    /**
+     * Zoo-level mapping: per-layer frontiers for every model of a
+     * zoo, sharing one class table ACROSS models so shape-identical
+     * layers of different networks are searched once. Returns one
+     * frontier vector per model (aligned with that model's layers).
+     * Cross-model broadcasts are counted in
+     * counters().crossModelDeduped.
+     */
+    std::vector<std::vector<MappingFrontier>>
+    mapZooFrontier(const HardwareConfig &hw,
+                   const std::vector<const Model *> &zoo,
+                   std::size_t k, WorkerPool *pool = nullptr) const;
+
+    /** mapZooFrontier at K = 1, composed into per-model schedules —
+     *  bit-identical to mapModel on each model separately. */
+    std::vector<ScheduleResult>
+    mapZoo(const HardwareConfig &hw,
+           const std::vector<const Model *> &zoo,
+           WorkerPool *pool = nullptr) const;
 
     /** Score one hardware candidate on a model as a DSE point. */
     DsePoint evaluate(const HardwareConfig &hw, const Model &m,
@@ -142,11 +207,15 @@ class Evaluator
     LayerResult scoredRunLayer(const HardwareConfig &hw,
                                const Layer &l, const Mapping &map,
                                double spatialEff) const;
+    MappingFrontier sweepFrontier(const HardwareConfig &hw,
+                                  const Layer &l,
+                                  std::size_t cap) const;
 
     CostCache *cache_;
     EvalPolicy policy_;
     mutable std::atomic<std::uint64_t> searches_{0};
     mutable std::atomic<std::uint64_t> layersDeduped_{0};
+    mutable std::atomic<std::uint64_t> crossModelDeduped_{0};
     mutable std::atomic<std::uint64_t> mappingsPruned_{0};
     mutable std::atomic<std::uint64_t> dataflowsPruned_{0};
     mutable std::atomic<std::uint64_t> modelEvals_{0};

@@ -1,7 +1,5 @@
 #include "dse/pareto.hh"
 
-#include <algorithm>
-
 namespace lego
 {
 namespace dse
@@ -10,50 +8,15 @@ namespace dse
 bool
 dominates(const DsePoint &a, const DsePoint &b)
 {
-    bool noWorse = a.latencyCycles <= b.latencyCycles &&
-                   a.energyPj <= b.energyPj && a.areaMm2 <= b.areaMm2;
-    bool strictlyBetter = a.latencyCycles < b.latencyCycles ||
-                          a.energyPj < b.energyPj ||
-                          a.areaMm2 < b.areaMm2;
-    return noWorse && strictlyBetter;
-}
-
-bool
-ParetoArchive::insert(const DsePoint &p)
-{
-    for (const DsePoint &q : points_) {
-        if (dominates(q, p))
-            return false;
-        // Objective-space duplicate: keep the incumbent so the
-        // archive does not accumulate ties.
-        if (q.latencyCycles == p.latencyCycles &&
-            q.energyPj == p.energyPj && q.areaMm2 == p.areaMm2)
-            return false;
-    }
-    points_.erase(std::remove_if(points_.begin(), points_.end(),
-                                 [&](const DsePoint &q) {
-                                     return dominates(p, q);
-                                 }),
-                  points_.end());
-    points_.push_back(p);
-    return true;
+    return ParetoArchive::dominates(a, b);
 }
 
 std::vector<DsePoint>
 ParetoArchive::sorted() const
 {
-    std::vector<DsePoint> out = points_;
-    std::sort(out.begin(), out.end(),
-              [](const DsePoint &a, const DsePoint &b) {
-                  if (a.latencyCycles != b.latencyCycles)
-                      return a.latencyCycles < b.latencyCycles;
-                  if (a.energyPj != b.energyPj)
-                      return a.energyPj < b.energyPj;
-                  if (a.areaMm2 != b.areaMm2)
-                      return a.areaMm2 < b.areaMm2;
-                  return a.id < b.id;
-              });
-    return out;
+    // points() already holds the (latency, energy, area, id) order —
+    // the container's sort invariant IS the published order.
+    return points();
 }
 
 namespace
@@ -75,7 +38,7 @@ extreme(const std::vector<DsePoint> &pts, Less less)
 const DsePoint *
 ParetoArchive::bestLatency() const
 {
-    return extreme(points_, [](const DsePoint &a, const DsePoint &b) {
+    return extreme(points(), [](const DsePoint &a, const DsePoint &b) {
         return a.latencyCycles != b.latencyCycles
                    ? a.latencyCycles < b.latencyCycles
                    : a.id < b.id;
@@ -85,7 +48,7 @@ ParetoArchive::bestLatency() const
 const DsePoint *
 ParetoArchive::bestEnergy() const
 {
-    return extreme(points_, [](const DsePoint &a, const DsePoint &b) {
+    return extreme(points(), [](const DsePoint &a, const DsePoint &b) {
         return a.energyPj != b.energyPj ? a.energyPj < b.energyPj
                                         : a.id < b.id;
     });
@@ -94,7 +57,7 @@ ParetoArchive::bestEnergy() const
 const DsePoint *
 ParetoArchive::bestArea() const
 {
-    return extreme(points_, [](const DsePoint &a, const DsePoint &b) {
+    return extreme(points(), [](const DsePoint &a, const DsePoint &b) {
         return a.areaMm2 != b.areaMm2 ? a.areaMm2 < b.areaMm2
                                       : a.id < b.id;
     });
@@ -112,7 +75,7 @@ ParetoArchive::bestUnderLatency(double latencyBound,
         }
     };
     const DsePoint *best = nullptr;
-    for (const DsePoint &p : points_) {
+    for (const DsePoint &p : points()) {
         if (p.latencyCycles > latencyBound)
             continue;
         if (!best || metric(p) < metric(*best) ||

@@ -2,27 +2,88 @@
  * @file
  * End-to-end network scheduler: maps every layer of a model via the
  * mapping search tool and aggregates the run summary (the numbers
- * behind Fig. 11/12 and Tables II/V).
+ * behind Fig. 11/12 and Tables II-V).
+ *
+ * The scheduler is frontier-composing: each layer contributes a
+ * bounded mapping Pareto frontier (latency x energy), and
+ * composeSchedule() picks one point per layer under a model-level
+ * energy (or latency) budget with a deterministic convex-hull greedy
+ * sweep. The default options (K = 1, no budget) reduce exactly to
+ * the classical best-latency-per-layer schedule.
  */
 
 #ifndef LEGO_MAPPER_SCHEDULE_HH
 #define LEGO_MAPPER_SCHEDULE_HH
 
+#include "dse/pareto.hh"
 #include "mapper/mapper.hh"
 #include "model/models.hh"
 
 namespace lego
 {
 
+/** Frontier width and model-level budget of the composer. */
+struct ComposeOptions
+{
+    /** Kept points per layer frontier (>= 1). */
+    std::size_t frontierK = 1;
+    /**
+     * > 0: minimize total latency subject to total energy <= budget
+     * (pJ). Takes precedence over the latency budget.
+     */
+    double energyBudgetPj = 0;
+    /**
+     * > 0 (with energyBudgetPj == 0): minimize total energy subject
+     * to total latency <= budget (cycles).
+     */
+    double latencyBudgetCycles = 0;
+};
+
+/** What the composer did (attached to every ScheduleResult). */
+struct ComposeInfo
+{
+    bool budgeted = false; //!< A nonzero budget was in force.
+    /** Budget met? (Always true when unbudgeted.) When false the
+     *  schedule is the extreme composition nearest the budget. */
+    bool feasible = true;
+    /** Frontier steps taken away from the unconstrained extreme. */
+    std::size_t swaps = 0;
+    /** Total frontier points kept across layers. */
+    std::size_t frontierPoints = 0;
+};
+
 /** Per-layer decisions plus aggregate results. */
 struct ScheduleResult
 {
     RunSummary summary;
     std::vector<MappedLayer> perLayer; //!< Aligned with model.layers.
+    /** Per-layer mapping frontiers (aligned with model.layers; each
+     *  holds >= 1 point, the selected one among them). */
+    std::vector<dse::MappingFrontier> perLayerFrontier;
+    ComposeInfo compose;
 };
 
-/** Map and simulate a full model on a hardware instance. */
+/** Map and simulate a full model on a hardware instance (best
+ *  latency per layer — the classical schedule). */
 ScheduleResult scheduleModel(const HardwareConfig &hw, const Model &m);
+
+/** Frontier-composing schedule under a model-level budget. */
+ScheduleResult scheduleModel(const HardwareConfig &hw, const Model &m,
+                             const ComposeOptions &opt);
+
+/**
+ * Compose a schedule out of per-layer mapping frontiers (one per
+ * model layer, in layer order). Selection: the per-layer convex
+ * hulls of the (cycles, energy) frontiers are walked greedily by
+ * marginal efficiency until the budget holds — deterministic, and
+ * monotone in the budget (a tighter energy budget never lowers the
+ * composed latency; a tighter latency budget never lowers energy).
+ * With no budget every layer keeps its best-latency point, which
+ * reproduces the scalar scheduler bit-for-bit.
+ */
+ScheduleResult composeSchedule(const Model &m,
+                               std::vector<dse::MappingFrontier> fronts,
+                               const ComposeOptions &opt);
 
 } // namespace lego
 

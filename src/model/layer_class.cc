@@ -54,21 +54,46 @@ layerSignature(const Layer &l)
 std::vector<LayerClass>
 groupLayerClasses(const Model &m)
 {
+    // The zoo grouping over a one-model zoo IS the per-model
+    // grouping (model-major scan of a single model = layer order),
+    // so there is exactly one class-table construction to keep
+    // correct.
     std::vector<LayerClass> classes;
+    for (const ZooLayerClass &zc : groupLayerClassesZoo({&m})) {
+        LayerClass cls;
+        cls.representative = zc.representative.layer;
+        cls.members.reserve(zc.members.size());
+        for (const ZooLayerRef &ref : zc.members)
+            cls.members.push_back(ref.layer);
+        classes.push_back(std::move(cls));
+    }
+    return classes;
+}
+
+std::vector<ZooLayerClass>
+groupLayerClassesZoo(const std::vector<const Model *> &zoo)
+{
+    std::vector<ZooLayerClass> classes;
     std::unordered_map<LayerSignature, std::size_t, LayerSignatureHash>
         index;
-    index.reserve(m.layers.size());
-    for (std::size_t i = 0; i < m.layers.size(); ++i) {
-        LayerSignature sig = layerSignature(m.layers[i]);
-        auto it = index.find(sig);
-        if (it == index.end()) {
-            index.emplace(sig, classes.size());
-            LayerClass cls;
-            cls.representative = i;
-            cls.members.push_back(i);
-            classes.push_back(std::move(cls));
-        } else {
-            classes[it->second].members.push_back(i);
+    for (std::size_t mi = 0; mi < zoo.size(); ++mi) {
+        for (std::size_t li = 0; li < zoo[mi]->layers.size(); ++li) {
+            LayerSignature sig = layerSignature(zoo[mi]->layers[li]);
+            ZooLayerRef ref{mi, li};
+            auto it = index.find(sig);
+            if (it == index.end()) {
+                index.emplace(sig, classes.size());
+                ZooLayerClass cls;
+                cls.representative = ref;
+                cls.members.push_back(ref);
+                cls.distinctModels = 1;
+                classes.push_back(std::move(cls));
+            } else {
+                ZooLayerClass &cls = classes[it->second];
+                if (cls.members.back().model != mi)
+                    ++cls.distinctModels;
+                cls.members.push_back(ref);
+            }
         }
     }
     return classes;

@@ -84,6 +84,39 @@ struct LayerClass
  */
 std::vector<LayerClass> groupLayerClasses(const Model &m);
 
+/** A layer instance inside a model zoo. */
+struct ZooLayerRef
+{
+    std::size_t model = 0; //!< Index into the zoo.
+    std::size_t layer = 0; //!< Index into that model's layers.
+};
+
+/**
+ * One equivalence class of shape-identical layers across a model
+ * zoo: `representative` is the first instance in (model, layer)
+ * order, `members` lists every instance in that order (including
+ * the representative), `distinctModels` counts how many models of
+ * the zoo contain the shape — (distinctModels - 1) is the number of
+ * searches a per-model class table would have run that the zoo
+ * table shares away.
+ */
+struct ZooLayerClass
+{
+    ZooLayerRef representative;
+    std::vector<ZooLayerRef> members;
+    std::size_t distinctModels = 0;
+};
+
+/**
+ * Zoo-level class table: group the layers of EVERY model into one
+ * set of shape-identical classes, ordered by first occurrence in
+ * (model, layer) order, so multi-model sweeps share mapping
+ * searches between networks. Every (model, layer) pair appears in
+ * exactly one class.
+ */
+std::vector<ZooLayerClass>
+groupLayerClassesZoo(const std::vector<const Model *> &zoo);
+
 } // namespace lego
 
 #endif // LEGO_MODEL_LAYER_CLASS_HH

@@ -1,7 +1,9 @@
 #include "sim/perf.hh"
 
 #include <algorithm>
+#include <cassert>
 #include <cmath>
+#include <vector>
 
 namespace lego
 {
@@ -70,6 +72,59 @@ mappingCycles(const HardwareConfig &hw, const Layer &l,
 {
     CycleModel cm = cycleModel(hw, l, map, spatialEff);
     return std::max(cm.compute, cm.mem);
+}
+
+void
+mappingCyclesBatch(const HardwareConfig &hw, const Layer &l,
+                   const Mapping *maps, std::size_t count,
+                   double spatialEff, Int *out)
+{
+    if (count <= 1) {
+        // Scalar fallback: the reference path (also the degenerate
+        // batch, where SoA staging is pure overhead).
+        for (std::size_t i = 0; i < count; ++i)
+            out[i] = mappingCycles(hw, l, maps[i], spatialEff);
+        return;
+    }
+
+    // Per-layer constants hoisted out of the candidate loops — the
+    // same quantities cycleModel derives per call.
+    const Int m = l.gemmM(), n = l.gemmN(), k = l.gemmK();
+    const double se = std::max(spatialEff, 1e-4);
+    const Int idealCycles =
+        Int(std::ceil(double(l.macs()) / double(hw.totalFus()) / se));
+    const Int fillUnit = hw.rows + hw.cols + 8;
+    const Int wbytes = l.weightBytes();
+    const Int xbytes = l.inputBytes();
+    const Int obytes = l.outputBytes();
+    const bool amortized = l.batchAmortized;
+
+    // SoA passes: each loop body is an independent iteration over
+    // contiguous arrays (no calls, no branches beyond min/ceilDiv),
+    // which the compiler can autovectorize.
+    std::vector<Int> tilesArr(count), trafficArr(count);
+    for (std::size_t i = 0; i < count; ++i) {
+        const Int tm = std::min<Int>(maps[i].tm, m);
+        const Int tn = std::min<Int>(maps[i].tn, n);
+        const Int tk = std::min<Int>(maps[i].tk, k);
+        const Int rm = ceilDiv(m, tm);
+        const Int rn = ceilDiv(n, tn);
+        const Int rk = ceilDiv(k, tk);
+        tilesArr[i] = rm * rn * rk;
+        trafficArr[i] = wbytes * (amortized ? Int(1) : rm) +
+                        xbytes * rn + obytes * (2 * rk - 1);
+    }
+    for (std::size_t i = 0; i < count; ++i) {
+        const Int compute = idealCycles + fillUnit * tilesArr[i];
+        const Int mem = dramCycles(hw.dram, trafficArr[i], hw.freqGhz);
+        out[i] = std::max(compute, mem);
+    }
+
+#ifndef NDEBUG
+    // The batch must be bit-identical to the scalar reference.
+    for (std::size_t i = 0; i < count; ++i)
+        assert(out[i] == mappingCycles(hw, l, maps[i], spatialEff));
+#endif
 }
 
 Int

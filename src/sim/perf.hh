@@ -58,6 +58,19 @@ Int mappingCycles(const HardwareConfig &hw, const Layer &l,
                   const Mapping &map, double spatialEff);
 
 /**
+ * Batched mappingCycles over a contiguous array of `count` mappings
+ * of ONE (layer, dataflow): out[i] = mappingCycles(hw, l, maps[i],
+ * spatialEff). The per-layer constants are hoisted once and the
+ * per-candidate work runs as structure-of-arrays passes over flat
+ * scratch (independent iterations, autovectorizable); the scalar
+ * path stays the reference — debug builds assert element-wise
+ * identity, and count == 0/1 falls back to it outright.
+ */
+void mappingCyclesBatch(const HardwareConfig &hw, const Layer &l,
+                        const Mapping *maps, std::size_t count,
+                        double spatialEff, Int *out);
+
+/**
  * Roofline floor on cycles over ALL tilings of (layer, dataflow):
  * max of the compute bound (peak MACs at the dataflow's spatial
  * efficiency plus one pipeline fill) and the bandwidth bound (each

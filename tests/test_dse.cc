@@ -215,6 +215,64 @@ TEST(Pareto, InsertPrunesAndRejects)
     EXPECT_EQ(arch.bestEnergy()->id, 4u);
 }
 
+/**
+ * Objective-space ties dedupe through the tie order (lowest id), not
+ * through insertion order: both arrival interleavings keep the same
+ * point, so archives built by different worker schedules agree.
+ */
+TEST(Pareto, TieDedupeDeterministicAcrossOrders)
+{
+    DsePoint low, high;
+    low.id = 3;
+    high.id = 9;
+    low.latencyCycles = high.latencyCycles = 10;
+    low.energyPj = high.energyPj = 20;
+    low.areaMm2 = high.areaMm2 = 30;
+
+    ParetoArchive a;
+    EXPECT_TRUE(a.insert(low));
+    EXPECT_FALSE(a.insert(high)); // Loses the tie: id 9 > 3.
+    ASSERT_EQ(a.size(), 1u);
+    EXPECT_EQ(a.points()[0].id, 3u);
+
+    ParetoArchive b;
+    EXPECT_TRUE(b.insert(high));
+    EXPECT_TRUE(b.insert(low)); // Wins the tie despite arriving late.
+    ASSERT_EQ(b.size(), 1u);
+    EXPECT_EQ(b.points()[0].id, 3u);
+}
+
+/** The batched bound equals the scalar bound element for element. */
+TEST(Perf, BatchBoundsMatchScalar)
+{
+    HardwareConfig hw;
+    hw.dataflows = {DataflowTag::MN, DataflowTag::ICOC,
+                    DataflowTag::OHOW, DataflowTag::KHOH};
+    for (const Layer &l :
+         {conv("c", 64, 128, 28, 3), conv("s", 32, 64, 56, 1, 2),
+          linear("fc", 64, 512, 1000), matmul("mm", 256, 64, 256),
+          dwconv("dw", 96, 56, 3),
+          linear("amortized", 32, 4096, 11008, 1, true)}) {
+        std::vector<Mapping> cands = dse::mappingCandidates(hw, l);
+        for (DataflowTag df : hw.dataflows) {
+            std::vector<Mapping> mine;
+            for (const Mapping &map : cands)
+                if (map.dataflow == df)
+                    mine.push_back(map);
+            if (mine.empty())
+                continue;
+            double se = spatialEfficiency(hw, l, df);
+            std::vector<Int> batch(mine.size());
+            mappingCyclesBatch(hw, l, mine.data(), mine.size(), se,
+                               batch.data());
+            for (std::size_t i = 0; i < mine.size(); ++i)
+                EXPECT_EQ(batch[i],
+                          mappingCycles(hw, l, mine[i], se))
+                    << l.name << " candidate " << i;
+        }
+    }
+}
+
 TEST(CandidateSpace, DecodeCoversAndNeighborClamps)
 {
     CandidateSpace s = dse::defaultSpace();

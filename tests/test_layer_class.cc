@@ -149,5 +149,111 @@ TEST(LayerClass, BroadcastIdenticalAcrossWorkerCounts)
     }
 }
 
+/** Two networks sharing shapes with each other and themselves. */
+std::pair<Model, Model>
+zooPair()
+{
+    Model a;
+    a.name = "netA";
+    a.layers = {conv("a0", 64, 64, 28, 3), conv("a1", 64, 64, 28, 3),
+                linear("head", 1, 256, 1000)};
+    Model b;
+    b.name = "netB";
+    b.layers = {conv("b0", 64, 64, 28, 3), // Shared with netA.
+                dwconv("b1", 96, 56, 3),   // Unique to netB.
+                linear("tail", 1, 256, 1000)}; // Shared with netA.
+    return {a, b};
+}
+
+TEST(LayerClassZoo, GroupsPartitionAcrossModels)
+{
+    auto [a, b] = zooPair();
+    std::vector<const Model *> zoo = {&a, &b};
+    std::vector<ZooLayerClass> classes = groupLayerClassesZoo(zoo);
+    // conv64, linear-head, dwconv: 3 classes across 6 instances.
+    ASSERT_EQ(classes.size(), 3u);
+
+    std::vector<std::vector<bool>> seen = {
+        std::vector<bool>(a.layers.size(), false),
+        std::vector<bool>(b.layers.size(), false)};
+    for (const ZooLayerClass &cls : classes) {
+        ASSERT_FALSE(cls.members.empty());
+        EXPECT_EQ(cls.members.front().model, cls.representative.model);
+        EXPECT_EQ(cls.members.front().layer, cls.representative.layer);
+        const Layer &rep =
+            zoo[cls.representative.model]
+                ->layers[cls.representative.layer];
+        for (const ZooLayerRef &ref : cls.members) {
+            EXPECT_FALSE(seen[ref.model][ref.layer]);
+            seen[ref.model][ref.layer] = true;
+            EXPECT_TRUE(layerSignature(zoo[ref.model]->layers[ref.layer]) ==
+                        layerSignature(rep));
+        }
+    }
+    for (const auto &model : seen)
+        for (bool s : model)
+            EXPECT_TRUE(s);
+
+    // conv64 spans both models (3 instances), the linear head spans
+    // both (2), the dwconv only netB.
+    EXPECT_EQ(classes[0].members.size(), 3u);
+    EXPECT_EQ(classes[0].distinctModels, 2u);
+    EXPECT_EQ(classes[1].members.size(), 2u);
+    EXPECT_EQ(classes[1].distinctModels, 2u);
+    EXPECT_EQ(classes[2].members.size(), 1u);
+    EXPECT_EQ(classes[2].distinctModels, 1u);
+}
+
+/** Zoo mapping == independent per-model mapping, bit for bit, while
+ *  sharing the cross-model searches (counted exactly). */
+TEST(LayerClassZoo, ZooMappingMatchesPerModel)
+{
+    auto [a, b] = zooPair();
+    std::vector<const Model *> zoo = {&a, &b};
+    HardwareConfig hw;
+    hw.dataflows = {DataflowTag::MN, DataflowTag::ICOC};
+
+    dse::Evaluator ev;
+    std::vector<ScheduleResult> shared = ev.mapZoo(hw, zoo);
+    // 6 instances, 3 zoo classes -> 3 broadcast layers; 2 of the 3
+    // classes span both models -> 2 cross-model shares.
+    EXPECT_EQ(ev.counters().searches, 3u);
+    EXPECT_EQ(ev.counters().layersDeduped, 3u);
+    EXPECT_EQ(ev.counters().crossModelDeduped, 2u);
+
+    ASSERT_EQ(shared.size(), 2u);
+    for (std::size_t mi = 0; mi < zoo.size(); ++mi) {
+        ScheduleResult solo = dse::Evaluator().mapModel(hw, *zoo[mi]);
+        EXPECT_EQ(solo.summary.totalCycles,
+                  shared[mi].summary.totalCycles);
+        EXPECT_EQ(solo.summary.totalEnergyPj,
+                  shared[mi].summary.totalEnergyPj);
+        ASSERT_EQ(solo.perLayer.size(), shared[mi].perLayer.size());
+        for (std::size_t i = 0; i < solo.perLayer.size(); ++i) {
+            EXPECT_EQ(solo.perLayer[i].mapping.dataflow,
+                      shared[mi].perLayer[i].mapping.dataflow);
+            EXPECT_EQ(solo.perLayer[i].mapping.tm,
+                      shared[mi].perLayer[i].mapping.tm);
+            EXPECT_EQ(solo.perLayer[i].result.cycles,
+                      shared[mi].perLayer[i].result.cycles);
+            EXPECT_EQ(solo.perLayer[i].result.energyPj,
+                      shared[mi].perLayer[i].result.energyPj);
+        }
+    }
+
+    // Through the engine (8 workers) the shares and results hold.
+    dse::DseOptions opt;
+    opt.threads = 8;
+    dse::DseEngine engine(opt);
+    std::vector<ScheduleResult> pooled = engine.mapZoo(hw, zoo);
+    EXPECT_EQ(engine.evaluator().counters().crossModelDeduped, 2u);
+    for (std::size_t mi = 0; mi < zoo.size(); ++mi) {
+        EXPECT_EQ(pooled[mi].summary.totalCycles,
+                  shared[mi].summary.totalCycles);
+        EXPECT_EQ(pooled[mi].summary.totalEnergyPj,
+                  shared[mi].summary.totalEnergyPj);
+    }
+}
+
 } // namespace
 } // namespace lego
