@@ -1,0 +1,269 @@
+/**
+ * @file
+ * `lego_serve`: the serving-loop driver. Replays a request trace
+ * (default: the checked-in examples/serve_trace.jsonl — MobileNetV2 +
+ * EfficientNetV2 + BERT under varying objectives, budgets, and K)
+ * TWICE against one cache file:
+ *
+ *   pass 1 (cold)  fresh ServeLoop, empty cache file, flush on
+ *                  shutdown;
+ *   pass 2 (warm)  a NEW ServeLoop — a process restart in miniature —
+ *                  warm-started from the flushed cache.
+ *
+ * Exit code 0 requires the serving invariants to hold:
+ *   - every request of both passes succeeded,
+ *   - the two passes' schedules are bit-identical (warm answers are
+ *     exactly the cold answers),
+ *   - the warm pass made zero performance-model evaluations and hit
+ *     >= 90% of its frontier-memo lookups.
+ *
+ * CI runs this as the serve-smoke step of all three jobs.
+ *
+ * Flags:
+ *   --trace FILE    request trace (missing default falls back to the
+ *                   built-in demo trace; an explicit missing FILE is
+ *                   an error)
+ *   --cache FILE    cache file shared by the passes
+ *                   (default lego_serve.cache, removed on success)
+ *   --threads N     worker-pool size (default 1)
+ *   --keep-cache    keep the cache file for later warm starts
+ *   --print-trace   print the built-in demo trace (the generator of
+ *                   examples/serve_trace.jsonl) and exit
+ *   --calibrate     print each trace model's composition extremes
+ *                   (best-latency vs min-energy totals at K = 8) —
+ *                   the numbers trace budgets are chosen between
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <set>
+
+#include "lego.hh"
+
+using namespace lego;
+
+namespace
+{
+
+struct PassNumbers
+{
+    std::vector<serve::ServeResponse> responses;
+    std::uint64_t modelEvals = 0;
+    std::uint64_t frontHits = 0;
+    std::uint64_t frontMisses = 0;
+    double wallSeconds = 0;
+
+    double frontierHitRate() const
+    {
+        const std::uint64_t total = frontHits + frontMisses;
+        return total ? double(frontHits) / double(total) : 0.0;
+    }
+};
+
+HardwareConfig
+servingConfig()
+{
+    HardwareConfig hw; // The paper's 16x16 MN/IC-OC deployment.
+    hw.name = "LEGO-SERVE";
+    return hw;
+}
+
+PassNumbers
+runPass(const char *label,
+        const std::vector<serve::ServeRequest> &trace,
+        const std::string &cachePath, int threads)
+{
+    serve::ServeOptions sopt;
+    sopt.hw = servingConfig();
+    sopt.dse.threads = threads;
+    sopt.dse.cachePath = cachePath;
+    serve::ServeLoop loop(sopt);
+    for (const serve::ServeRequest &req : trace)
+        loop.submit(req);
+    loop.drain();
+
+    PassNumbers pass;
+    pass.responses = loop.responses();
+    for (const serve::ServeResponse &r : pass.responses) {
+        const dse::DseStats &s = r.stats.dse;
+        pass.modelEvals += s.modelEvals;
+        pass.frontHits += s.frontHits;
+        pass.frontMisses += s.frontMisses;
+        pass.wallSeconds += s.wallSeconds;
+        double cycles = 0, energy = 0;
+        for (const ScheduleResult &sched : r.schedules) {
+            cycles += double(sched.summary.totalCycles);
+            energy += sched.summary.totalEnergyPj;
+        }
+        std::printf("  [%llu] %-14s %s models=%zu k=%zu "
+                    "cycles=%.3e energy=%.3epJ evals=%llu "
+                    "front=%llu/%llu dedup=%llu/%llu wall=%.3fs%s%s\n",
+                    (unsigned long long)r.seq, r.id.c_str(),
+                    r.ok ? "ok " : "ERR", r.models.size(),
+                    r.compose.frontierK, cycles, energy,
+                    (unsigned long long)s.modelEvals,
+                    (unsigned long long)s.frontHits,
+                    (unsigned long long)(s.frontHits + s.frontMisses),
+                    (unsigned long long)s.layersDeduped,
+                    (unsigned long long)s.crossModelDeduped,
+                    s.wallSeconds, r.ok ? "" : " — ",
+                    r.ok ? "" : r.error.c_str());
+    }
+    if (!loop.shutdown())
+        std::printf("  warning: cache flush to %s failed\n",
+                    cachePath.c_str());
+    std::printf("pass %-5s %zu requests, evals=%llu, frontier "
+                "hits %llu/%llu (%.1f%%), wall=%.3fs\n",
+                label, pass.responses.size(),
+                (unsigned long long)pass.modelEvals,
+                (unsigned long long)pass.frontHits,
+                (unsigned long long)(pass.frontHits +
+                                     pass.frontMisses),
+                100.0 * pass.frontierHitRate(), pass.wallSeconds);
+    return pass;
+}
+
+/** Composition extremes per distinct trace model: the budget range. */
+void
+calibrate(const std::vector<serve::ServeRequest> &trace)
+{
+    std::set<std::string> names;
+    for (const serve::ServeRequest &req : trace)
+        for (const std::string &name : req.models)
+            names.insert(name);
+    const HardwareConfig hw = servingConfig();
+    dse::DseEngine engine;
+    for (const std::string &name : names) {
+        Model m;
+        if (!serve::lookupModel(name, &m)) {
+            std::printf("%-16s unknown model\n", name.c_str());
+            continue;
+        }
+        ComposeOptions copt;
+        copt.frontierK = 8;
+        ScheduleResult fast = engine.mapModelComposed(hw, m);
+        copt.latencyBudgetCycles = 1e30; // Min-energy extreme.
+        ScheduleResult lean = composeSchedule(
+            m,
+            engine.evaluator().mapModelFrontier(hw, m, 8,
+                                                &engine.pool()),
+            copt);
+        std::printf("%-16s best-latency %.6e cyc / %.6e pJ — "
+                    "min-energy %.6e cyc / %.6e pJ\n",
+                    name.c_str(),
+                    double(fast.summary.totalCycles),
+                    fast.summary.totalEnergyPj,
+                    double(lean.summary.totalCycles),
+                    lean.summary.totalEnergyPj);
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string tracePath = "examples/serve_trace.jsonl";
+    bool traceExplicit = false;
+    std::string cachePath = "lego_serve.cache";
+    int threads = 1;
+    bool keepCache = false, printTrace = false, doCalibrate = false;
+    for (int i = 1; i < argc; ++i) {
+        if (!std::strcmp(argv[i], "--trace") && i + 1 < argc) {
+            tracePath = argv[++i];
+            traceExplicit = true;
+        } else if (!std::strcmp(argv[i], "--cache") && i + 1 < argc) {
+            cachePath = argv[++i];
+        } else if (!std::strcmp(argv[i], "--threads") &&
+                   i + 1 < argc) {
+            threads = std::atoi(argv[++i]);
+        } else if (!std::strcmp(argv[i], "--keep-cache")) {
+            keepCache = true;
+        } else if (!std::strcmp(argv[i], "--print-trace")) {
+            printTrace = true;
+        } else if (!std::strcmp(argv[i], "--calibrate")) {
+            doCalibrate = true;
+        } else {
+            std::printf("unknown flag %s\n", argv[i]);
+            return 2;
+        }
+    }
+
+    if (printTrace) {
+        for (const serve::ServeRequest &req : serve::demoTrace())
+            std::printf("%s\n", serve::formatRequest(req).c_str());
+        return 0;
+    }
+
+    std::vector<serve::ServeRequest> trace;
+    std::string err;
+    if (serve::parseTraceFile(tracePath, &trace, &err)) {
+        std::printf("replaying %s (%zu requests)\n",
+                    tracePath.c_str(), trace.size());
+    } else if (traceExplicit) {
+        std::printf("error: %s\n", err.c_str());
+        return 2;
+    } else {
+        trace = serve::demoTrace();
+        std::printf("default trace missing (%s); replaying the "
+                    "built-in demo trace (%zu requests)\n",
+                    err.c_str(), trace.size());
+    }
+
+    if (doCalibrate) {
+        calibrate(trace);
+        return 0;
+    }
+
+    // Pass 1 must be genuinely cold: a stale cache file would turn
+    // the cold pass into a warm one and hide regressions.
+    std::remove(cachePath.c_str());
+    std::printf("— cold pass —\n");
+    PassNumbers cold = runPass("cold", trace, cachePath, threads);
+    std::printf("— warm pass (restart, cache %s) —\n",
+                cachePath.c_str());
+    PassNumbers warm = runPass("warm", trace, cachePath, threads);
+    if (!keepCache)
+        std::remove(cachePath.c_str());
+
+    bool ok = true;
+    for (const PassNumbers *pass : {&cold, &warm})
+        for (const serve::ServeResponse &r : pass->responses)
+            if (!r.ok) {
+                std::printf("FAIL: request %llu (%s): %s\n",
+                            (unsigned long long)r.seq, r.id.c_str(),
+                            r.error.c_str());
+                ok = false;
+            }
+    if (cold.responses.size() != warm.responses.size()) {
+        std::printf("FAIL: response count mismatch\n");
+        ok = false;
+    } else {
+        for (std::size_t i = 0; i < cold.responses.size(); ++i)
+            if (!serve::sameResponse(cold.responses[i],
+                                     warm.responses[i])) {
+                std::printf("FAIL: warm response %zu diverged from "
+                            "cold\n",
+                            i);
+                ok = false;
+            }
+    }
+    if (warm.modelEvals != 0) {
+        std::printf("FAIL: warm pass ran %llu model evaluations "
+                    "(want 0)\n",
+                    (unsigned long long)warm.modelEvals);
+        ok = false;
+    }
+    if (warm.frontHits + warm.frontMisses == 0) {
+        std::printf("FAIL: warm pass made no frontier lookups — "
+                    "trace has no K > 1 requests?\n");
+        ok = false;
+    } else if (warm.frontierHitRate() < 0.90) {
+        std::printf("FAIL: warm frontier hit rate %.1f%% < 90%%\n",
+                    100.0 * warm.frontierHitRate());
+        ok = false;
+    }
+    std::printf("%s\n", ok ? "serve replay OK" : "serve replay FAILED");
+    return ok ? 0 : 1;
+}

@@ -77,6 +77,38 @@ CacheKey makeFrontierKey(const HardwareConfig &hw, const Layer &l,
                          std::size_t k);
 
 /**
+ * Point-in-time snapshot of every CostCache counter, with a
+ * subtraction operator so clients can report exact per-window deltas
+ * (the serve loop's per-request stats epochs, the engine's explore()
+ * stats, the perf bench's per-sweep numbers).
+ */
+struct CacheCounters
+{
+    std::uint64_t hits = 0;        //!< Sharded (L1) scalar hits.
+    std::uint64_t misses = 0;      //!< Sharded (L1) scalar misses.
+    std::uint64_t l0Hits = 0;      //!< Thread-local scalar hits.
+    std::uint64_t l0Misses = 0;    //!< Thread-local scalar misses.
+    std::uint64_t inserts = 0;     //!< Scalar entries created.
+    std::uint64_t frontHits = 0;   //!< Frontier hits (either level).
+    std::uint64_t frontMisses = 0; //!< Frontier full-sweep misses.
+    std::uint64_t frontInserts = 0;//!< Frontier entries created.
+
+    CacheCounters operator-(const CacheCounters &o) const
+    {
+        CacheCounters d;
+        d.hits = hits - o.hits;
+        d.misses = misses - o.misses;
+        d.l0Hits = l0Hits - o.l0Hits;
+        d.l0Misses = l0Misses - o.l0Misses;
+        d.inserts = inserts - o.inserts;
+        d.frontHits = frontHits - o.frontHits;
+        d.frontMisses = frontMisses - o.frontMisses;
+        d.frontInserts = frontInserts - o.frontInserts;
+        return d;
+    }
+};
+
+/**
  * Sharded, thread-safe memo table with thread-local L0s in front,
  * holding both (key -> LayerResult) scalar entries and
  * (key -> frontier point list) frontier entries.
@@ -153,6 +185,24 @@ class CostCache
     std::uint64_t frontHits() const { return frontHits_.load(); }
     std::uint64_t frontMisses() const { return frontMisses_.load(); }
     std::uint64_t frontInserts() const { return frontInserts_.load(); }
+
+    /** Snapshot of all counters in one call (relaxed loads; exact
+     *  when no lookup is concurrently in flight, e.g. between
+     *  requests on the serve loop's dispatcher thread). */
+    CacheCounters counters() const
+    {
+        CacheCounters c;
+        c.hits = hits();
+        c.misses = misses();
+        c.l0Hits = l0Hits();
+        c.l0Misses = l0Misses();
+        c.inserts = inserts();
+        c.frontHits = frontHits();
+        c.frontMisses = frontMisses();
+        c.frontInserts = frontInserts();
+        return c;
+    }
+
     /** Scalar (per-mapping) entry count. */
     std::size_t size() const;
     /** Frontier entry count. */

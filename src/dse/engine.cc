@@ -27,14 +27,46 @@ DseEngine::saveCache() const
     return cache_.save(opt_.cachePath);
 }
 
+StatsEpoch
+DseEngine::beginEpoch() const
+{
+    StatsEpoch e;
+    e.cache = cache_.counters();
+    e.eval = evaluator_.counters();
+    e.start = std::chrono::steady_clock::now();
+    return e;
+}
+
+DseStats
+DseEngine::statsSince(const StatsEpoch &e) const
+{
+    DseStats s;
+    const CacheCounters cc = cache_.counters() - e.cache;
+    s.cacheHits = cc.hits;
+    s.cacheMisses = cc.misses;
+    s.l0Hits = cc.l0Hits;
+    s.l0Misses = cc.l0Misses;
+    s.frontHits = cc.frontHits;
+    s.frontMisses = cc.frontMisses;
+    const EvalCounters ec = evaluator_.counters();
+    s.modelEvals = ec.modelEvals - e.eval.modelEvals;
+    s.mappingsPruned = ec.mappingsPruned - e.eval.mappingsPruned;
+    s.dataflowsPruned = ec.dataflowsPruned - e.eval.dataflowsPruned;
+    s.layersDeduped = ec.layersDeduped - e.eval.layersDeduped;
+    s.crossModelDeduped =
+        ec.crossModelDeduped - e.eval.crossModelDeduped;
+    s.wallSeconds =
+        std::chrono::duration<double>(
+            std::chrono::steady_clock::now() - e.start)
+            .count();
+    return s;
+}
+
 DseResult
 DseEngine::explore(const CandidateSpace &space, const Model &m)
 {
-    auto t0 = std::chrono::steady_clock::now();
+    const StatsEpoch epoch = beginEpoch();
     DseResult res;
-    std::uint64_t hits0 = cache_.hits(), misses0 = cache_.misses();
-    std::uint64_t l0h0 = cache_.l0Hits(), l0m0 = cache_.l0Misses();
-    EvalCounters ec0 = evaluator_.counters();
 
     StrategyOptions sopt;
     sopt.seed = opt_.seed;
@@ -85,23 +117,14 @@ DseEngine::explore(const CandidateSpace &space, const Model &m)
             break;
     }
 
+    // Counter deltas through the shared epoch hooks; the
+    // strategy-level numbers accumulated above are preserved.
+    const std::size_t proposed = res.stats.proposed;
+    const std::size_t evaluatedCount = res.stats.evaluated;
+    res.stats = statsSince(epoch);
+    res.stats.proposed = proposed;
+    res.stats.evaluated = evaluatedCount;
     res.stats.pruned = strat->pruned();
-    res.stats.cacheHits = cache_.hits() - hits0;
-    res.stats.cacheMisses = cache_.misses() - misses0;
-    res.stats.l0Hits = cache_.l0Hits() - l0h0;
-    res.stats.l0Misses = cache_.l0Misses() - l0m0;
-    EvalCounters ec1 = evaluator_.counters();
-    res.stats.modelEvals = ec1.modelEvals - ec0.modelEvals;
-    res.stats.mappingsPruned = ec1.mappingsPruned - ec0.mappingsPruned;
-    res.stats.dataflowsPruned =
-        ec1.dataflowsPruned - ec0.dataflowsPruned;
-    res.stats.layersDeduped = ec1.layersDeduped - ec0.layersDeduped;
-    res.stats.crossModelDeduped =
-        ec1.crossModelDeduped - ec0.crossModelDeduped;
-    res.stats.wallSeconds =
-        std::chrono::duration<double>(
-            std::chrono::steady_clock::now() - t0)
-            .count();
     return res;
 }
 

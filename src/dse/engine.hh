@@ -17,6 +17,8 @@
 #ifndef LEGO_DSE_ENGINE_HH
 #define LEGO_DSE_ENGINE_HH
 
+#include <chrono>
+
 #include "dse/evaluator.hh"
 #include "dse/strategy.hh"
 
@@ -67,6 +69,10 @@ struct DseStats
     std::uint64_t cacheMisses = 0; //!< Sharded (L1) cache misses.
     std::uint64_t l0Hits = 0;      //!< Thread-local L0 hits (no locks).
     std::uint64_t l0Misses = 0;    //!< L0 misses (fell through to L1).
+    /** Frontier-memo hits (either cache level): whole per-layer
+     *  sweeps skipped. The serving warm-pass headline number. */
+    std::uint64_t frontHits = 0;
+    std::uint64_t frontMisses = 0; //!< Frontier lookups that swept.
     /** runLayerWithEff invocations issued by this engine's
      *  evaluator — the hot-path unit of work. Per-engine exact. */
     std::uint64_t modelEvals = 0;
@@ -87,6 +93,20 @@ struct DseResult
 {
     ParetoArchive archive;
     DseStats stats;
+};
+
+/**
+ * Opaque counter snapshot opening a stats window on one engine.
+ * beginEpoch() snapshots every cache and evaluator counter plus the
+ * wall clock; statsSince() turns a snapshot into exact deltas. The
+ * serve loop opens one epoch per request; explore() uses the same
+ * hooks for its per-call stats.
+ */
+struct StatsEpoch
+{
+    CacheCounters cache;
+    EvalCounters eval;
+    std::chrono::steady_clock::time_point start;
 };
 
 class DseEngine
@@ -128,6 +148,22 @@ class DseEngine
 
     /** Score one explicit configuration as a DSE point. */
     DsePoint evaluate(const HardwareConfig &hw, const Model &m);
+
+    /**
+     * @name Stats epochs (per-request windows)
+     * Open a counter window and read its exact deltas later.
+     * Counters are monotonic, so any number of windows may be open
+     * at once; deltas are exact as long as no evaluation runs
+     * concurrently with the two snapshots (the serve loop serves
+     * requests one at a time, so per-request stats are exact).
+     * @{
+     */
+    StatsEpoch beginEpoch() const;
+    /** Deltas (cache tiers, evaluator work, wall time) since `e`.
+     *  Strategy-level fields (proposed/evaluated/pruned) are zero —
+     *  they belong to explore(), which fills them itself. */
+    DseStats statsSince(const StatsEpoch &e) const;
+    /** @} */
 
     /**
      * Persist the memo cache to options().cachePath. Returns false

@@ -400,14 +400,8 @@ Evaluator::mapZoo(const HardwareConfig &hw,
                   const std::vector<const Model *> &zoo,
                   WorkerPool *pool) const
 {
-    std::vector<std::vector<MappingFrontier>> fronts =
-        mapZooFrontier(hw, zoo, 1, pool);
-    std::vector<ScheduleResult> out;
-    out.reserve(zoo.size());
-    for (std::size_t mi = 0; mi < zoo.size(); ++mi)
-        out.push_back(composeSchedule(*zoo[mi], std::move(fronts[mi]),
-                                      ComposeOptions{}));
-    return out;
+    return composeZoo(zoo, mapZooFrontier(hw, zoo, 1, pool),
+                      ComposeOptions{});
 }
 
 DsePoint

@@ -381,7 +381,7 @@ planPort(const std::vector<FusedConfig> &configs,
             if (!e.useFor(ch.config))
                 e.uses.push_back({ch.config, ConnKind::Direct, tb});
             plan.links[size_t(ch.config)][size_t(v)] =
-                {FuLink::Kind::Direct, u, -1, tb};
+                {FuLink::Kind::Direct, u, -1, tb, {}};
         }
         if (!uncovered.empty()) {
             Chain rest;

@@ -87,7 +87,7 @@ buildSpanningWith(const Workload &w, int tensor, const DataflowMapping &map,
     for (int id : *chosen) {
         if (id < num_fus) {
             // Memory edge to FU `id`.
-            res.links[size_t(id)] = {FuLink::Kind::Memory, -1, -1, 0};
+            res.links[size_t(id)] = FuLink{};
             res.dataNodes.push_back(id);
         } else {
             int fu = (id - num_fus) / num_sols;

@@ -28,6 +28,16 @@
  *   dse::DseResult d = engine.explore(dse::defaultSpace(),
  *                                     makeResNet50());
  *   const dse::DsePoint *fast = d.archive.bestLatency();
+ *
+ * Serving flow (see src/serve/README.md):
+ *
+ *   serve::ServeOptions sopt;                // hw + engine knobs
+ *   sopt.dse.cachePath = "lego.cache";       // warm across restarts
+ *   serve::ServeLoop loop(sopt);
+ *   loop.submitLine("{\"models\": [\"bert\"], \"k\": 8}");
+ *   loop.drain();
+ *   serve::ServeResponse r = loop.responses().front();
+ *   loop.shutdown();                         // flush the cache
  */
 
 #ifndef LEGO_LEGO_HH
@@ -46,6 +56,7 @@
 #include "frontend/frontend.hh"
 #include "mapper/schedule.hh"
 #include "model/models.hh"
+#include "serve/serve_loop.hh"
 #include "sim/arch_config.hh"
 
 #endif // LEGO_LEGO_HH

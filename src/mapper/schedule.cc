@@ -219,4 +219,44 @@ composeSchedule(const Model &m,
     return out;
 }
 
+bool
+sameSchedule(const ScheduleResult &a, const ScheduleResult &b)
+{
+    if (a.perLayer.size() != b.perLayer.size())
+        return false;
+    if (a.summary.totalCycles != b.summary.totalCycles ||
+        a.summary.totalEnergyPj != b.summary.totalEnergyPj ||
+        a.summary.dramBytes != b.summary.dramBytes)
+        return false;
+    for (std::size_t i = 0; i < a.perLayer.size(); ++i) {
+        const MappedLayer &x = a.perLayer[i], &y = b.perLayer[i];
+        if (x.mapping.dataflow != y.mapping.dataflow ||
+            x.mapping.tm != y.mapping.tm ||
+            x.mapping.tn != y.mapping.tn ||
+            x.mapping.tk != y.mapping.tk ||
+            x.result.cycles != y.result.cycles ||
+            x.result.energyPj != y.result.energyPj ||
+            x.result.utilization != y.result.utilization ||
+            x.result.dramBytes != y.result.dramBytes)
+            return false;
+    }
+    return true;
+}
+
+std::vector<ScheduleResult>
+composeZoo(const std::vector<const Model *> &zoo,
+           std::vector<std::vector<dse::MappingFrontier>> fronts,
+           const ComposeOptions &opt)
+{
+    if (fronts.size() != zoo.size())
+        panic("composeZoo: frontier-set count does not match zoo "
+              "size");
+    std::vector<ScheduleResult> out;
+    out.reserve(zoo.size());
+    for (std::size_t mi = 0; mi < zoo.size(); ++mi)
+        out.push_back(
+            composeSchedule(*zoo[mi], std::move(fronts[mi]), opt));
+    return out;
+}
+
 } // namespace lego

@@ -85,6 +85,28 @@ ScheduleResult composeSchedule(const Model &m,
                                std::vector<dse::MappingFrontier> fronts,
                                const ComposeOptions &opt);
 
+/**
+ * Zoo-level composition: one composeSchedule per model, under the
+ * same ComposeOptions (the budget applies per model, not pooled
+ * across the zoo). `fronts` is aligned with `zoo` (one frontier
+ * vector per model, e.g. from Evaluator::mapZooFrontier, so
+ * shape-identical layers of different models shared one search).
+ * This is the serve loop's request-answering entry point.
+ */
+std::vector<ScheduleResult>
+composeZoo(const std::vector<const Model *> &zoo,
+           std::vector<std::vector<dse::MappingFrontier>> fronts,
+           const ComposeOptions &opt);
+
+/**
+ * Bit-exact equality of two schedule results: aggregate summary plus
+ * every per-layer mapping and simulated result. THE equivalence
+ * check behind the determinism contracts (naive-vs-optimized,
+ * 1-vs-N workers, cold-vs-warm serving) — shared so every client
+ * compares the same fields.
+ */
+bool sameSchedule(const ScheduleResult &a, const ScheduleResult &b);
+
 } // namespace lego
 
 #endif // LEGO_MAPPER_SCHEDULE_HH

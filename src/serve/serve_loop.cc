@@ -1,0 +1,218 @@
+#include "serve/serve_loop.hh"
+
+#include <limits>
+#include <utility>
+
+namespace lego
+{
+namespace serve
+{
+
+bool
+sameResponse(const ServeResponse &a, const ServeResponse &b)
+{
+    if (a.ok != b.ok || a.seq != b.seq || a.id != b.id ||
+        a.error != b.error || a.models != b.models ||
+        a.schedules.size() != b.schedules.size())
+        return false;
+    for (std::size_t i = 0; i < a.schedules.size(); ++i)
+        if (!sameSchedule(a.schedules[i], b.schedules[i]))
+            return false;
+    return true;
+}
+
+ServeLoop::ServeLoop(ServeOptions opt)
+    : opt_(std::move(opt)), engine_(opt_.dse)
+{
+    dispatcher_ = std::thread([this] { dispatcherLoop(); });
+}
+
+ServeLoop::~ServeLoop()
+{
+    shutdown();
+}
+
+std::uint64_t
+ServeLoop::admit(Pending p)
+{
+    std::uint64_t seq;
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        if (!accepting_)
+            return kRejected;
+        seq = p.seq = nextSeq_++;
+        queue_.push_back(std::move(p));
+    }
+    workCv_.notify_one();
+    return seq;
+}
+
+std::uint64_t
+ServeLoop::submit(ServeRequest req)
+{
+    Pending p;
+    p.req = std::move(req);
+    return admit(std::move(p));
+}
+
+std::uint64_t
+ServeLoop::submitLine(const std::string &line)
+{
+    Pending p;
+    std::string err;
+    if (!parseRequest(line, &p.req, &err)) {
+        // Malformed lines keep their queue position as error
+        // responses, so replaying a trace with a bad line is still
+        // deterministic end to end.
+        p.parseOk = false;
+        p.error = "parse error: " + err;
+    }
+    return admit(std::move(p));
+}
+
+void
+ServeLoop::dispatcherLoop()
+{
+    for (;;) {
+        Pending p;
+        {
+            std::unique_lock<std::mutex> lk(mu_);
+            workCv_.wait(lk,
+                         [this] { return stop_ || !queue_.empty(); });
+            if (queue_.empty())
+                return; // stop_ set and nothing left to serve.
+            p = std::move(queue_.front());
+            queue_.pop_front();
+            ++inFlight_;
+        }
+        ServeResponse r = serveOne(p);
+        {
+            std::lock_guard<std::mutex> lk(mu_);
+            responses_.push_back(std::move(r));
+            --inFlight_;
+        }
+        idleCv_.notify_all();
+    }
+}
+
+ServeResponse
+ServeLoop::serveOne(const Pending &p)
+{
+    ServeResponse r;
+    r.seq = p.seq;
+    r.id = p.req.id.empty() ? "#" + std::to_string(p.seq) : p.req.id;
+    r.models = p.req.models;
+    if (!p.parseOk) {
+        r.error = p.error;
+        return r;
+    }
+
+    // Resolve the request's zoo from the registry. An unknown name
+    // fails the whole request (never a partial zoo), but later
+    // requests are unaffected.
+    std::vector<Model> owned;
+    owned.reserve(p.req.models.size());
+    for (const std::string &name : p.req.models) {
+        Model m;
+        if (!lookupModel(name, &m)) {
+            r.error = "unknown model \"" + name + "\"";
+            return r;
+        }
+        owned.push_back(std::move(m));
+    }
+    std::vector<const Model *> zoo;
+    zoo.reserve(owned.size());
+    for (const Model &m : owned)
+        zoo.push_back(&m);
+
+    ComposeOptions copt;
+    copt.frontierK =
+        p.req.frontierK == 0 ? 1 : p.req.frontierK;
+    if (p.req.objective == Objective::Latency) {
+        copt.energyBudgetPj = p.req.budget; // 0 = unbudgeted.
+    } else {
+        // Energy objective: budget 0 means an unbounded latency cap,
+        // which composes straight to the min-energy extreme.
+        copt.latencyBudgetCycles =
+            p.req.budget > 0 ? p.req.budget
+                             : std::numeric_limits<double>::max();
+    }
+
+    // One stats epoch per request: requests never overlap on the
+    // dispatcher, so these deltas are exact per-request numbers.
+    const dse::StatsEpoch epoch = engine_.beginEpoch();
+    std::vector<std::vector<dse::MappingFrontier>> fronts =
+        engine_.evaluator().mapZooFrontier(
+            opt_.hw, zoo, copt.frontierK, &engine_.pool());
+    r.schedules = composeZoo(zoo, std::move(fronts), copt);
+    r.stats.dse = engine_.statsSince(epoch);
+    r.compose = copt;
+    r.ok = true;
+    return r;
+}
+
+void
+ServeLoop::drain()
+{
+    std::unique_lock<std::mutex> lk(mu_);
+    idleCv_.wait(lk, [this] {
+        return queue_.empty() && inFlight_ == 0;
+    });
+}
+
+bool
+ServeLoop::shutdown()
+{
+    // Whole-shutdown serialization: concurrent shutdown() calls (a
+    // signal handler thread racing the destructor, say) must not
+    // both reach the join below — joining one std::thread from two
+    // threads is undefined. mu_ cannot be held across the join (the
+    // dispatcher needs it to finish), hence the dedicated mutex.
+    std::lock_guard<std::mutex> shutdownLk(shutdownMu_);
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        accepting_ = false;
+    }
+    drain();
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        stop_ = true;
+    }
+    workCv_.notify_all();
+    if (dispatcher_.joinable())
+        dispatcher_.join();
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        if (!flushed_) {
+            flushed_ = true;
+            flushOk_ = opt_.dse.cachePath.empty()
+                           ? true
+                           : engine_.saveCache();
+        }
+        return flushOk_;
+    }
+}
+
+bool
+ServeLoop::accepting() const
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    return accepting_;
+}
+
+std::vector<ServeResponse>
+ServeLoop::responses() const
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    return responses_;
+}
+
+void
+ServeLoop::clearResponses()
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    responses_.clear();
+}
+
+} // namespace serve
+} // namespace lego

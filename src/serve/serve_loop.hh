@@ -1,0 +1,186 @@
+/**
+ * @file
+ * Long-lived DSE serving loop: accepts (model zoo, objective,
+ * budget, K) requests, answers with composed schedules, and shares
+ * ONE DseEngine — and therefore one warm CostCache — across every
+ * request and, via DseOptions::cachePath, across process restarts.
+ *
+ * Execution model: requests enter an admission queue and are stamped
+ * with a monotonically increasing sequence number; a single
+ * dispatcher thread serves them strictly in that order, fanning each
+ * request's per-class mapping sweeps across the engine's WorkerPool.
+ * Because the evaluator is deterministic for any worker count and
+ * requests never overlap, replaying a request log is
+ * bit-reproducible: same trace in, same schedules out, for 1 or N
+ * workers, cold or warm cache.
+ *
+ * Every response carries per-request DseStats opened with
+ * DseEngine::beginEpoch(): cache hit tiers (thread-local L0, sharded
+ * L1, frontier memo), dedup counters from the request's zoo-level
+ * class table, model evaluations, and wall time — the warm-pass
+ * frontier hit rate is the serving headline (lego_serve asserts
+ * >= 90% on a replayed trace).
+ *
+ * Shutdown: drain() blocks until the queue is empty and the
+ * dispatcher is idle; shutdown() drains, stops accepting, joins the
+ * dispatcher, and flushes the cache to DseOptions::cachePath.
+ */
+
+#ifndef LEGO_SERVE_SERVE_LOOP_HH
+#define LEGO_SERVE_SERVE_LOOP_HH
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <thread>
+
+#include "dse/engine.hh"
+#include "serve/request.hh"
+
+namespace lego
+{
+namespace serve
+{
+
+/** Per-request work/caching numbers (exact: requests never overlap). */
+struct RequestStats
+{
+    dse::DseStats dse;
+
+    /** Frontier-memo hit share of this request's frontier lookups
+     *  (0 when the request made none, i.e. pure K = 1 traffic). */
+    double frontierHitRate() const
+    {
+        const std::uint64_t total =
+            dse.frontHits + dse.frontMisses;
+        return total ? double(dse.frontHits) / double(total) : 0.0;
+    }
+};
+
+/** The answer to one ServeRequest, in admission order. */
+struct ServeResponse
+{
+    std::uint64_t seq = 0; //!< Admission sequence (0-based).
+    std::string id;        //!< Request id, or "#<seq>" when unset.
+    bool ok = false;
+    std::string error;     //!< Parse / unknown-model message.
+    std::vector<std::string> models; //!< As named by the request.
+    /** One composed schedule per model (empty on error). */
+    std::vector<ScheduleResult> schedules;
+    ComposeOptions compose; //!< The options actually applied.
+    RequestStats stats;
+};
+
+/**
+ * Bit-exact response equality: outcome, identity, and every
+ * composed schedule (via lego::sameSchedule). THE comparator behind
+ * the replay-identity gates (cold-vs-warm, 1-vs-N workers) in
+ * lego_serve, bench_dse_perf, and tests/test_serve.cc — shared so
+ * the gates cannot drift apart. Stats are deliberately excluded:
+ * cache-tier counts legitimately differ between passes.
+ */
+bool sameResponse(const ServeResponse &a, const ServeResponse &b);
+
+struct ServeOptions
+{
+    /** The deployed accelerator instance requests are mapped onto. */
+    HardwareConfig hw;
+    /**
+     * Engine knobs: threads sizes the worker pool shared by all
+     * requests, cachePath warm-starts the shared cache at
+     * construction and is flushed by shutdown(). Strategy fields are
+     * unused (serving maps; it does not explore hardware).
+     */
+    dse::DseOptions dse;
+};
+
+class ServeLoop
+{
+  public:
+    /** submit() return value once the loop stops accepting. */
+    static constexpr std::uint64_t kRejected = ~std::uint64_t(0);
+
+    explicit ServeLoop(ServeOptions opt);
+    ~ServeLoop(); //!< Implies shutdown().
+
+    ServeLoop(const ServeLoop &) = delete;
+    ServeLoop &operator=(const ServeLoop &) = delete;
+
+    /**
+     * Enqueue a request; returns its admission sequence number, or
+     * kRejected after shutdown(). Responses appear in sequence
+     * order regardless of per-request cost.
+     */
+    std::uint64_t submit(ServeRequest req);
+
+    /**
+     * Parse one trace line and enqueue it. A malformed line is still
+     * admitted — as an error response holding the parse message — so
+     * a replayed log keeps its exact admission ordering.
+     */
+    std::uint64_t submitLine(const std::string &line);
+
+    /** Block until every admitted request has been answered. */
+    void drain();
+
+    /**
+     * Drain, stop accepting, join the dispatcher, and flush the
+     * cache. Returns false only when a configured cachePath could
+     * not be written (no cachePath = nothing to flush = true).
+     * Idempotent: later calls return the first flush's status.
+     */
+    bool shutdown();
+
+    /** Still accepting submissions? */
+    bool accepting() const;
+
+    /** Responses answered so far, in admission order (snapshot). */
+    std::vector<ServeResponse> responses() const;
+
+    /** Forget answered responses (long-lived loops trim memory). */
+    void clearResponses();
+
+    /** The shared engine (cache / pool / evaluator introspection). */
+    dse::DseEngine &engine() { return engine_; }
+    const dse::DseEngine &engine() const { return engine_; }
+    const ServeOptions &options() const { return opt_; }
+
+  private:
+    /** One admission-queue slot: a request or its parse failure. */
+    struct Pending
+    {
+        std::uint64_t seq = 0;
+        bool parseOk = true;
+        std::string error;
+        ServeRequest req;
+    };
+
+    void dispatcherLoop();
+    ServeResponse serveOne(const Pending &p);
+    std::uint64_t admit(Pending p);
+
+    ServeOptions opt_;
+    dse::DseEngine engine_;
+
+    /** Serializes shutdown() bodies (the dispatcher join cannot run
+     *  under mu_, and two joiners would be undefined behavior). */
+    std::mutex shutdownMu_;
+    mutable std::mutex mu_;
+    std::condition_variable workCv_; //!< Queue gained work / stopping.
+    std::condition_variable idleCv_; //!< A response landed.
+    std::deque<Pending> queue_;
+    std::vector<ServeResponse> responses_;
+    std::uint64_t nextSeq_ = 0;
+    std::size_t inFlight_ = 0;
+    bool accepting_ = true;
+    bool stop_ = false;
+    bool flushed_ = false;   //!< shutdown() ran its flush already.
+    bool flushOk_ = true;
+    std::thread dispatcher_;
+};
+
+} // namespace serve
+} // namespace lego
+
+#endif // LEGO_SERVE_SERVE_LOOP_HH

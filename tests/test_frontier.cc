@@ -458,9 +458,10 @@ TEST(Composer, SyntheticBudgetSweep)
     Int prevCycles = 0;
     for (double budget = 2010; budget >= 1940; budget -= 1) {
         ScheduleResult r = compose(budget);
-        if (prevCycles != 0)
+        if (prevCycles != 0) {
             EXPECT_GE(r.summary.totalCycles, prevCycles)
                 << "budget " << budget;
+        }
         prevCycles = r.summary.totalCycles;
     }
 }
@@ -508,9 +509,10 @@ TEST(Composer, LatencyBudgetMode)
     double prevEnergy = 0;
     for (double cap = 620; cap >= 495; cap -= 5) {
         ScheduleResult r = compose(cap);
-        if (prevEnergy != 0)
+        if (prevEnergy != 0) {
             EXPECT_GE(r.summary.totalEnergyPj, prevEnergy)
                 << "cap " << cap;
+        }
         prevEnergy = r.summary.totalEnergyPj;
     }
 }
@@ -557,9 +559,10 @@ TEST(Composer, BudgetMonotonicityReal)
                 sawFeasibleTradeoff = true;
         }
         EXPECT_GE(r.summary.totalCycles, base.summary.totalCycles);
-        if (prevCycles != 0)
+        if (prevCycles != 0) {
             EXPECT_GE(r.summary.totalCycles, prevCycles)
                 << "frac " << frac;
+        }
         prevCycles = r.summary.totalCycles;
     }
     // The mapping space of this config offers at least one real

@@ -1,0 +1,457 @@
+/**
+ * @file
+ * Tests for the serving subsystem (src/serve): request-line parsing
+ * and the model registry, admission ordering and drain/shutdown
+ * semantics, warm-vs-cold replay identity (same schedules
+ * bit-for-bit with a >= 90% warm frontier hit rate and zero warm
+ * model evaluations), replay determinism for 1 vs N workers, and the
+ * CostCache::save/load failure paths serving makes routine
+ * (unwritable cache paths, truncated or oversized v2 files).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "lego.hh"
+
+namespace lego
+{
+namespace
+{
+
+using dse::CostCache;
+using serve::Objective;
+using serve::ServeLoop;
+using serve::ServeOptions;
+using serve::ServeRequest;
+using serve::ServeResponse;
+
+/** A small, fast trace over the little registry networks: classical
+ *  K = 1, frontier K = 4, and budgeted requests (per-model budgets
+ *  loose enough to always be meetable). */
+std::vector<ServeRequest>
+tinyTrace()
+{
+    auto mk = [](const char *id, std::vector<std::string> models,
+                 Objective obj, double budget, std::size_t k) {
+        ServeRequest r;
+        r.id = id;
+        r.models = std::move(models);
+        r.objective = obj;
+        r.budget = budget;
+        r.frontierK = k;
+        return r;
+    };
+    std::vector<ServeRequest> t;
+    t.push_back(mk("lenet-classic", {"lenet"}, Objective::Latency,
+                   0, 1));
+    t.push_back(mk("alex-classic", {"alexnet"}, Objective::Latency,
+                   0, 1));
+    t.push_back(mk("pair-k4", {"lenet", "alexnet"},
+                   Objective::Latency, 0, 4));
+    t.push_back(mk("lenet-k4", {"lenet"}, Objective::Latency, 0, 4));
+    t.push_back(
+        mk("alex-minenergy", {"alexnet"}, Objective::Energy, 0, 4));
+    t.push_back(mk("pair-ebudget", {"lenet", "alexnet"},
+                   Objective::Latency, 1e18, 4));
+    return t;
+}
+
+using serve::sameResponse;
+
+std::vector<ServeResponse>
+replay(const std::vector<ServeRequest> &trace, int threads,
+       const std::string &cachePath = std::string(),
+       bool *flushOk = nullptr)
+{
+    ServeOptions opt;
+    opt.dse.threads = threads;
+    opt.dse.cachePath = cachePath;
+    ServeLoop loop(opt);
+    for (const ServeRequest &req : trace)
+        loop.submit(req);
+    loop.drain();
+    std::vector<ServeResponse> responses = loop.responses();
+    const bool flushed = loop.shutdown();
+    if (flushOk)
+        *flushOk = flushed;
+    return responses;
+}
+
+TEST(ServeRequestParse, FullRequestAndDefaults)
+{
+    ServeRequest req;
+    std::string err;
+    ASSERT_TRUE(parseRequest(
+        "{\"id\": \"r1\", \"models\": [\"lenet\", \"bert\"], "
+        "\"objective\": \"energy\", \"budget\": 2.5e7, \"k\": 8}",
+        &req, &err))
+        << err;
+    EXPECT_EQ(req.id, "r1");
+    ASSERT_EQ(req.models.size(), 2u);
+    EXPECT_EQ(req.models[0], "lenet");
+    EXPECT_EQ(req.models[1], "bert");
+    EXPECT_EQ(req.objective, Objective::Energy);
+    EXPECT_DOUBLE_EQ(req.budget, 2.5e7);
+    EXPECT_EQ(req.frontierK, 8u);
+
+    // Everything but "models" is defaulted; whitespace is free-form
+    // and the objective is case-insensitive.
+    ASSERT_TRUE(parseRequest("  { \"models\" :[ \"lenet\" ] } ",
+                             &req, &err))
+        << err;
+    EXPECT_TRUE(req.id.empty());
+    EXPECT_EQ(req.objective, Objective::Latency);
+    EXPECT_DOUBLE_EQ(req.budget, 0);
+    EXPECT_EQ(req.frontierK, 1u);
+    ASSERT_TRUE(parseRequest("{\"models\": [\"lenet\"], "
+                             "\"objective\": \"ENERGY\"}",
+                             &req, &err))
+        << err;
+    EXPECT_EQ(req.objective, Objective::Energy);
+}
+
+TEST(ServeRequestParse, FormatRoundTrip)
+{
+    // Include a request whose strings need escaping: the canonical
+    // serialization must parse back identically even then.
+    std::vector<ServeRequest> reqs = serve::demoTrace();
+    ServeRequest tricky;
+    tricky.id = "quo\"te\\slash";
+    tricky.models = {"lenet"};
+    reqs.push_back(tricky);
+    ServeRequest precise; // Budget needing > 6 significant digits.
+    precise.models = {"lenet"};
+    precise.budget = 12345678.9;
+    reqs.push_back(precise);
+    for (const ServeRequest &req : reqs) {
+        ServeRequest back;
+        std::string err;
+        ASSERT_TRUE(
+            parseRequest(serve::formatRequest(req), &back, &err))
+            << err;
+        EXPECT_EQ(back.id, req.id);
+        EXPECT_EQ(back.models, req.models);
+        EXPECT_EQ(back.objective, req.objective);
+        EXPECT_DOUBLE_EQ(back.budget, req.budget);
+        EXPECT_EQ(back.frontierK, req.frontierK);
+    }
+}
+
+TEST(ServeRequestParse, MalformedRequestsAreLoudErrors)
+{
+    const char *bad[] = {
+        "",                                      // No object.
+        "{\"models\": [\"lenet\"]",              // Unterminated.
+        "{\"models\": []}",                      // Empty zoo.
+        "{\"objective\": \"latency\"}",          // No models.
+        "{\"models\": [\"lenet\"], \"mode\": \"x\"}", // Unknown key.
+        "{\"models\": [\"lenet\"], \"objective\": \"both\"}",
+        "{\"models\": [\"lenet\"], \"budget\": -1}",
+        "{\"models\": [\"lenet\"], \"budget\": \"big\"}",
+        "{\"models\": [\"lenet\"], \"budget\": nan}",
+        "{\"models\": [\"lenet\"], \"budget\": inf}",
+        "{\"models\": [\"lenet\"], \"k\": 0}",
+        "{\"models\": [\"lenet\"], \"k\": 1.5}",
+        "{\"models\": [\"lenet\"], \"k\": 1e300}", // Out of range.
+        "{\"models\": [\"lenet\"], \"k\": nan}",
+        "{\"models\": [\"lenet\"]} trailing",
+        "{\"models\": [\"lenet\" \"bert\"]}",    // Missing comma.
+    };
+    for (const char *line : bad) {
+        ServeRequest req;
+        std::string err;
+        EXPECT_FALSE(parseRequest(line, &req, &err)) << line;
+        EXPECT_FALSE(err.empty()) << line;
+    }
+}
+
+TEST(ServeRequestParse, TraceSkipsCommentsAndReportsLineNumbers)
+{
+    std::istringstream good(
+        "# header comment\n"
+        "\n"
+        "{\"models\": [\"lenet\"]}\n"
+        "   \n"
+        "{\"models\": [\"bert\"], \"k\": 2}\n");
+    std::vector<ServeRequest> trace;
+    std::string err;
+    ASSERT_TRUE(serve::parseTrace(good, &trace, &err)) << err;
+    ASSERT_EQ(trace.size(), 2u);
+    EXPECT_EQ(trace[0].models[0], "lenet");
+    EXPECT_EQ(trace[1].frontierK, 2u);
+
+    std::istringstream bad("{\"models\": [\"lenet\"]}\n"
+                           "{\"models\": [}\n");
+    trace.clear();
+    EXPECT_FALSE(serve::parseTrace(bad, &trace, &err));
+    EXPECT_NE(err.find("line 2"), std::string::npos) << err;
+
+    EXPECT_FALSE(serve::parseTraceFile(
+        testing::TempDir() + "does_not_exist.jsonl", &trace, &err));
+}
+
+TEST(ServeRequestParse, ModelRegistry)
+{
+    const std::vector<std::string> names =
+        serve::modelRegistryNames();
+    ASSERT_FALSE(names.empty());
+    for (const std::string &name : names) {
+        Model m;
+        EXPECT_TRUE(serve::lookupModel(name, &m)) << name;
+        EXPECT_FALSE(m.layers.empty()) << name;
+    }
+    Model m;
+    EXPECT_TRUE(serve::lookupModel("LeNet", &m)); // Case-folded.
+    EXPECT_FALSE(serve::lookupModel("resnet51", &m));
+}
+
+TEST(ServeRequestParse, CheckedInTraceMatchesDemoTrace)
+{
+    // The compiled-in demo trace gates bench_dse_perf's serve_replay
+    // sweep; the checked-in jsonl gates CI's serve-smoke. They must
+    // be the SAME workload, or the two gates silently diverge.
+    // Regenerate the file with `lego_serve --print-trace` after
+    // editing demoTrace().
+    std::vector<ServeRequest> fromFile;
+    std::string err;
+    bool found = false;
+    for (const char *path : {"examples/serve_trace.jsonl",
+                             "../examples/serve_trace.jsonl"}) {
+        if (serve::parseTraceFile(path, &fromFile, &err)) {
+            found = true;
+            break;
+        }
+    }
+    if (!found)
+        GTEST_SKIP() << "serve_trace.jsonl not reachable from cwd";
+    const std::vector<ServeRequest> demo = serve::demoTrace();
+    ASSERT_EQ(fromFile.size(), demo.size());
+    for (std::size_t i = 0; i < demo.size(); ++i) {
+        EXPECT_EQ(fromFile[i].id, demo[i].id) << i;
+        EXPECT_EQ(fromFile[i].models, demo[i].models) << i;
+        EXPECT_EQ(fromFile[i].objective, demo[i].objective) << i;
+        EXPECT_DOUBLE_EQ(fromFile[i].budget, demo[i].budget) << i;
+        EXPECT_EQ(fromFile[i].frontierK, demo[i].frontierK) << i;
+    }
+}
+
+TEST(ServeLoop, AdmissionOrderingAndErrorIsolation)
+{
+    ServeOptions opt;
+    opt.dse.threads = 2;
+    ServeLoop loop(opt);
+
+    ServeRequest ok1;
+    ok1.models = {"lenet"};
+    ServeRequest unknown;
+    unknown.id = "nope";
+    unknown.models = {"lenet", "no-such-model"};
+    ServeRequest ok2;
+    ok2.models = {"lenet"};
+    ok2.frontierK = 2;
+
+    EXPECT_EQ(loop.submit(ok1), 0u);
+    EXPECT_EQ(loop.submit(unknown), 1u);
+    EXPECT_EQ(loop.submitLine("{\"models\": [}"), 2u);
+    EXPECT_EQ(loop.submit(ok2), 3u);
+    loop.drain();
+
+    std::vector<ServeResponse> rs = loop.responses();
+    ASSERT_EQ(rs.size(), 4u);
+    for (std::size_t i = 0; i < rs.size(); ++i)
+        EXPECT_EQ(rs[i].seq, i);
+    EXPECT_TRUE(rs[0].ok);
+    EXPECT_EQ(rs[0].id, "#0"); // Unset ids default to the sequence.
+    // A bad model or a bad line answers an error in place but never
+    // poisons its neighbors.
+    EXPECT_FALSE(rs[1].ok);
+    EXPECT_NE(rs[1].error.find("no-such-model"), std::string::npos);
+    EXPECT_TRUE(rs[1].schedules.empty());
+    EXPECT_FALSE(rs[2].ok);
+    EXPECT_NE(rs[2].error.find("parse error"), std::string::npos);
+    EXPECT_TRUE(rs[3].ok);
+    ASSERT_EQ(rs[3].schedules.size(), 1u);
+
+    // drain() is reentrant: more work after a drain still serves.
+    EXPECT_EQ(loop.submit(ok1), 4u);
+    loop.drain();
+    EXPECT_EQ(loop.responses().size(), 5u);
+    EXPECT_TRUE(loop.responses()[4].ok);
+
+    // The classical request equals the classical scheduler.
+    Model lenet = makeLeNet();
+    ScheduleResult ref = scheduleModel(HardwareConfig{}, lenet);
+    EXPECT_TRUE(sameSchedule(rs[0].schedules[0], ref));
+}
+
+TEST(ServeLoop, ShutdownStopsAdmissionAndIsIdempotent)
+{
+    ServeOptions opt;
+    ServeLoop loop(opt);
+    ServeRequest req;
+    req.models = {"lenet"};
+    EXPECT_EQ(loop.submit(req), 0u);
+    EXPECT_TRUE(loop.accepting());
+    EXPECT_TRUE(loop.shutdown()); // No cachePath: nothing to flush.
+    EXPECT_FALSE(loop.accepting());
+    // Everything admitted before shutdown was answered.
+    EXPECT_EQ(loop.responses().size(), 1u);
+    EXPECT_TRUE(loop.responses()[0].ok);
+    // Post-shutdown submissions are rejected, not queued.
+    EXPECT_EQ(loop.submit(req), ServeLoop::kRejected);
+    EXPECT_EQ(loop.submitLine("{\"models\": [\"lenet\"]}"),
+              ServeLoop::kRejected);
+    EXPECT_EQ(loop.responses().size(), 1u);
+    EXPECT_TRUE(loop.shutdown()); // Idempotent.
+
+    loop.clearResponses();
+    EXPECT_TRUE(loop.responses().empty());
+}
+
+TEST(ServeLoop, WarmColdIdentityAndFrontierHitRate)
+{
+    const std::string path =
+        testing::TempDir() + "lego_serve_warm_cold.cache";
+    std::remove(path.c_str());
+    const std::vector<ServeRequest> trace = tinyTrace();
+
+    bool flushOk = false;
+    std::vector<ServeResponse> cold = replay(trace, 1, path,
+                                             &flushOk);
+    EXPECT_TRUE(flushOk); // The cache file must have been written.
+    std::vector<ServeResponse> warm = replay(trace, 1, path);
+
+    ASSERT_EQ(cold.size(), trace.size());
+    ASSERT_EQ(warm.size(), trace.size());
+    std::uint64_t warmEvals = 0, warmFrontHits = 0,
+                  warmFrontLookups = 0;
+    for (std::size_t i = 0; i < trace.size(); ++i) {
+        EXPECT_TRUE(cold[i].ok) << cold[i].error;
+        // Warm answers are the cold answers, bit for bit.
+        EXPECT_TRUE(sameResponse(cold[i], warm[i])) << "request " << i;
+        warmEvals += warm[i].stats.dse.modelEvals;
+        warmFrontHits += warm[i].stats.dse.frontHits;
+        warmFrontLookups += warm[i].stats.dse.frontHits +
+                            warm[i].stats.dse.frontMisses;
+    }
+    // The serving headline: a warm replay re-evaluates nothing and
+    // serves its frontier lookups out of the persisted memo.
+    EXPECT_EQ(warmEvals, 0u);
+    ASSERT_GT(warmFrontLookups, 0u);
+    EXPECT_GE(double(warmFrontHits) / double(warmFrontLookups),
+              0.90);
+    std::remove(path.c_str());
+}
+
+TEST(ServeLoop, ReplayDeterministicForAnyWorkerCount)
+{
+    const std::vector<ServeRequest> trace = tinyTrace();
+    std::vector<ServeResponse> one = replay(trace, 1);
+    std::vector<ServeResponse> many = replay(trace, 4);
+    ASSERT_EQ(one.size(), many.size());
+    for (std::size_t i = 0; i < one.size(); ++i)
+        EXPECT_TRUE(sameResponse(one[i], many[i])) << "request " << i;
+}
+
+TEST(ServeLoop, UnwritableCachePathFailsFlushNotServing)
+{
+    ServeOptions opt;
+    opt.dse.cachePath =
+        "/nonexistent-serve-dir/sub/lego_serve.cache";
+    ServeLoop loop(opt);
+    ServeRequest req;
+    req.models = {"lenet"};
+    loop.submit(req);
+    loop.drain();
+    EXPECT_TRUE(loop.responses()[0].ok); // Serving was unaffected...
+    EXPECT_FALSE(loop.shutdown());       // ...but the flush failed.
+    EXPECT_FALSE(loop.shutdown());       // Sticky status.
+}
+
+/** A cache holding both scalar and frontier entries, for the
+ *  persistence failure-path tests. */
+void
+fillCache(CostCache *cache)
+{
+    HardwareConfig hw;
+    Model m = makeLeNet();
+    dse::Evaluator ev(cache);
+    ev.mapModel(hw, m);                // Scalar entries.
+    ev.mapModelFrontier(hw, m, 4);     // Frontier entries.
+    ASSERT_GT(cache->size(), 0u);
+    ASSERT_GT(cache->frontierCount(), 0u);
+}
+
+TEST(CostCachePersistence, SaveFailsOnUnwritablePaths)
+{
+    CostCache cache;
+    fillCache(&cache);
+    // Unreachable directory: the temp-file open fails.
+    EXPECT_FALSE(cache.save("/nonexistent-serve-dir/sub/cache.bin"));
+    // Target is a directory: the final rename fails, and the temp
+    // file is cleaned up rather than left behind.
+    const std::string dirTarget = testing::TempDir();
+    EXPECT_FALSE(cache.save(dirTarget));
+    std::ifstream tmp(dirTarget + ".tmp");
+    EXPECT_FALSE(tmp.good());
+}
+
+TEST(CostCachePersistence, TruncatedAndPaddedFilesAreRejected)
+{
+    const std::string path =
+        testing::TempDir() + "lego_serve_truncated.cache";
+    CostCache cache;
+    fillCache(&cache);
+    ASSERT_TRUE(cache.save(path));
+
+    std::string bytes;
+    {
+        std::ifstream in(path, std::ios::binary);
+        std::stringstream ss;
+        ss << in.rdbuf();
+        bytes = ss.str();
+    }
+    ASSERT_GT(bytes.size(), 64u);
+
+    // Truncations at every interesting boundary: inside the header,
+    // inside the scalar section, at the frontier-count word, inside
+    // a frontier entry, and one word short of complete. All must be
+    // rejected wholesale, leaving the cache untouched.
+    const std::size_t cuts[] = {
+        8, 24, 32 + 7, bytes.size() / 2, bytes.size() - 9,
+        bytes.size() - sizeof(std::uint64_t)};
+    for (std::size_t cut : cuts) {
+        ASSERT_LT(cut, bytes.size());
+        std::ofstream(path, std::ios::binary | std::ios::trunc)
+            .write(bytes.data(), std::streamsize(cut));
+        CostCache fresh;
+        EXPECT_FALSE(fresh.load(path)) << "cut at " << cut;
+        EXPECT_EQ(fresh.size(), 0u) << "cut at " << cut;
+        EXPECT_EQ(fresh.frontierCount(), 0u) << "cut at " << cut;
+    }
+
+    // Trailing bytes past the declared sections are corruption too.
+    std::ofstream(path, std::ios::binary | std::ios::trunc)
+        .write((bytes + std::string(8, '\0')).data(),
+               std::streamsize(bytes.size() + 8));
+    CostCache padded;
+    EXPECT_FALSE(padded.load(path));
+    EXPECT_EQ(padded.size(), 0u);
+
+    // The untampered bytes still load — the rejections above were
+    // about the tampering, not the file.
+    std::ofstream(path, std::ios::binary | std::ios::trunc)
+        .write(bytes.data(), std::streamsize(bytes.size()));
+    CostCache intact;
+    EXPECT_TRUE(intact.load(path));
+    EXPECT_EQ(intact.size(), cache.size());
+    EXPECT_EQ(intact.frontierCount(), cache.frontierCount());
+    std::remove(path.c_str());
+}
+
+} // namespace
+} // namespace lego
