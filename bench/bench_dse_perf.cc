@@ -10,12 +10,27 @@
  *
  * Usage:
  *   bench_dse_perf [--baseline FILE] [--out FILE]
+ *                  [--trace-out FILE] [--stats-out FILE]
  *
  * --baseline compares the optimized model-evaluation counts against
  * a previously committed BENCH_dse.json and fails (exit 1) on a
  * >10% regression in any sweep. The headline sweep (the timeloop_dse
  * exhaustive hardware sweep) must also show a >= 10x reduction in
  * runLayerWithEff invocations over the naive policy.
+ *
+ * Observability numbers in BENCH_dse.json:
+ *  - per-sweep p50/p95/p99 request-latency percentiles (serve_replay
+ *    reports its warm pass; sweeps without per-request latencies
+ *    report 0),
+ *  - a "tracing" object with the measured disabled-tracing overhead:
+ *    per-disabled-span cost (microbenchmarked) x spans the headline
+ *    sweep emits (counted on an enabled rerun) / headline wall time.
+ *    The derived ratio is robust against run-to-run wall noise that
+ *    a naive A/B wall comparison at the <= 2% scale would drown in.
+ *    Overhead > 2% fails the bench (exit 1).
+ * --trace-out writes the enabled rerun's Chrome trace JSON;
+ * --stats-out writes a process metrics snapshot (pool contention
+ * histograms + headline-rerun engine counters).
  */
 
 #include <algorithm>
@@ -28,6 +43,9 @@
 #include <vector>
 
 #include "lego.hh"
+#include "obs/build_info.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
 
 using namespace lego;
 
@@ -52,6 +70,9 @@ struct SweepNumbers
     double warmFrontHitRate = 0;
     double wallSeconds = 0;
     double naiveWallSeconds = 0;
+    /** Per-request latency percentiles in ms (serve_replay's warm
+     *  pass; 0 for sweeps without per-request latencies). */
+    double p50Ms = 0, p95Ms = 0, p99Ms = 0;
     bool identicalOutput = false;
 
     double reduction() const
@@ -437,11 +458,13 @@ sweepServeReplay()
     // identity, so a diverging replay still reports complete
     // counters next to its identical_output = false.
     std::uint64_t frontHits = 0, frontLookups = 0;
+    std::vector<double> warmLatencyMs;
     bool identical = cold.size() == warm.size();
     const std::size_t n = std::min(cold.size(), warm.size());
     for (std::size_t i = 0; i < n; ++i) {
         const dse::DseStats &cs = cold[i].stats.dse;
         const dse::DseStats &ws = warm[i].stats.dse;
+        warmLatencyMs.push_back(ws.wallSeconds * 1e3);
         s.naiveModelEvals += cs.modelEvals;
         s.modelEvals += ws.modelEvals;
         s.l0Hits += ws.l0Hits;
@@ -459,18 +482,113 @@ sweepServeReplay()
     }
     s.warmFrontHitRate =
         frontLookups ? double(frontHits) / double(frontLookups) : 0;
+    s.p50Ms = obs::percentileOf(warmLatencyMs, 0.50);
+    s.p95Ms = obs::percentileOf(warmLatencyMs, 0.95);
+    s.p99Ms = obs::percentileOf(warmLatencyMs, 0.99);
     s.identicalOutput = identical;
     return s;
 }
 
+/**
+ * The measured disabled-tracing overhead figure: with tracing
+ * compiled in but runtime-disabled, a span costs one relaxed atomic
+ * load + branch. Overhead is derived — (spans the headline sweep
+ * emits) x (per-disabled-span cost) / (headline wall) — instead of
+ * differencing two full-sweep walls, whose run-to-run noise exceeds
+ * the ~0.001% signal by orders of magnitude.
+ */
+struct TracingProbe
+{
+    bool compiledIn = false;
+    double disabledSpanNs = 0;  //!< Cost of one disabled span.
+    std::uint64_t headlineSpans = 0; //!< Events the headline sweep emits.
+    double overheadPct = 0;     //!< Derived share of headline wall.
+};
+
+TracingProbe
+measureTracingOverhead(const Model &rn50, double headlineWall,
+                       const std::string &traceOut)
+{
+    TracingProbe probe;
+#if LEGO_TRACE
+    probe.compiledIn = true;
+
+    // Per-span disabled cost: best of several tight batches (min, so
+    // scheduler noise only ever inflates individual batches away).
+    constexpr int kReps = 5;
+    constexpr std::uint64_t kIters = 1 << 20;
+    double bestSec = 1e300;
+    for (int rep = 0; rep < kReps; ++rep) {
+        const auto t0 = std::chrono::steady_clock::now();
+        for (std::uint64_t i = 0; i < kIters; ++i) {
+            LEGO_TRACE_SPAN("bench.disabled", "bench");
+        }
+        const double sec =
+            std::chrono::duration<double>(
+                std::chrono::steady_clock::now() - t0)
+                .count();
+        bestSec = std::min(bestSec, sec);
+    }
+    probe.disabledSpanNs = bestSec / double(kIters) * 1e9;
+
+    // Span count: rerun the headline sweep with tracing enabled and
+    // count everything recorded (drops included — dropped events
+    // still paid their record cost).
+    obs::Tracer &tracer = obs::Tracer::instance();
+    tracer.clear();
+    obs::Tracer::setEnabled(true);
+    const std::uint64_t before = tracer.recorded();
+    dse::CandidateSpace space = dse::eyerissEquivalentSpace();
+    dse::DseOptions opt;
+    opt.threads = 1;
+    dse::DseEngine engine(opt);
+    engine.explore(space, rn50);
+    probe.headlineSpans = tracer.recorded() - before;
+    obs::Tracer::setEnabled(false);
+    // Mirror the rerun engine's counters for --stats-out snapshots.
+    engine.publishMetrics(obs::MetricsRegistry::global());
+    if (!traceOut.empty() &&
+        !tracer.writeJson(traceOut, "{\"build\": " +
+                                        obs::buildInfo().toJson() +
+                                        "}"))
+        std::printf("warning: cannot write trace to %s\n",
+                    traceOut.c_str());
+
+    if (headlineWall > 0)
+        probe.overheadPct = 100.0 * double(probe.headlineSpans) *
+                            probe.disabledSpanNs * 1e-9 /
+                            headlineWall;
+#else
+    (void)rn50;
+    (void)headlineWall;
+    (void)traceOut;
+#endif
+    return probe;
+}
+
 void
 writeJson(const std::string &path,
-          const std::vector<SweepNumbers> &sweeps)
+          const std::vector<SweepNumbers> &sweeps,
+          const TracingProbe &probe)
 {
     std::ofstream out(path);
     out << "{\n";
     out << "  \"bench\": \"bench_dse_perf\",\n";
-    out << "  \"schema\": 1,\n";
+    out << "  \"schema\": 2,\n";
+    out << "  \"build\": " << obs::buildInfo().toJson() << ",\n";
+    {
+        char buf[256];
+        std::snprintf(buf, sizeof(buf),
+                      "  \"tracing\": {\"compiled_in\": %s, "
+                      "\"disabled_span_ns\": %.3f, "
+                      "\"headline_spans\": %llu, "
+                      "\"disabled_overhead_pct\": %.6f},\n",
+                      probe.compiledIn ? "true" : "false",
+                      probe.disabledSpanNs,
+                      (unsigned long long)probe.headlineSpans,
+                      probe.overheadPct);
+        out << buf;
+    }
     out << "  \"sweeps\": [\n";
     for (std::size_t i = 0; i < sweeps.size(); ++i) {
         const SweepNumbers &s = sweeps[i];
@@ -494,6 +612,9 @@ writeJson(const std::string &path,
             "      \"warm_front_hit_rate\": %.4f,\n"
             "      \"wall_seconds\": %.4f,\n"
             "      \"naive_wall_seconds\": %.4f,\n"
+            "      \"p50_ms\": %.4f,\n"
+            "      \"p95_ms\": %.4f,\n"
+            "      \"p99_ms\": %.4f,\n"
             "      \"identical_output\": %s\n"
             "    }%s\n",
             s.name.c_str(), (unsigned long long)s.modelEvals,
@@ -508,7 +629,8 @@ writeJson(const std::string &path,
             (unsigned long long)s.crossModelDeduped,
             (unsigned long long)s.frontierPoints,
             s.warmFrontHitRate, s.wallSeconds,
-            s.naiveWallSeconds, s.identicalOutput ? "true" : "false",
+            s.naiveWallSeconds, s.p50Ms, s.p95Ms, s.p99Ms,
+            s.identicalOutput ? "true" : "false",
             i + 1 < sweeps.size() ? "," : "");
         out << buf;
     }
@@ -544,13 +666,18 @@ int
 main(int argc, char **argv)
 {
     std::string outPath = "BENCH_dse.json";
-    std::string baselinePath;
+    std::string baselinePath, traceOut, statsOut;
     for (int i = 1; i < argc; ++i) {
         if (!std::strcmp(argv[i], "--baseline") && i + 1 < argc)
             baselinePath = argv[++i];
         else if (!std::strcmp(argv[i], "--out") && i + 1 < argc)
             outPath = argv[++i];
+        else if (!std::strcmp(argv[i], "--trace-out") && i + 1 < argc)
+            traceOut = argv[++i];
+        else if (!std::strcmp(argv[i], "--stats-out") && i + 1 < argc)
+            statsOut = argv[++i];
     }
+    std::printf("%s\n", obs::buildInfo().oneLine().c_str());
     // Read the baseline up front: the default output path overwrites
     // the committed file the baseline is usually read from.
     std::string baselineText;
@@ -647,7 +774,40 @@ main(int argc, char **argv)
         ok = false;
     }
 
-    writeJson(outPath, sweeps);
+    // The observability acceptance number: tracing compiled in but
+    // disabled must cost <= 2% of the headline sweep's wall time.
+    const TracingProbe probe = measureTracingOverhead(
+        rn50, sweeps[0].wallSeconds, traceOut);
+    std::printf("tracing: %s, disabled span %.2fns, headline emits "
+                "%llu events -> disabled overhead %.5f%%\n",
+                probe.compiledIn ? "compiled in" : "compiled out",
+                probe.disabledSpanNs,
+                (unsigned long long)probe.headlineSpans,
+                probe.overheadPct);
+    if (probe.overheadPct > 2.0) {
+        std::printf("FAIL: disabled-tracing overhead %.3f%% > 2%%\n",
+                    probe.overheadPct);
+        ok = false;
+    }
+    std::printf("serve_replay warm latency: p50 %.2fms p95 %.2fms "
+                "p99 %.2fms\n",
+                serveSweep.p50Ms, serveSweep.p95Ms, serveSweep.p99Ms);
+
+    if (!statsOut.empty()) {
+        std::ofstream stats(statsOut, std::ios::trunc);
+        if (stats)
+            stats << "{\n  \"build\": " << obs::buildInfo().toJson()
+                  << ",\n  \"process\": "
+                  << obs::MetricsRegistry::global()
+                         .snapshot()
+                         .toJson()
+                  << "\n}\n";
+        else
+            std::printf("warning: cannot write stats to %s\n",
+                        statsOut.c_str());
+    }
+
+    writeJson(outPath, sweeps, probe);
     std::printf("wrote %s\n", outPath.c_str());
     return ok ? 0 : 1;
 }

@@ -32,14 +32,28 @@
  *   --calibrate     print each trace model's composition extremes
  *                   (best-latency vs min-energy totals at K = 8) —
  *                   the numbers trace budgets are chosen between
+ *
+ * Observability (all optional, all off the result path — the replay
+ * gates above hold bit-exactly with these on or off):
+ *   --trace-out FILE   enable tracing and write a Chrome trace_event
+ *                      JSON covering both passes (open in Perfetto
+ *                      or chrome://tracing)
+ *   --stats-out FILE   metrics snapshot (build info, serve latency
+ *                      histograms, engine/cache counters) written at
+ *                      each pass's shutdown
+ *   --access-log FILE  one JSON line per answered request, both
+ *                      passes appended, rejected requests included
  */
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <set>
 
 #include "lego.hh"
+#include "obs/build_info.hh"
+#include "obs/trace.hh"
 
 using namespace lego;
 
@@ -69,18 +83,57 @@ servingConfig()
     return hw;
 }
 
+/** One raw trace line with its 1-based source line number, so parse
+ *  errors and the access log can cite the exact line. */
+struct TraceLine
+{
+    std::string text;
+    std::size_t lineNo = 0;
+};
+
+/** Read request lines (blank / #-comment lines skipped) keeping
+ *  their file line numbers. False when the file can't be opened. */
+bool
+loadTraceLines(const std::string &path, std::vector<TraceLine> *out,
+               std::string *err)
+{
+    std::ifstream in(path);
+    if (!in) {
+        *err = "cannot open trace file " + path;
+        return false;
+    }
+    std::string line;
+    std::size_t lineNo = 0;
+    while (std::getline(in, line)) {
+        ++lineNo;
+        const std::size_t at = line.find_first_not_of(" \t\r");
+        if (at == std::string::npos || line[at] == '#')
+            continue;
+        out->push_back({line, lineNo});
+    }
+    return true;
+}
+
+struct ObsPaths
+{
+    std::string accessLog;
+    std::string stats;
+};
+
 PassNumbers
-runPass(const char *label,
-        const std::vector<serve::ServeRequest> &trace,
-        const std::string &cachePath, int threads)
+runPass(const char *label, const std::vector<TraceLine> &lines,
+        const std::string &cachePath, int threads,
+        const ObsPaths &obsPaths)
 {
     serve::ServeOptions sopt;
     sopt.hw = servingConfig();
     sopt.dse.threads = threads;
     sopt.dse.cachePath = cachePath;
+    sopt.accessLogPath = obsPaths.accessLog;
+    sopt.statsPath = obsPaths.stats;
     serve::ServeLoop loop(sopt);
-    for (const serve::ServeRequest &req : trace)
-        loop.submit(req);
+    for (const TraceLine &line : lines)
+        loop.submitLine(line.text, line.lineNo);
     loop.drain();
 
     PassNumbers pass;
@@ -169,6 +222,8 @@ main(int argc, char **argv)
     std::string cachePath = "lego_serve.cache";
     int threads = 1;
     bool keepCache = false, printTrace = false, doCalibrate = false;
+    std::string traceOut;
+    ObsPaths obsPaths;
     for (int i = 1; i < argc; ++i) {
         if (!std::strcmp(argv[i], "--trace") && i + 1 < argc) {
             tracePath = argv[++i];
@@ -184,11 +239,23 @@ main(int argc, char **argv)
             printTrace = true;
         } else if (!std::strcmp(argv[i], "--calibrate")) {
             doCalibrate = true;
+        } else if (!std::strcmp(argv[i], "--trace-out") &&
+                   i + 1 < argc) {
+            traceOut = argv[++i];
+        } else if (!std::strcmp(argv[i], "--stats-out") &&
+                   i + 1 < argc) {
+            obsPaths.stats = argv[++i];
+        } else if (!std::strcmp(argv[i], "--access-log") &&
+                   i + 1 < argc) {
+            obsPaths.accessLog = argv[++i];
         } else {
             std::printf("unknown flag %s\n", argv[i]);
             return 2;
         }
     }
+    std::printf("%s\n", obs::buildInfo().oneLine().c_str());
+    if (!traceOut.empty())
+        obs::Tracer::setEnabled(true);
 
     if (printTrace) {
         for (const serve::ServeRequest &req : serve::demoTrace())
@@ -196,16 +263,29 @@ main(int argc, char **argv)
         return 0;
     }
 
+    // Requests are submitted line by line (with line numbers, so
+    // rejections cite their source); the parsed form is only needed
+    // for --calibrate. A missing default trace falls back to the
+    // built-in demo trace rendered through formatRequest.
+    std::vector<TraceLine> lines;
     std::vector<serve::ServeRequest> trace;
     std::string err;
-    if (serve::parseTraceFile(tracePath, &trace, &err)) {
+    if (loadTraceLines(tracePath, &lines, &err)) {
         std::printf("replaying %s (%zu requests)\n",
-                    tracePath.c_str(), trace.size());
+                    tracePath.c_str(), lines.size());
+        if (doCalibrate &&
+            !serve::parseTraceFile(tracePath, &trace, &err)) {
+            std::printf("error: %s\n", err.c_str());
+            return 2;
+        }
     } else if (traceExplicit) {
         std::printf("error: %s\n", err.c_str());
         return 2;
     } else {
         trace = serve::demoTrace();
+        for (std::size_t i = 0; i < trace.size(); ++i)
+            lines.push_back(
+                {serve::formatRequest(trace[i]), i + 1});
         std::printf("default trace missing (%s); replaying the "
                     "built-in demo trace (%zu requests)\n",
                     err.c_str(), trace.size());
@@ -220,12 +300,30 @@ main(int argc, char **argv)
     // the cold pass into a warm one and hide regressions.
     std::remove(cachePath.c_str());
     std::printf("— cold pass —\n");
-    PassNumbers cold = runPass("cold", trace, cachePath, threads);
+    PassNumbers cold =
+        runPass("cold", lines, cachePath, threads, obsPaths);
     std::printf("— warm pass (restart, cache %s) —\n",
                 cachePath.c_str());
-    PassNumbers warm = runPass("warm", trace, cachePath, threads);
+    PassNumbers warm =
+        runPass("warm", lines, cachePath, threads, obsPaths);
     if (!keepCache)
         std::remove(cachePath.c_str());
+
+    if (!traceOut.empty()) {
+        if (obs::Tracer::instance().writeJson(
+                traceOut,
+                "{\"build\": " + obs::buildInfo().toJson() + "}"))
+            std::printf("trace written to %s (%llu events, %llu "
+                        "dropped)\n",
+                        traceOut.c_str(),
+                        (unsigned long long)
+                            obs::Tracer::instance().recorded(),
+                        (unsigned long long)
+                            obs::Tracer::instance().dropped());
+        else
+            std::printf("warning: cannot write trace to %s\n",
+                        traceOut.c_str());
+    }
 
     bool ok = true;
     for (const PassNumbers *pass : {&cold, &warm})

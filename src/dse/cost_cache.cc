@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "model/layer_class.hh"
+#include "obs/trace.hh"
 
 namespace lego
 {
@@ -432,9 +433,16 @@ CostCache::schemaHash()
     return h;
 }
 
+std::uint64_t
+CostCache::fileFormatVersion()
+{
+    return kCacheFileVersion;
+}
+
 bool
 CostCache::save(const std::string &path) const
 {
+    LEGO_TRACE_SPAN_ARG("cache.save", "cache", "entries", size());
     // Snapshot under the shard locks first so the header counts are
     // exact even if writers race the save.
     std::vector<std::pair<CacheKey, LayerResult>> entries;
@@ -495,6 +503,7 @@ CostCache::save(const std::string &path) const
 bool
 CostCache::load(const std::string &path)
 {
+    LEGO_TRACE_SPAN("cache.load", "cache");
     std::ifstream in(path, std::ios::binary | std::ios::ate);
     if (!in)
         return false;

@@ -225,6 +225,11 @@ class CostCache
     /** Hash of the serialized CacheKey/LayerResult/frontier layout. */
     static std::uint64_t schemaHash();
 
+    /** On-disk format version save() writes and load() requires —
+     *  surfaced so build stamps (obs::buildInfo) and perf artifacts
+     *  can attribute cache files to the format that wrote them. */
+    static std::uint64_t fileFormatVersion();
+
     /** Write all entries to `path`. False on I/O failure. */
     bool save(const std::string &path) const;
 

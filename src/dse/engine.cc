@@ -4,6 +4,8 @@
 #include <unordered_set>
 #include <utility>
 
+#include "obs/trace.hh"
+
 namespace lego
 {
 namespace dse
@@ -62,9 +64,39 @@ DseEngine::statsSince(const StatsEpoch &e) const
     return s;
 }
 
+void
+DseEngine::publishMetrics(obs::MetricsRegistry &registry) const
+{
+    const CacheCounters cc = cache_.counters();
+    registry.counter("dse.cache.l0_hits").set(cc.l0Hits);
+    registry.counter("dse.cache.l0_misses").set(cc.l0Misses);
+    registry.counter("dse.cache.l1_hits").set(cc.hits);
+    registry.counter("dse.cache.l1_misses").set(cc.misses);
+    registry.counter("dse.cache.inserts").set(cc.inserts);
+    registry.counter("dse.cache.front_hits").set(cc.frontHits);
+    registry.counter("dse.cache.front_misses").set(cc.frontMisses);
+    registry.counter("dse.cache.front_inserts").set(cc.frontInserts);
+    const EvalCounters ec = evaluator_.counters();
+    registry.counter("dse.eval.searches").set(ec.searches);
+    registry.counter("dse.eval.model_evals").set(ec.modelEvals);
+    registry.counter("dse.eval.mappings_pruned")
+        .set(ec.mappingsPruned);
+    registry.counter("dse.eval.dataflows_pruned")
+        .set(ec.dataflowsPruned);
+    registry.counter("dse.eval.layers_deduped")
+        .set(ec.layersDeduped);
+    registry.counter("dse.eval.cross_model_deduped")
+        .set(ec.crossModelDeduped);
+    registry.gauge("dse.cache.entries").set(double(cache_.size()));
+    registry.gauge("dse.cache.frontier_entries")
+        .set(double(cache_.frontierCount()));
+}
+
 DseResult
 DseEngine::explore(const CandidateSpace &space, const Model &m)
 {
+    LEGO_TRACE_SPAN_ARG("dse.explore", "dse", "space",
+                        space.size());
     const StatsEpoch epoch = beginEpoch();
     DseResult res;
 
@@ -102,6 +134,8 @@ DseEngine::explore(const CandidateSpace &space, const Model &m)
 
         // Fan the batch across the pool; each slot is written by
         // exactly one worker.
+        LEGO_TRACE_SPAN_ARG("dse.exploreBatch", "dse", "n",
+                            fresh.size());
         std::vector<DsePoint> points(fresh.size());
         pool_.parallelFor(fresh.size(), [&](std::size_t i) {
             points[i] =
@@ -131,23 +165,28 @@ DseEngine::explore(const CandidateSpace &space, const Model &m)
 ScheduleResult
 DseEngine::mapModel(const HardwareConfig &hw, const Model &m)
 {
+    LEGO_TRACE_SPAN_ARG("dse.mapModel", "dse", "layers",
+                        m.layers.size());
     return evaluator_.mapModel(hw, m, &pool_);
 }
 
 ScheduleResult
 DseEngine::mapModelComposed(const HardwareConfig &hw, const Model &m)
 {
-    return composeSchedule(
-        m,
-        evaluator_.mapModelFrontier(hw, m, opt_.compose.frontierK,
-                                    &pool_),
-        opt_.compose);
+    LEGO_TRACE_SPAN_ARG("dse.mapModelComposed", "dse", "k",
+                        opt_.compose.frontierK);
+    std::vector<MappingFrontier> fronts = evaluator_.mapModelFrontier(
+        hw, m, opt_.compose.frontierK, &pool_);
+    LEGO_TRACE_SPAN_ARG("dse.compose", "dse", "layers",
+                        fronts.size());
+    return composeSchedule(m, std::move(fronts), opt_.compose);
 }
 
 std::vector<ScheduleResult>
 DseEngine::mapZoo(const HardwareConfig &hw,
                   const std::vector<const Model *> &zoo)
 {
+    LEGO_TRACE_SPAN_ARG("dse.mapZoo", "dse", "models", zoo.size());
     return evaluator_.mapZoo(hw, zoo, &pool_);
 }
 

@@ -21,6 +21,7 @@
 
 #include "dse/evaluator.hh"
 #include "dse/strategy.hh"
+#include "obs/metrics.hh"
 
 namespace lego
 {
@@ -170,6 +171,17 @@ class DseEngine
      * when no cache path is configured or the write failed.
      */
     bool saveCache() const;
+
+    /**
+     * Mirror every engine counter (cache tiers, evaluator work) into
+     * `registry` under stable names ("dse.cache.l0_hits",
+     * "dse.eval.model_evals", ... — the full map is in
+     * src/obs/README.md). The sources are monotonic, so registry
+     * snapshot/delta windows over them are exact — the one-stop
+     * replacement for hand-carried DseStats/CacheCounters epochs
+     * when several engines or subsystems are reported together.
+     */
+    void publishMetrics(obs::MetricsRegistry &registry) const;
 
     const DseOptions &options() const { return opt_; }
     CostCache &cache() { return cache_; }

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <limits>
 
+#include "obs/trace.hh"
+
 namespace lego
 {
 namespace dse
@@ -122,6 +124,7 @@ MappingFrontier
 Evaluator::sweepFrontier(const HardwareConfig &hw, const Layer &l,
                          std::size_t cap) const
 {
+    LEGO_TRACE_SPAN_ARG("dse.sweepFrontier", "dse", "k", cap);
     MappingFrontier front(cap);
     const Int m = l.gemmM(), n = l.gemmN(), k = l.gemmK();
     const std::vector<Int> tms = tileCandidates(m);
@@ -249,6 +252,7 @@ MappingFrontier
 Evaluator::searchMappingFrontier(const HardwareConfig &hw,
                                  const Layer &l, std::size_t k) const
 {
+    LEGO_TRACE_SPAN_ARG("dse.search", "dse", "k", k);
     const std::size_t cap = k == 0 ? 1 : k;
     if (!l.isTensorOp()) {
         searches_.fetch_add(1, std::memory_order_relaxed);
@@ -297,6 +301,8 @@ std::vector<MappingFrontier>
 Evaluator::mapModelFrontier(const HardwareConfig &hw, const Model &m,
                             std::size_t k, WorkerPool *pool) const
 {
+    LEGO_TRACE_SPAN_ARG("dse.mapModelFrontier", "dse", "layers",
+                        m.layers.size());
     const std::size_t cap = k == 0 ? 1 : k;
     std::vector<MappingFrontier> fronts(m.layers.size(),
                                         MappingFrontier(cap));
@@ -352,6 +358,8 @@ Evaluator::mapZooFrontier(const HardwareConfig &hw,
                           const std::vector<const Model *> &zoo,
                           std::size_t k, WorkerPool *pool) const
 {
+    LEGO_TRACE_SPAN_ARG("dse.mapZooFrontier", "dse", "models",
+                        zoo.size());
     const std::size_t cap = k == 0 ? 1 : k;
     std::vector<std::vector<MappingFrontier>> fronts(zoo.size());
     if (!policy_.dedupLayerClasses) {

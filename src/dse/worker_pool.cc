@@ -2,10 +2,37 @@
 
 #include <algorithm>
 
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
+
 namespace lego
 {
 namespace dse
 {
+
+namespace
+{
+
+/** Pool contention metrics (process-global registry): how long jobs
+ *  sit published before a worker picks them up, vs how long workers
+ *  spend running them. Observational only — never read back. */
+obs::Histogram &
+queueWaitHistogram()
+{
+    static obs::Histogram &h = obs::MetricsRegistry::global()
+                                   .histogram("pool.queue_wait_us");
+    return h;
+}
+
+obs::Histogram &
+runHistogram()
+{
+    static obs::Histogram &h =
+        obs::MetricsRegistry::global().histogram("pool.run_us");
+    return h;
+}
+
+} // namespace
 
 WorkerPool::WorkerPool(int threads)
     : numThreads_(std::max(1, threads))
@@ -45,18 +72,29 @@ WorkerPool::workerLoop()
             job = job_; // Pin THIS job; a newer one can't be stolen.
             ++running_;
         }
-        for (;;) {
-            std::size_t i = job->next.fetch_add(1);
-            if (i >= job->n)
-                break;
-            try {
-                (*job->fn)(i);
-            } catch (...) {
-                std::lock_guard<std::mutex> lk(mu_);
-                if (!error_)
-                    error_ = std::current_exception();
+        // Dispatch latency: job publication -> this worker joining.
+        const std::uint64_t pickedNs = obs::Tracer::nowNs();
+        queueWaitHistogram().record(
+            double(pickedNs - job->postNs) / 1000.0);
+        LEGO_TRACE_COMPLETE("pool.wait", "pool", job->postNs,
+                            pickedNs - job->postNs, "n", job->n);
+        {
+            LEGO_TRACE_SPAN_ARG("pool.run", "pool", "n", job->n);
+            for (;;) {
+                std::size_t i = job->next.fetch_add(1);
+                if (i >= job->n)
+                    break;
+                try {
+                    (*job->fn)(i);
+                } catch (...) {
+                    std::lock_guard<std::mutex> lk(mu_);
+                    if (!error_)
+                        error_ = std::current_exception();
+                }
             }
         }
+        runHistogram().record(
+            double(obs::Tracer::nowNs() - pickedNs) / 1000.0);
         {
             std::lock_guard<std::mutex> lk(mu_);
             if (--running_ == 0)
@@ -71,14 +109,21 @@ WorkerPool::parallelFor(std::size_t n,
 {
     if (n == 0)
         return;
+    LEGO_TRACE_SPAN_ARG("pool.parallelFor", "pool", "n", n);
     if (workers_.empty()) {
+        const std::uint64_t t0 = obs::Tracer::nowNs();
         for (std::size_t i = 0; i < n; ++i)
             fn(i);
+        // The inline path has no dispatch: zero queue wait, all run.
+        queueWaitHistogram().record(0);
+        runHistogram().record(double(obs::Tracer::nowNs() - t0) /
+                              1000.0);
         return;
     }
     auto job = std::make_shared<Job>();
     job->fn = &fn;
     job->n = n;
+    job->postNs = obs::Tracer::nowNs();
     std::unique_lock<std::mutex> lk(mu_);
     job_ = job;
     error_ = nullptr;

@@ -73,6 +73,10 @@ class WorkerPool
         const std::function<void(std::size_t)> *fn = nullptr;
         std::size_t n = 0;
         std::atomic<std::size_t> next{0};
+        /** Publication timestamp (obs::Tracer::nowNs) — each
+         *  worker's pickup delay against it is the queue-wait
+         *  metric. Observability only; never read by the job. */
+        std::uint64_t postNs = 0;
     };
 
     void workerLoop();

@@ -1,0 +1,89 @@
+#include "obs/build_info.hh"
+
+#include "dse/cost_cache.hh"
+#include "obs/trace.hh"
+
+namespace lego
+{
+namespace obs
+{
+
+namespace
+{
+
+#ifndef LEGO_GIT_DESCRIBE
+#define LEGO_GIT_DESCRIBE "unknown"
+#endif
+#ifndef LEGO_BUILD_FLAGS
+#define LEGO_BUILD_FLAGS "unknown"
+#endif
+#ifndef LEGO_BUILD_TYPE
+#define LEGO_BUILD_TYPE "unknown"
+#endif
+
+std::string
+compilerString()
+{
+#if defined(__clang__)
+    return std::string("clang ") + __clang_version__;
+#elif defined(__GNUC__)
+    return std::string("gcc ") + __VERSION__;
+#else
+    return "unknown";
+#endif
+}
+
+std::string
+jsonEscaped(const std::string &s)
+{
+    std::string out;
+    for (char c : s) {
+        if (c == '"' || c == '\\')
+            out.push_back('\\');
+        out.push_back(c);
+    }
+    return out;
+}
+
+} // namespace
+
+const BuildInfo &
+buildInfo()
+{
+    static const BuildInfo info = [] {
+        BuildInfo b;
+        b.gitDescribe = LEGO_GIT_DESCRIBE;
+        b.compiler = compilerString();
+        b.flags = LEGO_BUILD_FLAGS;
+        b.buildType = LEGO_BUILD_TYPE;
+        b.cacheFormatVersion = dse::CostCache::fileFormatVersion();
+        b.traceCompiledIn = LEGO_TRACE != 0;
+        return b;
+    }();
+    return info;
+}
+
+std::string
+BuildInfo::oneLine() const
+{
+    return "lego " + gitDescribe + " (" + compiler + ", " +
+           buildType + ", cache-format v" +
+           std::to_string(cacheFormatVersion) +
+           (traceCompiledIn ? ", trace" : ", no-trace") + ")";
+}
+
+std::string
+BuildInfo::toJson() const
+{
+    return "{\"git\": \"" + jsonEscaped(gitDescribe) +
+           "\", \"compiler\": \"" + jsonEscaped(compiler) +
+           "\", \"flags\": \"" + jsonEscaped(flags) +
+           "\", \"build_type\": \"" + jsonEscaped(buildType) +
+           "\", \"cache_format_version\": " +
+           std::to_string(cacheFormatVersion) +
+           ", \"trace_compiled_in\": " +
+           (traceCompiledIn ? "true" : "false") + "}";
+}
+
+} // namespace obs
+} // namespace lego

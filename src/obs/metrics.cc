@@ -1,0 +1,293 @@
+#include "obs/metrics.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+namespace lego
+{
+namespace obs
+{
+
+void
+atomicAdd(std::atomic<double> *target, double v)
+{
+    double cur = target->load(std::memory_order_relaxed);
+    while (!target->compare_exchange_weak(cur, cur + v,
+                                          std::memory_order_relaxed))
+        ;
+}
+
+void
+atomicMin(std::atomic<double> *target, double v)
+{
+    double cur = target->load(std::memory_order_relaxed);
+    while (v < cur &&
+           !target->compare_exchange_weak(cur, v,
+                                          std::memory_order_relaxed))
+        ;
+}
+
+void
+atomicMax(std::atomic<double> *target, double v)
+{
+    double cur = target->load(std::memory_order_relaxed);
+    while (v > cur &&
+           !target->compare_exchange_weak(cur, v,
+                                          std::memory_order_relaxed))
+        ;
+}
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds))
+{
+    if (bounds_.empty())
+        bounds_ = defaultLatencyBucketsUs();
+    counts_ = std::make_unique<std::atomic<std::uint64_t>[]>(
+        bounds_.size() + 1);
+    for (std::size_t i = 0; i <= bounds_.size(); ++i)
+        counts_[i].store(0, std::memory_order_relaxed);
+}
+
+void
+Histogram::record(double v)
+{
+    // (lo, hi] buckets: the first edge >= v is v's bucket; values
+    // past the last edge land in the overflow slot.
+    const std::size_t b =
+        std::size_t(std::lower_bound(bounds_.begin(), bounds_.end(),
+                                     v) -
+                    bounds_.begin());
+    counts_[b].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    atomicAdd(&sum_, v);
+    bool first = false;
+    if (!any_.load(std::memory_order_relaxed) &&
+        !any_.exchange(true, std::memory_order_relaxed)) {
+        first = true;
+        // First recorder seeds min/max; racers fix them up below.
+        min_.store(v, std::memory_order_relaxed);
+        max_.store(v, std::memory_order_relaxed);
+    }
+    if (!first) {
+        atomicMin(&min_, v);
+        atomicMax(&max_, v);
+    }
+}
+
+Histogram::Snapshot
+Histogram::snapshot() const
+{
+    Snapshot s;
+    s.bounds = bounds_;
+    s.counts.resize(bounds_.size() + 1);
+    for (std::size_t i = 0; i <= bounds_.size(); ++i)
+        s.counts[i] = counts_[i].load(std::memory_order_relaxed);
+    s.count = count_.load(std::memory_order_relaxed);
+    s.sum = sum_.load(std::memory_order_relaxed);
+    s.min = min_.load(std::memory_order_relaxed);
+    s.max = max_.load(std::memory_order_relaxed);
+    return s;
+}
+
+double
+Histogram::Snapshot::percentile(double q) const
+{
+    if (count == 0)
+        return 0;
+    const std::uint64_t rank = std::max<std::uint64_t>(
+        1, std::uint64_t(std::ceil(q * double(count))));
+    std::uint64_t cum = 0;
+    for (std::size_t i = 0; i < counts.size(); ++i) {
+        cum += counts[i];
+        if (cum >= rank)
+            return i < bounds.size() ? bounds[i] : max;
+    }
+    return max;
+}
+
+Histogram::Snapshot
+Histogram::Snapshot::delta(const Snapshot &older) const
+{
+    if (older.bounds != bounds || older.counts.size() != counts.size())
+        return *this;
+    Snapshot d = *this;
+    for (std::size_t i = 0; i < counts.size(); ++i)
+        d.counts[i] -= older.counts[i];
+    d.count -= older.count;
+    d.sum -= older.sum;
+    return d;
+}
+
+std::vector<double>
+defaultLatencyBucketsUs()
+{
+    std::vector<double> bounds;
+    for (double decade = 1; decade <= 1e9; decade *= 10)
+        for (double step : {1.0, 2.0, 5.0}) {
+            const double edge = decade * step;
+            if (edge > 5e9)
+                break;
+            bounds.push_back(edge);
+        }
+    return bounds;
+}
+
+double
+percentileOf(std::vector<double> samples, double q)
+{
+    if (samples.empty())
+        return 0;
+    std::sort(samples.begin(), samples.end());
+    const std::size_t rank = std::max<std::size_t>(
+        1, std::size_t(std::ceil(q * double(samples.size()))));
+    return samples[std::min(rank, samples.size()) - 1];
+}
+
+MetricsSnapshot
+MetricsSnapshot::delta(const MetricsSnapshot &older) const
+{
+    MetricsSnapshot d = *this;
+    for (auto &kv : d.counters) {
+        auto it = older.counters.find(kv.first);
+        if (it != older.counters.end())
+            kv.second -= it->second;
+    }
+    for (auto &kv : d.histograms) {
+        auto it = older.histograms.find(kv.first);
+        if (it != older.histograms.end())
+            kv.second = kv.second.delta(it->second);
+    }
+    return d;
+}
+
+namespace
+{
+
+/** Shortest %g that still distinguishes latency values. */
+std::string
+num(double v)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.6g", v);
+    return buf;
+}
+
+} // namespace
+
+std::string
+MetricsSnapshot::toJson() const
+{
+    std::string out = "{\"counters\": {";
+    bool first = true;
+    for (const auto &kv : counters) {
+        if (!first)
+            out += ", ";
+        first = false;
+        out += "\"" + kv.first +
+               "\": " + std::to_string(kv.second);
+    }
+    out += "}, \"gauges\": {";
+    first = true;
+    for (const auto &kv : gauges) {
+        if (!first)
+            out += ", ";
+        first = false;
+        out += "\"" + kv.first + "\": " + num(kv.second);
+    }
+    out += "}, \"histograms\": {";
+    first = true;
+    for (const auto &kv : histograms) {
+        const Histogram::Snapshot &h = kv.second;
+        if (!first)
+            out += ", ";
+        first = false;
+        out += "\"" + kv.first + "\": {";
+        out += "\"count\": " + std::to_string(h.count);
+        out += ", \"sum\": " + num(h.sum);
+        out += ", \"min\": " + num(h.min);
+        out += ", \"max\": " + num(h.max);
+        out += ", \"mean\": " + num(h.mean());
+        out += ", \"p50\": " + num(h.percentile(0.50));
+        out += ", \"p95\": " + num(h.percentile(0.95));
+        out += ", \"p99\": " + num(h.percentile(0.99));
+        out += ", \"buckets\": [";
+        // Only occupied buckets: 30 edges x every histogram would
+        // drown the snapshot in zeros.
+        bool firstBucket = true;
+        for (std::size_t i = 0; i < h.counts.size(); ++i) {
+            if (!h.counts[i])
+                continue;
+            if (!firstBucket)
+                out += ", ";
+            firstBucket = false;
+            const double edge = i < h.bounds.size()
+                                    ? h.bounds[i]
+                                    : std::numeric_limits<
+                                          double>::infinity();
+            out += "[" +
+                   (std::isinf(edge) ? std::string("\"inf\"")
+                                     : num(edge)) +
+                   ", " + std::to_string(h.counts[i]) + "]";
+        }
+        out += "]}";
+    }
+    out += "}}";
+    return out;
+}
+
+Counter &
+MetricsRegistry::counter(const std::string &name)
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    auto &slot = counters_[name];
+    if (!slot)
+        slot = std::make_unique<Counter>();
+    return *slot;
+}
+
+Gauge &
+MetricsRegistry::gauge(const std::string &name)
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    auto &slot = gauges_[name];
+    if (!slot)
+        slot = std::make_unique<Gauge>();
+    return *slot;
+}
+
+Histogram &
+MetricsRegistry::histogram(const std::string &name,
+                           std::vector<double> bounds)
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    auto &slot = histograms_[name];
+    if (!slot)
+        slot = std::make_unique<Histogram>(std::move(bounds));
+    return *slot;
+}
+
+MetricsSnapshot
+MetricsRegistry::snapshot() const
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    MetricsSnapshot s;
+    for (const auto &kv : counters_)
+        s.counters[kv.first] = kv.second->value();
+    for (const auto &kv : gauges_)
+        s.gauges[kv.first] = kv.second->value();
+    for (const auto &kv : histograms_)
+        s.histograms[kv.first] = kv.second->snapshot();
+    return s;
+}
+
+MetricsRegistry &
+MetricsRegistry::global()
+{
+    static MetricsRegistry registry;
+    return registry;
+}
+
+} // namespace obs
+} // namespace lego

@@ -1,0 +1,299 @@
+#include "obs/trace.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+
+namespace lego
+{
+namespace obs
+{
+
+std::atomic<bool> Tracer::enabled_{false};
+
+namespace
+{
+
+/** Default per-thread ring: 64Ki events (~4 MB/recording thread). */
+constexpr std::size_t kDefaultRingCapacity = std::size_t(1) << 16;
+
+std::string
+jsonEscaped(const char *s)
+{
+    std::string out;
+    for (; *s; ++s) {
+        char c = *s;
+        if (c == '"' || c == '\\') {
+            out.push_back('\\');
+            out.push_back(c);
+        } else if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+            out += buf;
+        } else {
+            out.push_back(c);
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+Tracer::Tracer() : ringCapacity_(kDefaultRingCapacity) {}
+
+Tracer &
+Tracer::instance()
+{
+    static Tracer tracer;
+    return tracer;
+}
+
+std::uint64_t
+Tracer::nowNs()
+{
+    using clock = std::chrono::steady_clock;
+    static const clock::time_point epoch = clock::now();
+    return std::uint64_t(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            clock::now() - epoch)
+            .count());
+}
+
+Tracer::ThreadBuffer *
+Tracer::threadBuffer()
+{
+    // The shared_ptr in TLS keeps the buffer alive past thread exit
+    // until the Tracer (which holds the other reference) goes away,
+    // so export never reads freed memory. One buffer per thread per
+    // process: the Tracer is a process singleton.
+    thread_local std::shared_ptr<ThreadBuffer> tls;
+    if (!tls) {
+        tls = std::make_shared<ThreadBuffer>();
+        std::lock_guard<std::mutex> lk(mu_);
+        tls->ring.resize(std::max<std::size_t>(1, ringCapacity_));
+        buffers_.push_back(tls);
+    }
+    return tls.get();
+}
+
+void
+Tracer::record(const TraceEvent &ev)
+{
+    ThreadBuffer *buf = threadBuffer();
+    const std::uint64_t idx =
+        buf->next.load(std::memory_order_relaxed);
+    buf->ring[idx % buf->ring.size()] = ev;
+    // Single writer per ring: the release pairs with export's
+    // acquire so a published index always covers a complete event.
+    buf->next.store(idx + 1, std::memory_order_release);
+}
+
+void
+Tracer::recordComplete(const char *name, const char *cat,
+                       std::uint64_t tsNs, std::uint64_t durNs,
+                       const char *argName, std::uint64_t argValue)
+{
+    TraceEvent ev;
+    ev.name = name;
+    ev.cat = cat;
+    ev.tsNs = tsNs;
+    ev.durNs = durNs;
+    ev.argName = argName;
+    ev.argValue = argValue;
+    ev.type = EventType::Complete;
+    record(ev);
+}
+
+void
+Tracer::recordInstant(const char *name, const char *cat,
+                      const char *argName, std::uint64_t argValue)
+{
+    TraceEvent ev;
+    ev.name = name;
+    ev.cat = cat;
+    ev.tsNs = nowNs();
+    ev.argName = argName;
+    ev.argValue = argValue;
+    ev.type = EventType::Instant;
+    record(ev);
+}
+
+std::uint64_t
+Tracer::recorded() const
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    std::uint64_t n = 0;
+    for (const auto &buf : buffers_)
+        n += buf->next.load(std::memory_order_acquire);
+    return n;
+}
+
+std::uint64_t
+Tracer::dropped() const
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    std::uint64_t n = 0;
+    for (const auto &buf : buffers_) {
+        const std::uint64_t written =
+            buf->next.load(std::memory_order_acquire);
+        const std::uint64_t cap = buf->ring.size();
+        if (written > cap)
+            n += written - cap;
+    }
+    return n;
+}
+
+void
+Tracer::clear(std::size_t ringCapacity)
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    if (ringCapacity)
+        ringCapacity_ = ringCapacity;
+    for (auto &buf : buffers_) {
+        if (ringCapacity)
+            buf->ring.assign(std::max<std::size_t>(1, ringCapacity),
+                             TraceEvent{});
+        buf->next.store(0, std::memory_order_release);
+    }
+}
+
+std::string
+Tracer::toJson(const std::string &metadataJson) const
+{
+    struct Keyed
+    {
+        TraceEvent ev;
+        std::size_t bufIdx; //!< Registration index (pre-renumber).
+    };
+    std::vector<Keyed> events;
+    std::uint64_t droppedTotal = 0;
+
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        for (std::size_t b = 0; b < buffers_.size(); ++b) {
+            const ThreadBuffer &buf = *buffers_[b];
+            const std::uint64_t written =
+                buf.next.load(std::memory_order_acquire);
+            const std::uint64_t cap = buf.ring.size();
+            const std::uint64_t kept = std::min(written, cap);
+            if (written > cap)
+                droppedTotal += written - cap;
+            // Oldest retained event first (ring wrapped: the write
+            // index minus capacity is the oldest surviving slot).
+            const std::uint64_t first = written - kept;
+            for (std::uint64_t i = 0; i < kept; ++i)
+                events.push_back(
+                    Keyed{buf.ring[(first + i) % cap], b});
+        }
+    }
+
+    // Deterministic thread ids: renumber buffers by their earliest
+    // event timestamp (ties by registration order), so identical
+    // event streams export identical JSON regardless of OS ids.
+    std::vector<std::uint64_t> earliest;
+    std::vector<std::size_t> tidOf;
+    {
+        std::size_t nBufs = 0;
+        for (const Keyed &k : events)
+            nBufs = std::max(nBufs, k.bufIdx + 1);
+        earliest.assign(nBufs, ~std::uint64_t(0));
+        tidOf.assign(nBufs, 0);
+        for (const Keyed &k : events)
+            earliest[k.bufIdx] =
+                std::min(earliest[k.bufIdx], k.ev.tsNs);
+        std::vector<std::size_t> order;
+        for (std::size_t b = 0; b < nBufs; ++b)
+            if (earliest[b] != ~std::uint64_t(0))
+                order.push_back(b);
+        std::stable_sort(order.begin(), order.end(),
+                         [&](std::size_t a, std::size_t b) {
+                             return earliest[a] < earliest[b];
+                         });
+        for (std::size_t rank = 0; rank < order.size(); ++rank)
+            tidOf[order[rank]] = rank;
+    }
+
+    std::stable_sort(events.begin(), events.end(),
+                     [&](const Keyed &a, const Keyed &b) {
+                         if (a.ev.tsNs != b.ev.tsNs)
+                             return a.ev.tsNs < b.ev.tsNs;
+                         return tidOf[a.bufIdx] < tidOf[b.bufIdx];
+                     });
+
+    const std::uint64_t baseNs =
+        events.empty() ? 0 : events.front().ev.tsNs;
+
+    std::string out = "{\n\"traceEvents\": [\n";
+    char buf[256];
+    for (std::size_t i = 0; i < events.size(); ++i) {
+        const TraceEvent &ev = events[i].ev;
+        const double tsUs = double(ev.tsNs - baseNs) / 1000.0;
+        out += "{\"name\": \"" + jsonEscaped(ev.name) +
+               "\", \"cat\": \"" + jsonEscaped(ev.cat) + "\"";
+        if (ev.type == EventType::Complete) {
+            std::snprintf(buf, sizeof(buf),
+                          ", \"ph\": \"X\", \"ts\": %.3f, "
+                          "\"dur\": %.3f",
+                          tsUs, double(ev.durNs) / 1000.0);
+        } else {
+            std::snprintf(buf, sizeof(buf),
+                          ", \"ph\": \"i\", \"ts\": %.3f, "
+                          "\"s\": \"t\"",
+                          tsUs);
+        }
+        out += buf;
+        std::snprintf(buf, sizeof(buf),
+                      ", \"pid\": 1, \"tid\": %zu",
+                      tidOf[events[i].bufIdx]);
+        out += buf;
+        if (ev.argName) {
+            std::snprintf(buf, sizeof(buf),
+                          ", \"args\": {\"%s\": %llu}",
+                          jsonEscaped(ev.argName).c_str(),
+                          static_cast<unsigned long long>(
+                              ev.argValue));
+            out += buf;
+        }
+        out += "}";
+        if (i + 1 < events.size())
+            out += ",";
+        out += "\n";
+    }
+    out += "],\n\"displayTimeUnit\": \"ns\",\n\"otherData\": {";
+    std::snprintf(buf, sizeof(buf),
+                  "\"dropped_events\": %llu, \"kept_events\": %zu",
+                  static_cast<unsigned long long>(droppedTotal),
+                  events.size());
+    out += buf;
+    if (!metadataJson.empty()) {
+        // Merge the caller's object: strip its outer braces.
+        std::size_t open = metadataJson.find('{');
+        std::size_t close = metadataJson.rfind('}');
+        if (open != std::string::npos && close != std::string::npos &&
+            close > open + 1) {
+            const std::string inner = metadataJson.substr(
+                open + 1, close - open - 1);
+            if (inner.find_first_not_of(" \t\r\n") !=
+                std::string::npos)
+                out += ", " + inner;
+        }
+    }
+    out += "}\n}\n";
+    return out;
+}
+
+bool
+Tracer::writeJson(const std::string &path,
+                  const std::string &metadataJson) const
+{
+    std::ofstream out(path, std::ios::trunc);
+    if (!out)
+        return false;
+    out << toJson(metadataJson);
+    out.flush();
+    return bool(out);
+}
+
+} // namespace obs
+} // namespace lego

@@ -1,0 +1,243 @@
+/**
+ * @file
+ * Low-overhead, thread-safe tracing for the DSE engine and serving
+ * loop. Spans and instant events are recorded into per-thread ring
+ * buffers (single-writer, lock-free on the hot path: one relaxed
+ * index bump and a struct store) and exported as Chrome
+ * `trace_event` JSON, viewable in Perfetto (ui.perfetto.dev) or
+ * chrome://tracing.
+ *
+ * Three cost tiers, cheapest first:
+ *
+ *  - **compiled out** — building with -DLEGO_TRACE=0 (CMake option
+ *    LEGO_TRACE=OFF) expands every LEGO_TRACE_* macro to nothing;
+ *    the instrumentation has zero object-code footprint.
+ *  - **disabled** (the default at runtime) — each span costs one
+ *    relaxed atomic bool load and a branch; no clock is read, no
+ *    event is stored.
+ *  - **enabled** — one steady_clock read at span entry/exit plus a
+ *    ~64-byte store into the caller's thread-local ring. Rings wrap
+ *    (oldest events drop, counted), so tracing never allocates on
+ *    the hot path after a thread's first event.
+ *
+ * Hard contract: tracing is observational only. It never feeds back
+ * into scheduling, search, or composition — results are bit-identical
+ * with tracing on, off, or compiled out, for any worker count
+ * (pinned by tests/test_obs.cc).
+ *
+ * Event names/categories must be string literals (or otherwise
+ * outlive the Tracer): events store the pointers, not copies.
+ */
+
+#ifndef LEGO_OBS_TRACE_HH
+#define LEGO_OBS_TRACE_HH
+
+/** Compile-time kill switch: -DLEGO_TRACE=0 removes every macro. */
+#ifndef LEGO_TRACE
+#define LEGO_TRACE 1
+#endif
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace lego
+{
+namespace obs
+{
+
+enum class EventType : std::uint8_t
+{
+    Complete, //!< Chrome "ph":"X" — a span with start + duration.
+    Instant,  //!< Chrome "ph":"i" — a point event.
+};
+
+/** One trace record. Name/cat/argName point at static strings. */
+struct TraceEvent
+{
+    const char *name = "";
+    const char *cat = "";
+    std::uint64_t tsNs = 0;  //!< steady_clock, ns since process start.
+    std::uint64_t durNs = 0; //!< Complete events only.
+    const char *argName = nullptr; //!< Optional single integer arg.
+    std::uint64_t argValue = 0;
+    EventType type = EventType::Complete;
+};
+
+/**
+ * Process-wide trace collector. One instance() for the whole
+ * process; recording threads get a thread-local ring buffer on their
+ * first event. Export (toJson/writeJson) and clear() must run while
+ * no thread is concurrently recording — in practice after
+ * ServeLoop::drain()/shutdown() or between bench sweeps.
+ */
+class Tracer
+{
+  public:
+    static Tracer &instance();
+
+    /** Runtime switch; the hot-path check recording threads take. */
+    static bool enabled()
+    {
+        return enabled_.load(std::memory_order_relaxed);
+    }
+    static void setEnabled(bool on)
+    {
+        enabled_.store(on, std::memory_order_relaxed);
+    }
+
+    /** Monotonic nanoseconds since the first call in this process. */
+    static std::uint64_t nowNs();
+
+    /** Record into the calling thread's ring (created on demand). */
+    void record(const TraceEvent &ev);
+
+    /** record() a Complete event with an explicit start/duration —
+     *  used for queue-wait spans whose start predates the recording
+     *  thread's involvement, and for deterministic tests. */
+    void recordComplete(const char *name, const char *cat,
+                        std::uint64_t tsNs, std::uint64_t durNs,
+                        const char *argName = nullptr,
+                        std::uint64_t argValue = 0);
+
+    /** record() an Instant event stamped now. */
+    void recordInstant(const char *name, const char *cat,
+                       const char *argName = nullptr,
+                       std::uint64_t argValue = 0);
+
+    /** Events ever recorded (including ones later overwritten). */
+    std::uint64_t recorded() const;
+    /** Events lost to ring wrap-around. */
+    std::uint64_t dropped() const;
+
+    /**
+     * Drop all buffered events (buffers stay registered). When
+     * `ringCapacity` is nonzero every ring is also resized to that
+     * many events — new threads inherit it too. Quiescent-only, like
+     * export.
+     */
+    void clear(std::size_t ringCapacity = 0);
+
+    /**
+     * Chrome trace_event JSON: {"traceEvents": [...],
+     * "displayTimeUnit": "ns", "otherData": {...}}. Timestamps are
+     * microseconds relative to the earliest buffered event; thread
+     * ids are renumbered 0, 1, ... by each thread's earliest event so
+     * output is deterministic for deterministic event streams.
+     * `metadataJson`, when nonempty, must be a JSON object and is
+     * merged into "otherData" next to the drop counters.
+     */
+    std::string toJson(const std::string &metadataJson = "") const;
+
+    /** toJson() to a file; false on I/O failure. */
+    bool writeJson(const std::string &path,
+                   const std::string &metadataJson = "") const;
+
+  private:
+    struct ThreadBuffer
+    {
+        std::vector<TraceEvent> ring;
+        /** Monotonic write index; slot = idx % ring.size(). */
+        std::atomic<std::uint64_t> next{0};
+    };
+
+    Tracer();
+    ThreadBuffer *threadBuffer();
+
+    mutable std::mutex mu_; //!< Guards registration + capacity.
+    std::vector<std::shared_ptr<ThreadBuffer>> buffers_;
+    std::size_t ringCapacity_;
+
+    static std::atomic<bool> enabled_;
+};
+
+/**
+ * RAII span: stamps entry at construction, records one Complete
+ * event at destruction. All work is skipped when tracing is disabled
+ * at construction time (one relaxed load).
+ */
+class SpanGuard
+{
+  public:
+    SpanGuard(const char *name, const char *cat,
+              const char *argName = nullptr,
+              std::uint64_t argValue = 0)
+    {
+        if (!Tracer::enabled())
+            return;
+        active_ = true;
+        name_ = name;
+        cat_ = cat;
+        argName_ = argName;
+        argValue_ = argValue;
+        startNs_ = Tracer::nowNs();
+    }
+
+    ~SpanGuard()
+    {
+        if (!active_)
+            return;
+        Tracer::instance().recordComplete(
+            name_, cat_, startNs_, Tracer::nowNs() - startNs_,
+            argName_, argValue_);
+    }
+
+    SpanGuard(const SpanGuard &) = delete;
+    SpanGuard &operator=(const SpanGuard &) = delete;
+
+  private:
+    bool active_ = false;
+    const char *name_ = nullptr;
+    const char *cat_ = nullptr;
+    const char *argName_ = nullptr;
+    std::uint64_t argValue_ = 0;
+    std::uint64_t startNs_ = 0;
+};
+
+} // namespace obs
+} // namespace lego
+
+#define LEGO_OBS_CONCAT_(a, b) a##b
+#define LEGO_OBS_CONCAT(a, b) LEGO_OBS_CONCAT_(a, b)
+
+#if LEGO_TRACE
+
+/** Span over the rest of the enclosing scope. */
+#define LEGO_TRACE_SPAN(name, cat)                                    \
+    ::lego::obs::SpanGuard LEGO_OBS_CONCAT(legoSpan_,                 \
+                                           __LINE__)(name, cat)
+/** Span with one integer argument (shown in the trace viewer). */
+#define LEGO_TRACE_SPAN_ARG(name, cat, argName, argValue)             \
+    ::lego::obs::SpanGuard LEGO_OBS_CONCAT(legoSpan_, __LINE__)(      \
+        name, cat, argName,                                           \
+        static_cast<std::uint64_t>(argValue))
+/** Point event stamped now. */
+#define LEGO_TRACE_INSTANT(name, cat)                                 \
+    do {                                                              \
+        if (::lego::obs::Tracer::enabled())                           \
+            ::lego::obs::Tracer::instance().recordInstant(name, cat); \
+    } while (0)
+/** Complete event with explicit start/duration (queue-wait spans). */
+#define LEGO_TRACE_COMPLETE(name, cat, tsNs, durNs, argName, argValue)\
+    do {                                                              \
+        if (::lego::obs::Tracer::enabled())                           \
+            ::lego::obs::Tracer::instance().recordComplete(           \
+                name, cat, tsNs, durNs, argName,                      \
+                static_cast<std::uint64_t>(argValue));                \
+    } while (0)
+
+#else // LEGO_TRACE compiled out: every macro is a no-op.
+
+#define LEGO_TRACE_SPAN(name, cat) ((void)0)
+#define LEGO_TRACE_SPAN_ARG(name, cat, argName, argValue) ((void)0)
+#define LEGO_TRACE_INSTANT(name, cat) ((void)0)
+#define LEGO_TRACE_COMPLETE(name, cat, tsNs, durNs, argName,          \
+                            argValue)                                 \
+    ((void)0)
+
+#endif // LEGO_TRACE
+
+#endif // LEGO_OBS_TRACE_HH

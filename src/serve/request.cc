@@ -221,9 +221,14 @@ parseRequest(const std::string &line, ServeRequest *out,
 {
     ServeRequest req;
     Scanner sc(line);
+    // The key whose value is being parsed; errors cite it so a
+    // rejected trace line says WHICH field broke, not just where.
+    std::string field;
     auto bail = [&](const std::string &what) {
         if (err)
-            *err = what;
+            *err = field.empty()
+                       ? what
+                       : "field \"" + field + "\": " + what;
         return false;
     };
     if (!sc.expect('{'))
@@ -231,12 +236,14 @@ parseRequest(const std::string &line, ServeRequest *out,
     bool first = true;
     bool haveModels = false;
     while (!sc.peek('}')) {
+        field.clear();
         if (!first && !sc.expect(','))
             return bail(sc.err);
         first = false;
         std::string key;
         if (!sc.parseString(&key))
             return bail(sc.err);
+        field = key;
         if (!sc.expect(':'))
             return bail(sc.err);
         if (key == "id") {
@@ -282,6 +289,7 @@ parseRequest(const std::string &line, ServeRequest *out,
         }
     }
     ++sc.i; // Consume '}'.
+    field.clear();
     if (!sc.atEnd())
         return bail("trailing content after request object");
     if (!haveModels || req.models.empty())

@@ -1,12 +1,44 @@
 #include "serve/serve_loop.hh"
 
+#include <cstdio>
 #include <limits>
 #include <utility>
+
+#include "obs/build_info.hh"
+#include "obs/trace.hh"
 
 namespace lego
 {
 namespace serve
 {
+
+namespace
+{
+
+/** JSON string escaping for the access log: '"', '\\', and control
+ *  bytes (parse-error text can quote arbitrary input). */
+std::string
+jsonEscaped(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size() + 2);
+    for (char c : s) {
+        const unsigned char u = static_cast<unsigned char>(c);
+        if (c == '"' || c == '\\') {
+            out.push_back('\\');
+            out.push_back(c);
+        } else if (u < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof(buf), "\\u%04x", u);
+            out += buf;
+        } else {
+            out.push_back(c);
+        }
+    }
+    return out;
+}
+
+} // namespace
 
 bool
 sameResponse(const ServeResponse &a, const ServeResponse &b)
@@ -24,6 +56,16 @@ sameResponse(const ServeResponse &a, const ServeResponse &b)
 ServeLoop::ServeLoop(ServeOptions opt)
     : opt_(std::move(opt)), engine_(opt_.dse)
 {
+    // Pre-register every serve metric so snapshots carry the full
+    // schema even before the first request (or first error).
+    metrics_.counter("serve.requests");
+    metrics_.counter("serve.errors");
+    metrics_.histogram("serve.queue_us");
+    metrics_.histogram("serve.request_us");
+    metrics_.histogram("serve.sweep_us");
+    metrics_.histogram("serve.compose_us");
+    if (!opt_.accessLogPath.empty())
+        accessLog_.open(opt_.accessLogPath, std::ios::app);
     dispatcher_ = std::thread([this] { dispatcherLoop(); });
 }
 
@@ -35,6 +77,8 @@ ServeLoop::~ServeLoop()
 std::uint64_t
 ServeLoop::admit(Pending p)
 {
+    p.admitNs = obs::Tracer::nowNs();
+    LEGO_TRACE_INSTANT("serve.admit", "serve");
     std::uint64_t seq;
     {
         std::lock_guard<std::mutex> lk(mu_);
@@ -56,16 +100,22 @@ ServeLoop::submit(ServeRequest req)
 }
 
 std::uint64_t
-ServeLoop::submitLine(const std::string &line)
+ServeLoop::submitLine(const std::string &line, std::size_t lineNo)
 {
     Pending p;
+    p.lineNo = lineNo;
     std::string err;
     if (!parseRequest(line, &p.req, &err)) {
         // Malformed lines keep their queue position as error
         // responses, so replaying a trace with a bad line is still
-        // deterministic end to end.
+        // deterministic end to end. The message carries the source
+        // line (when known) and the offending field (from
+        // parseRequest), so the access log pinpoints rejections.
         p.parseOk = false;
-        p.error = "parse error: " + err;
+        p.error = "parse error";
+        if (lineNo)
+            p.error += " at line " + std::to_string(lineNo);
+        p.error += ": " + err;
     }
     return admit(std::move(p));
 }
@@ -98,8 +148,39 @@ ServeLoop::dispatcherLoop()
 ServeResponse
 ServeLoop::serveOne(const Pending &p)
 {
+    // Observability shell around buildResponse: queue-wait and
+    // whole-request latency into the loop registry, lifecycle spans
+    // into the tracer, one access-log line per answer. None of it
+    // feeds back into the response — the bit-identity contract.
+    const std::uint64_t startNs = obs::Tracer::nowNs();
+    const double queueUs = double(startNs - p.admitNs) / 1000.0;
+    metrics_.counter("serve.requests").add(1);
+    metrics_.histogram("serve.queue_us").record(queueUs);
+    LEGO_TRACE_COMPLETE("serve.queued", "serve", p.admitNs,
+                        startNs - p.admitNs, "seq", p.seq);
+    ServeResponse r;
+    {
+        LEGO_TRACE_SPAN_ARG("serve.request", "serve", "seq", p.seq);
+        r = buildResponse(p);
+    }
+    const double wallUs =
+        double(obs::Tracer::nowNs() - startNs) / 1000.0;
+    metrics_.histogram("serve.request_us").record(wallUs);
+    if (!r.ok)
+        metrics_.counter("serve.errors").add(1);
+    logAccess(r, queueUs, wallUs);
+    ++served_;
+    if ((opt_.statsEvery && served_ % opt_.statsEvery == 0))
+        writeStats();
+    return r;
+}
+
+ServeResponse
+ServeLoop::buildResponse(const Pending &p)
+{
     ServeResponse r;
     r.seq = p.seq;
+    r.traceLine = p.lineNo;
     r.id = p.req.id.empty() ? "#" + std::to_string(p.seq) : p.req.id;
     r.models = p.req.models;
     if (!p.parseOk) {
@@ -112,13 +193,17 @@ ServeLoop::serveOne(const Pending &p)
     // requests are unaffected.
     std::vector<Model> owned;
     owned.reserve(p.req.models.size());
-    for (const std::string &name : p.req.models) {
-        Model m;
-        if (!lookupModel(name, &m)) {
-            r.error = "unknown model \"" + name + "\"";
-            return r;
+    {
+        LEGO_TRACE_SPAN_ARG("serve.resolve", "serve", "models",
+                            p.req.models.size());
+        for (const std::string &name : p.req.models) {
+            Model m;
+            if (!lookupModel(name, &m)) {
+                r.error = "unknown model \"" + name + "\"";
+                return r;
+            }
+            owned.push_back(std::move(m));
         }
-        owned.push_back(std::move(m));
     }
     std::vector<const Model *> zoo;
     zoo.reserve(owned.size());
@@ -141,14 +226,76 @@ ServeLoop::serveOne(const Pending &p)
     // One stats epoch per request: requests never overlap on the
     // dispatcher, so these deltas are exact per-request numbers.
     const dse::StatsEpoch epoch = engine_.beginEpoch();
-    std::vector<std::vector<dse::MappingFrontier>> fronts =
-        engine_.evaluator().mapZooFrontier(
+    std::vector<std::vector<dse::MappingFrontier>> fronts;
+    {
+        LEGO_TRACE_SPAN_ARG("serve.sweep", "serve", "k",
+                            copt.frontierK);
+        const std::uint64_t t0 = obs::Tracer::nowNs();
+        fronts = engine_.evaluator().mapZooFrontier(
             opt_.hw, zoo, copt.frontierK, &engine_.pool());
-    r.schedules = composeZoo(zoo, std::move(fronts), copt);
+        metrics_.histogram("serve.sweep_us")
+            .record(double(obs::Tracer::nowNs() - t0) / 1000.0);
+    }
+    {
+        LEGO_TRACE_SPAN_ARG("serve.compose", "serve", "models",
+                            zoo.size());
+        const std::uint64_t t0 = obs::Tracer::nowNs();
+        r.schedules = composeZoo(zoo, std::move(fronts), copt);
+        metrics_.histogram("serve.compose_us")
+            .record(double(obs::Tracer::nowNs() - t0) / 1000.0);
+    }
     r.stats.dse = engine_.statsSince(epoch);
     r.compose = copt;
     r.ok = true;
     return r;
+}
+
+void
+ServeLoop::logAccess(const ServeResponse &r, double queueUs,
+                     double wallUs)
+{
+    if (!accessLog_.is_open())
+        return;
+    char num[64];
+    std::string line = "{\"seq\": " + std::to_string(r.seq);
+    line += ", \"id\": \"" + jsonEscaped(r.id) + "\"";
+    if (r.traceLine)
+        line += ", \"line\": " + std::to_string(r.traceLine);
+    line += r.ok ? ", \"ok\": true" : ", \"ok\": false";
+    line += ", \"models\": " + std::to_string(r.models.size());
+    line += ", \"schedules\": " + std::to_string(r.schedules.size());
+    std::snprintf(num, sizeof(num), "%.3f", queueUs);
+    line += std::string(", \"queue_us\": ") + num;
+    std::snprintf(num, sizeof(num), "%.3f", wallUs / 1000.0);
+    line += std::string(", \"wall_ms\": ") + num;
+    std::snprintf(num, sizeof(num), "%.4f",
+                  r.stats.frontierHitRate());
+    line += std::string(", \"front_hit_rate\": ") + num;
+    if (!r.error.empty())
+        line += ", \"error\": \"" + jsonEscaped(r.error) + "\"";
+    line += "}";
+    accessLog_ << line << '\n';
+    accessLog_.flush();
+}
+
+void
+ServeLoop::writeStats()
+{
+    if (opt_.statsPath.empty())
+        return;
+    // Fold the engine's monotonic counters into the loop registry so
+    // one snapshot carries everything; pool.* contention histograms
+    // live in the process-global registry (shared by every pool).
+    engine_.publishMetrics(metrics_);
+    std::ofstream out(opt_.statsPath, std::ios::trunc);
+    if (!out)
+        return;
+    out << "{\n  \"build\": " << obs::buildInfo().toJson()
+        << ",\n  \"requests_served\": " << served_
+        << ",\n  \"serve\": " << metrics_.snapshot().toJson()
+        << ",\n  \"process\": "
+        << obs::MetricsRegistry::global().snapshot().toJson()
+        << "\n}\n";
 }
 
 void
@@ -188,6 +335,9 @@ ServeLoop::shutdown()
             flushOk_ = opt_.dse.cachePath.empty()
                            ? true
                            : engine_.saveCache();
+            // Final metrics snapshot: the dispatcher is joined, so
+            // served_ and the registry are quiescent here.
+            writeStats();
         }
         return flushOk_;
     }

@@ -32,10 +32,12 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <fstream>
 #include <mutex>
 #include <thread>
 
 #include "dse/engine.hh"
+#include "obs/metrics.hh"
 #include "serve/request.hh"
 
 namespace lego
@@ -63,6 +65,11 @@ struct ServeResponse
 {
     std::uint64_t seq = 0; //!< Admission sequence (0-based).
     std::string id;        //!< Request id, or "#<seq>" when unset.
+    /** 1-based trace line the request came from (0 = direct
+     *  submit()). Observability only — excluded from sameResponse,
+     *  so API-submitted and line-replayed passes still compare
+     *  equal. */
+    std::size_t traceLine = 0;
     bool ok = false;
     std::string error;     //!< Parse / unknown-model message.
     std::vector<std::string> models; //!< As named by the request.
@@ -93,6 +100,22 @@ struct ServeOptions
      * unused (serving maps; it does not explore hardware).
      */
     dse::DseOptions dse;
+    /**
+     * @name Observability sinks — optional, strictly off the result
+     * path (schedules are bit-identical with these on or off).
+     * @{
+     */
+    /** Append one JSON line per answered request — including parse
+     *  rejections — to this file ("" = no access log). */
+    std::string accessLogPath;
+    /** Write a full metrics snapshot (build info + serve registry +
+     *  engine counters + process-global pool metrics) to this file
+     *  ("" = never). Rewritten in place on every snapshot. */
+    std::string statsPath;
+    /** Snapshot statsPath every N answered requests; 0 = only at
+     *  shutdown (shutdown always snapshots when statsPath is set). */
+    std::size_t statsEvery = 0;
+    /** @} */
 };
 
 class ServeLoop
@@ -116,10 +139,13 @@ class ServeLoop
 
     /**
      * Parse one trace line and enqueue it. A malformed line is still
-     * admitted — as an error response holding the parse message — so
-     * a replayed log keeps its exact admission ordering.
+     * admitted — as an error response holding the parse message (with
+     * the offending field, and the 1-based lineNo when given) — so a
+     * replayed log keeps its exact admission ordering, and the access
+     * log records rejected requests alongside served ones.
      */
-    std::uint64_t submitLine(const std::string &line);
+    std::uint64_t submitLine(const std::string &line,
+                             std::size_t lineNo = 0);
 
     /** Block until every admitted request has been answered. */
     void drain();
@@ -146,11 +172,21 @@ class ServeLoop
     const dse::DseEngine &engine() const { return engine_; }
     const ServeOptions &options() const { return opt_; }
 
+    /**
+     * This loop's metrics registry: serve.requests / serve.errors
+     * counters and serve.{queue,sweep,compose,request}_us latency
+     * histograms, plus the dse.* engine counters mirrored in by each
+     * stats snapshot (full name map in src/obs/README.md).
+     */
+    obs::MetricsRegistry &metrics() { return metrics_; }
+
   private:
     /** One admission-queue slot: a request or its parse failure. */
     struct Pending
     {
         std::uint64_t seq = 0;
+        std::size_t lineNo = 0;   //!< 1-based trace line (0 = API).
+        std::uint64_t admitNs = 0; //!< Admission stamp (queue wait).
         bool parseOk = true;
         std::string error;
         ServeRequest req;
@@ -158,10 +194,17 @@ class ServeLoop
 
     void dispatcherLoop();
     ServeResponse serveOne(const Pending &p);
+    ServeResponse buildResponse(const Pending &p);
     std::uint64_t admit(Pending p);
+    void logAccess(const ServeResponse &r, double queueUs,
+                   double wallUs);
+    void writeStats();
 
     ServeOptions opt_;
     dse::DseEngine engine_;
+    obs::MetricsRegistry metrics_;
+    std::ofstream accessLog_;  //!< Dispatcher-thread only.
+    std::uint64_t served_ = 0; //!< Dispatcher-thread only.
 
     /** Serializes shutdown() bodies (the dispatcher join cannot run
      *  under mu_, and two joiners would be undefined behavior). */

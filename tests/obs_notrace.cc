@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Helper TU for tests/test_obs.cc, deliberately named OUTSIDE the
+ * tests/test_*.cc glob: it pre-defines LEGO_TRACE=0 before including
+ * obs/trace.hh, so every LEGO_TRACE_* macro here expands to nothing.
+ * test_obs calls notraceEmitEvents() with tracing enabled and asserts
+ * zero events were recorded — the compile-time kill switch proof that
+ * does not need a second build tree.
+ */
+
+#ifndef LEGO_TRACE
+#define LEGO_TRACE 0
+#endif
+
+#include "obs/trace.hh"
+
+namespace lego
+{
+namespace obs
+{
+namespace testing
+{
+
+void
+notraceEmitEvents()
+{
+    LEGO_TRACE_SPAN("notrace.span", "test");
+    LEGO_TRACE_SPAN_ARG("notrace.span_arg", "test", "n", 7);
+    LEGO_TRACE_INSTANT("notrace.instant", "test");
+    LEGO_TRACE_COMPLETE("notrace.complete", "test", 0, 1, "n", 7);
+}
+
+bool
+notraceCompiledOut()
+{
+    return LEGO_TRACE == 0;
+}
+
+} // namespace testing
+} // namespace obs
+} // namespace lego

@@ -1,0 +1,159 @@
+#!/usr/bin/env python3
+"""Validate the observability artifacts a lego_serve / bench_dse_perf
+run emits: Chrome trace_event JSON schema, metrics-snapshot JSON
+schema, access-log shape/line count, and (optionally) the
+disabled-tracing overhead gate in BENCH_dse.json.
+
+Usage:
+  check_obs.py [--trace FILE] [--stats FILE]
+               [--access-log FILE --expect-requests N]
+               [--bench FILE --max-overhead-pct PCT]
+
+Every given artifact is validated; any violation exits 1 with a
+message. Stdlib only — runs on a bare CI python3.
+"""
+
+import argparse
+import json
+import sys
+
+FAILURES = []
+
+
+def fail(msg):
+    FAILURES.append(msg)
+    print(f"FAIL: {msg}")
+
+
+def check_trace(path):
+    with open(path) as f:
+        doc = json.load(f)
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        return fail(f"{path}: traceEvents missing or not a list")
+    if not events:
+        fail(f"{path}: traceEvents is empty")
+    for i, ev in enumerate(events):
+        ctx = f"{path}: traceEvents[{i}]"
+        for key in ("name", "cat", "ph", "ts", "pid", "tid"):
+            if key not in ev:
+                return fail(f"{ctx}: missing {key!r}")
+        if ev["ph"] not in ("X", "i", "M"):
+            return fail(f"{ctx}: unexpected ph {ev['ph']!r}")
+        if ev["ts"] < 0:
+            return fail(f"{ctx}: negative ts")
+        if ev["ph"] == "X" and ev.get("dur", 0) < 0:
+            return fail(f"{ctx}: negative dur")
+    other = doc.get("otherData", {})
+    for key in ("dropped_events", "kept_events", "build"):
+        if key not in other:
+            fail(f"{path}: otherData missing {key!r}")
+    if other.get("kept_events") != len(events):
+        fail(f"{path}: kept_events {other.get('kept_events')} != "
+             f"{len(events)} events")
+    names = {ev["name"] for ev in events}
+    print(f"ok: {path}: {len(events)} events, "
+          f"{len(names)} distinct spans, "
+          f"{other.get('dropped_events', 0)} dropped")
+
+
+def check_stats(path):
+    with open(path) as f:
+        doc = json.load(f)
+    build = doc.get("build")
+    if not isinstance(build, dict) or "git" not in build:
+        fail(f"{path}: missing build-info stamp")
+    serve = doc.get("serve", doc.get("process"))
+    if not isinstance(serve, dict):
+        return fail(f"{path}: no serve/process metrics object")
+    for section in ("counters", "gauges", "histograms"):
+        if section not in serve:
+            return fail(f"{path}: metrics missing {section!r}")
+    for name, hist in serve["histograms"].items():
+        for key in ("count", "p50", "p95", "p99", "buckets"):
+            if key not in hist:
+                return fail(f"{path}: histogram {name}: missing "
+                            f"{key!r}")
+    nc = len(serve["counters"])
+    nh = len(serve["histograms"])
+    print(f"ok: {path}: {nc} counters, {nh} histograms")
+
+
+def check_access_log(path, expect_requests):
+    lines = []
+    with open(path) as f:
+        for lineno, raw in enumerate(f, 1):
+            raw = raw.strip()
+            if not raw:
+                continue
+            try:
+                rec = json.loads(raw)
+            except json.JSONDecodeError as e:
+                return fail(f"{path}:{lineno}: not JSON: {e}")
+            for key in ("seq", "id", "ok", "models", "wall_ms"):
+                if key not in rec:
+                    return fail(f"{path}:{lineno}: missing {key!r}")
+            if not rec["ok"] and "error" not in rec:
+                return fail(f"{path}:{lineno}: rejected request "
+                            "without error text")
+            lines.append(rec)
+    if expect_requests is not None and len(lines) != expect_requests:
+        return fail(f"{path}: {len(lines)} access-log lines, "
+                    f"expected {expect_requests}")
+    rejected = sum(1 for r in lines if not r["ok"])
+    print(f"ok: {path}: {len(lines)} lines ({rejected} rejected)")
+
+
+def check_bench(path, max_overhead_pct):
+    with open(path) as f:
+        doc = json.load(f)
+    tracing = doc.get("tracing")
+    if not isinstance(tracing, dict):
+        return fail(f"{path}: missing tracing object")
+    if "build" not in doc:
+        fail(f"{path}: missing build-info stamp")
+    pct = tracing.get("disabled_overhead_pct")
+    if pct is None:
+        return fail(f"{path}: missing disabled_overhead_pct")
+    if max_overhead_pct is not None and pct > max_overhead_pct:
+        return fail(f"{path}: disabled-tracing overhead {pct}% > "
+                    f"{max_overhead_pct}%")
+    serve = {s["name"]: s for s in doc.get("sweeps", [])}.get(
+        "serve_replay")
+    if serve is None:
+        return fail(f"{path}: no serve_replay sweep")
+    for key in ("p50_ms", "p95_ms", "p99_ms"):
+        if key not in serve:
+            return fail(f"{path}: serve_replay missing {key!r}")
+    print(f"ok: {path}: disabled overhead {pct}%, serve_replay "
+          f"p50/p95/p99 = {serve['p50_ms']}/{serve['p95_ms']}/"
+          f"{serve['p99_ms']} ms")
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--trace", help="Chrome trace_event JSON")
+    ap.add_argument("--stats", help="metrics snapshot JSON")
+    ap.add_argument("--access-log", help="per-request JSON lines")
+    ap.add_argument("--expect-requests", type=int, default=None,
+                    help="exact access-log line count")
+    ap.add_argument("--bench", help="BENCH_dse.json")
+    ap.add_argument("--max-overhead-pct", type=float, default=None,
+                    help="fail if disabled-tracing overhead exceeds")
+    args = ap.parse_args()
+    if not (args.trace or args.stats or args.access_log
+            or args.bench):
+        ap.error("nothing to check")
+    if args.trace:
+        check_trace(args.trace)
+    if args.stats:
+        check_stats(args.stats)
+    if args.access_log:
+        check_access_log(args.access_log, args.expect_requests)
+    if args.bench:
+        check_bench(args.bench, args.max_overhead_pct)
+    sys.exit(1 if FAILURES else 0)
+
+
+if __name__ == "__main__":
+    main()
