@@ -18,6 +18,16 @@
  * exhaustive hardware sweep) must also show a >= 10x reduction in
  * runLayerWithEff invocations over the naive policy.
  *
+ * The segment_pipeline_rn50 sweep exercises segment-valued
+ * scheduling: RN50 on a bandwidth-lean (2 GB/s DRAM) box with the
+ * segmentation search on vs. the serial layer-valued composition.
+ * It fails (exit 1) unless segmentation-off reproduces the serial
+ * schedule bit-identically at a different worker count AND the
+ * segmented schedule carries >= 1 pipelined segment that makes it
+ * strictly dominate serial on both latency and energy
+ * (latency_ratio < 1 and energy_ratio < 1 in BENCH_dse.json,
+ * schema 3).
+ *
  * Observability numbers in BENCH_dse.json:
  *  - per-sweep p50/p95/p99 request-latency percentiles (serve_replay
  *    reports its warm pass; sweeps without per-request latencies
@@ -73,6 +83,12 @@ struct SweepNumbers
     /** Per-request latency percentiles in ms (serve_replay's warm
      *  pass; 0 for sweeps without per-request latencies). */
     double p50Ms = 0, p95Ms = 0, p99Ms = 0;
+    /** Accepted pipelined (multi-layer) segments
+     *  (segment_pipeline_rn50 only; 0 elsewhere). */
+    std::uint64_t pipelinedSegments = 0;
+    /** Segmented-vs-serial schedule cost ratios (< 1 means the
+     *  pipelined schedule wins; 0 for non-segment sweeps). */
+    double latencyRatio = 0, energyRatio = 0;
     bool identicalOutput = false;
 
     double reduction() const
@@ -490,6 +506,70 @@ sweepServeReplay()
 }
 
 /**
+ * Segment-valued scheduling on a bandwidth-lean box: RN50 with
+ * 4 GB/s DRAM, where inter-layer spatial pipelining (streaming
+ * intermediates through SRAM + NoC instead of DRAM) actually pays.
+ * "Naive" is the serial layer-valued composition (segmentation
+ * off); the optimized run searches segment plans and composes from
+ * them. Two gates ride on this sweep:
+ *  - identical_output: segmentation *disabled* on a 4-worker engine
+ *    must reproduce the serial 1-worker schedule bit-identically
+ *    (the degenerate path really is the classical path),
+ *  - latency_ratio / energy_ratio < 1 with >= 1 pipelined segment:
+ *    the segmented schedule strictly dominates serial on both axes.
+ */
+SweepNumbers
+sweepSegmentPipeline(const Model &rn50)
+{
+    SweepNumbers s;
+    s.name = "segment_pipeline_rn50";
+    HardwareConfig hw;
+    hw.dram.bandwidthGBs = 2.0; // Bandwidth-starved: DRAM-bound.
+
+    // Serial baseline: layer-valued composition, one worker.
+    dse::DseOptions serialOpt;
+    serialOpt.threads = 1;
+    dse::DseEngine serialEngine(serialOpt);
+    auto t0 = std::chrono::steady_clock::now();
+    ScheduleResult serial = serialEngine.mapModelComposed(hw, rn50);
+    s.naiveWallSeconds =
+        std::chrono::duration<double>(
+            std::chrono::steady_clock::now() - t0)
+            .count();
+    s.naiveModelEvals =
+        serialEngine.evaluator().counters().modelEvals;
+
+    // Disabled-path identity at a different worker count.
+    dse::DseOptions offOpt;
+    offOpt.threads = 4;
+    dse::DseEngine offEngine(offOpt);
+    ScheduleResult off = offEngine.mapModelComposed(hw, rn50);
+    s.identicalOutput = sameSchedule(serial, off);
+
+    // Segmented run: same box, segmentation on.
+    dse::DseOptions segOpt;
+    segOpt.threads = 1;
+    segOpt.compose.segment.enable = true;
+    dse::DseEngine segEngine(segOpt);
+    CounterSnap c0 = snapCounters(segEngine);
+    t0 = std::chrono::steady_clock::now();
+    ScheduleResult seg = segEngine.mapModelComposed(hw, rn50);
+    s.wallSeconds = std::chrono::duration<double>(
+                        std::chrono::steady_clock::now() - t0)
+                        .count();
+    fillCounters(&s, segEngine, c0);
+
+    for (const Segment &g : seg.segments)
+        if (g.pipelined())
+            ++s.pipelinedSegments;
+    s.latencyRatio = double(seg.summary.totalCycles) /
+                     double(serial.summary.totalCycles);
+    s.energyRatio =
+        seg.summary.totalEnergyPj / serial.summary.totalEnergyPj;
+    return s;
+}
+
+/**
  * The measured disabled-tracing overhead figure: with tracing
  * compiled in but runtime-disabled, a span costs one relaxed atomic
  * load + branch. Overhead is derived — (spans the headline sweep
@@ -574,7 +654,7 @@ writeJson(const std::string &path,
     std::ofstream out(path);
     out << "{\n";
     out << "  \"bench\": \"bench_dse_perf\",\n";
-    out << "  \"schema\": 2,\n";
+    out << "  \"schema\": 3,\n";
     out << "  \"build\": " << obs::buildInfo().toJson() << ",\n";
     {
         char buf[256];
@@ -592,7 +672,7 @@ writeJson(const std::string &path,
     out << "  \"sweeps\": [\n";
     for (std::size_t i = 0; i < sweeps.size(); ++i) {
         const SweepNumbers &s = sweeps[i];
-        char buf[1024];
+        char buf[1536];
         std::snprintf(
             buf, sizeof(buf),
             "    {\n"
@@ -615,6 +695,9 @@ writeJson(const std::string &path,
             "      \"p50_ms\": %.4f,\n"
             "      \"p95_ms\": %.4f,\n"
             "      \"p99_ms\": %.4f,\n"
+            "      \"pipelined_segments\": %llu,\n"
+            "      \"latency_ratio\": %.4f,\n"
+            "      \"energy_ratio\": %.4f,\n"
             "      \"identical_output\": %s\n"
             "    }%s\n",
             s.name.c_str(), (unsigned long long)s.modelEvals,
@@ -630,7 +713,8 @@ writeJson(const std::string &path,
             (unsigned long long)s.frontierPoints,
             s.warmFrontHitRate, s.wallSeconds,
             s.naiveWallSeconds, s.p50Ms, s.p95Ms, s.p99Ms,
-            s.identicalOutput ? "true" : "false",
+            (unsigned long long)s.pipelinedSegments, s.latencyRatio,
+            s.energyRatio, s.identicalOutput ? "true" : "false",
             i + 1 < sweeps.size() ? "," : "");
         out << buf;
     }
@@ -699,6 +783,7 @@ main(int argc, char **argv)
     sweeps.push_back(sweepBert());
     sweeps.push_back(sweepFrontierSearch(rn50));
     sweeps.push_back(sweepMultiModel());
+    sweeps.push_back(sweepSegmentPipeline(rn50));
     sweeps.push_back(sweepServeReplay());
 
     bool ok = true;
@@ -771,6 +856,31 @@ main(int argc, char **argv)
                     "(want 0)\n",
                     serveSweep.name.c_str(),
                     (unsigned long long)serveSweep.modelEvals);
+        ok = false;
+    }
+
+    // The segmentation acceptance number: on the bandwidth-lean box
+    // the segmented RN50 schedule must carry >= 1 pipelined segment
+    // and strictly dominate the serial composition on both latency
+    // and energy. (identical_output above already pinned the
+    // disabled path to the serial bits at a different worker count.)
+    const SweepNumbers &segSweep = sweeps[sweeps.size() - 2];
+    std::printf("%s: %llu pipelined segments, latency ratio %.4f, "
+                "energy ratio %.4f\n",
+                segSweep.name.c_str(),
+                (unsigned long long)segSweep.pipelinedSegments,
+                segSweep.latencyRatio, segSweep.energyRatio);
+    if (segSweep.pipelinedSegments == 0) {
+        std::printf("FAIL: %s accepted no pipelined segments\n",
+                    segSweep.name.c_str());
+        ok = false;
+    }
+    if (segSweep.latencyRatio >= 1.0 || segSweep.energyRatio >= 1.0) {
+        std::printf("FAIL: %s segmented schedule does not strictly "
+                    "dominate serial (latency %.4f, energy %.4f; "
+                    "want both < 1)\n",
+                    segSweep.name.c_str(), segSweep.latencyRatio,
+                    segSweep.energyRatio);
         ok = false;
     }
 

@@ -46,16 +46,25 @@ const char kCacheFileSchema[] =
     "LayerResult{cycles,utilization,dramBytes,energyPj,macs,"
     "memoryBound}"
     "FrontierKey{mapping:=sentinel,K,0,0}"
-    "FrontierPoint{dataflow,tm,tn,tk,LayerResult,seq}";
+    "FrontierPoint{dataflow,tm,tn,tk,LayerResult,seq}"
+    "SegmentKey{hw13,sentinel2,stageCount,tag[stageCount]}"
+    "SegmentRecord{stage:sig15,cols,mapping4,LayerResult;"
+    "cost:feasible,cycles,energyPj,dramBytes,bufferBytes,nocBytes,"
+    "nocEnergyPj,sramEnergyPj,dramBytesSaved}";
 
 constexpr std::uint64_t kCacheFileMagic = 0x4c45474f44534543ull;
-/** v2: frontier-entry section appended (PR 4). v1 files are
+/** v3: segment-entry section appended (inter-layer pipelining).
+ *  v2: frontier-entry section appended (PR 4). Older files are
  *  rejected by the version check — deliberate cold start. */
-constexpr std::uint64_t kCacheFileVersion = 2;
+constexpr std::uint64_t kCacheFileVersion = 3;
 
 /** Mapping-slot sentinel marking a frontier key. No per-mapping key
  *  can carry it: real dataflow tags are small enum values. */
 constexpr std::uint64_t kFrontierKeySentinel = ~0ull;
+
+/** Sentinel word marking a segment key, distinct from the frontier
+ *  sentinel so the three key spaces stay disjoint. */
+constexpr std::uint64_t kSegmentKeySentinel = ~0ull - 1;
 
 void
 putWord(std::ostream &out, std::uint64_t w)
@@ -107,12 +116,52 @@ constexpr std::uint64_t kKeyWords =
 /** dataflow, tm, tn, tk, LayerResult, seq. */
 constexpr std::uint64_t kFrontierPointWords = 4 + kResultWords + 1;
 
-/**
- * Fill the shared hardware + layer sections of a key; returns the
- * put functor so callers append their own mapping section.
- */
+void
+putSegmentCost(std::ostream &out, const SegmentCost &c)
+{
+    putWord(out, std::uint64_t(c.feasible ? 1 : 0));
+    putWord(out, std::uint64_t(c.cycles));
+    putWord(out, doubleBits(c.energyPj));
+    putWord(out, std::uint64_t(c.dramBytes));
+    putWord(out, std::uint64_t(c.bufferBytes));
+    putWord(out, std::uint64_t(c.nocBytes));
+    putWord(out, doubleBits(c.nocEnergyPj));
+    putWord(out, doubleBits(c.sramEnergyPj));
+    putWord(out, std::uint64_t(c.dramBytesSaved));
+}
+
+bool
+getSegmentCost(std::istream &in, SegmentCost *c)
+{
+    std::uint64_t feas = 0, cycles = 0, energy = 0, dram = 0,
+                  buf = 0, nocb = 0, nocpj = 0, srampj = 0,
+                  saved = 0;
+    if (!getWord(in, &feas) || !getWord(in, &cycles) ||
+        !getWord(in, &energy) || !getWord(in, &dram) ||
+        !getWord(in, &buf) || !getWord(in, &nocb) ||
+        !getWord(in, &nocpj) || !getWord(in, &srampj) ||
+        !getWord(in, &saved))
+        return false;
+    c->feasible = feas != 0;
+    c->cycles = Int(cycles);
+    c->energyPj = bitsDouble(energy);
+    c->dramBytes = Int(dram);
+    c->bufferBytes = Int(buf);
+    c->nocBytes = Int(nocb);
+    c->nocEnergyPj = bitsDouble(nocpj);
+    c->sramEnergyPj = bitsDouble(srampj);
+    c->dramBytesSaved = Int(saved);
+    return true;
+}
+
+constexpr std::uint64_t kSegmentCostWords = 9;
+/** sig15, cols, mapping4, LayerResult. */
+constexpr std::uint64_t kSegmentStageWords =
+    LayerSignature::kWords + 1 + 4 + kResultWords;
+
+/** Fill the hardware section of a key (shared by all key kinds). */
 std::size_t
-keyPrefix(const HardwareConfig &hw, const Layer &l, CacheKey *key)
+hwPrefix(const HardwareConfig &hw, CacheKey *key)
 {
     std::size_t i = 0;
     auto put = [&](std::uint64_t w) {
@@ -147,13 +196,27 @@ keyPrefix(const HardwareConfig &hw, const Layer &l, CacheKey *key)
     for (DataflowTag t : hw.dataflows)
         dfs = (dfs << 4) | (std::uint64_t(t) + 1);
     put(dfs);
+    return i;
+}
 
+/**
+ * Fill the shared hardware + layer sections of a key; returns the
+ * next free word index so callers append their own mapping section.
+ */
+std::size_t
+keyPrefix(const HardwareConfig &hw, const Layer &l, CacheKey *key)
+{
+    std::size_t i = hwPrefix(hw, key);
     // Layer shape (name and repeat excluded on purpose). Sourced
     // from the canonical LayerSignature serialization, so the
     // layer-class dedup and the cache key can never key on
     // different field sets.
-    for (std::uint64_t w : layerSignature(l).words())
-        put(w);
+    for (std::uint64_t w : layerSignature(l).words()) {
+        if (i >= key->words.size())
+            panic("makeCacheKey: key word capacity exceeded — grow "
+                  "CacheKey::words for the newly keyed field");
+        key->words[i++] = w;
+    }
     return i;
 }
 
@@ -196,6 +259,41 @@ makeFrontierKey(const HardwareConfig &hw, const Layer &l,
     key.words[i++] = std::uint64_t(k);
     key.words[i++] = 0;
     key.words[i++] = 0;
+    key.hashValue = key.computeHash();
+    return key;
+}
+
+SegmentKeyId
+segmentKeyId(const Layer &l, int cols)
+{
+    SegmentKeyId id;
+    id.sig = layerSignature(l).words();
+    id.cols = std::uint64_t(cols);
+    return id;
+}
+
+CacheKey
+makeSegmentKey(const HardwareConfig &hw,
+               const std::vector<SegmentKeyId> &stages)
+{
+    CacheKey key;
+    std::size_t i = hwPrefix(hw, &key);
+    if (i + 2 + stages.size() > key.words.size())
+        panic("makeSegmentKey: segment of " +
+              std::to_string(stages.size()) +
+              " stages exceeds the key's tag-word capacity");
+    key.words[i++] = kSegmentKeySentinel;
+    key.words[i++] = std::uint64_t(stages.size());
+    // One hashed tag word per stage. A tag collision is harmless:
+    // the stored SegmentRecord carries the exact per-stage ids and
+    // lookupSegment verifies them (mismatch = miss).
+    for (const SegmentKeyId &s : stages) {
+        std::uint64_t h = kFnv1aOffset;
+        for (std::uint64_t w : s.sig)
+            h = fnv1aWord(h, w);
+        h = fnv1aWord(h, s.cols);
+        key.words[i++] = h;
+    }
     key.hashValue = key.computeHash();
     return key;
 }
@@ -402,6 +500,39 @@ CostCache::insertFrontierFast(const CacheKey &key,
     slot.val = points;
 }
 
+bool
+CostCache::lookupSegment(const CacheKey &key,
+                         const std::vector<SegmentKeyId> &stages,
+                         SegmentRecord *out)
+{
+    Shard &s = shardFor(key);
+    std::lock_guard<std::mutex> lk(s.mu);
+    auto it = s.segs.find(key);
+    if (it == s.segs.end() || !(it->second.id == stages)) {
+        segMisses_.fetch_add(1, std::memory_order_relaxed);
+        return false;
+    }
+    segHits_.fetch_add(1, std::memory_order_relaxed);
+    *out = it->second;
+    return true;
+}
+
+void
+CostCache::insertSegment(const CacheKey &key, const SegmentRecord &rec)
+{
+    if (rec.id.size() != rec.mappings.size() ||
+        rec.id.size() != rec.results.size())
+        panic("insertSegment: ragged segment record");
+    Shard &s = shardFor(key);
+    bool created;
+    {
+        std::lock_guard<std::mutex> lk(s.mu);
+        created = s.segs.emplace(key, rec).second;
+    }
+    if (created)
+        segInserts_.fetch_add(1, std::memory_order_relaxed);
+}
+
 std::size_t
 CostCache::size() const
 {
@@ -420,6 +551,17 @@ CostCache::frontierCount() const
     for (const auto &s : shards_) {
         std::lock_guard<std::mutex> lk(s->mu);
         n += s->fronts.size();
+    }
+    return n;
+}
+
+std::size_t
+CostCache::segmentCount() const
+{
+    std::size_t n = 0;
+    for (const auto &s : shards_) {
+        std::lock_guard<std::mutex> lk(s->mu);
+        n += s->segs.size();
     }
     return n;
 }
@@ -448,12 +590,15 @@ CostCache::save(const std::string &path) const
     std::vector<std::pair<CacheKey, LayerResult>> entries;
     std::vector<std::pair<CacheKey, std::vector<FrontierPoint>>>
         frontEntries;
+    std::vector<std::pair<CacheKey, SegmentRecord>> segEntries;
     for (const auto &s : shards_) {
         std::lock_guard<std::mutex> lk(s->mu);
         for (const auto &kv : s->map)
             entries.push_back(kv);
         for (const auto &kv : s->fronts)
             frontEntries.push_back(kv);
+        for (const auto &kv : s->segs)
+            segEntries.push_back(kv);
     }
 
     // Write to a sibling temp file and rename over the target, so an
@@ -485,6 +630,24 @@ CostCache::save(const std::string &path) const
             putResult(out, p.result);
             putWord(out, p.seq);
         }
+    }
+    putWord(out, std::uint64_t(segEntries.size()));
+    for (const auto &kv : segEntries) {
+        for (std::uint64_t w : kv.first.words)
+            putWord(out, w);
+        const SegmentRecord &rec = kv.second;
+        putWord(out, std::uint64_t(rec.id.size()));
+        for (std::size_t st = 0; st < rec.id.size(); ++st) {
+            for (std::uint64_t w : rec.id[st].sig)
+                putWord(out, w);
+            putWord(out, rec.id[st].cols);
+            putWord(out, std::uint64_t(rec.mappings[st].dataflow));
+            putWord(out, std::uint64_t(rec.mappings[st].tm));
+            putWord(out, std::uint64_t(rec.mappings[st].tn));
+            putWord(out, std::uint64_t(rec.mappings[st].tk));
+            putResult(out, rec.results[st]);
+        }
+        putSegmentCost(out, rec.cost);
     }
     out.flush();
     if (!out) {
@@ -590,6 +753,53 @@ CostCache::load(const std::string &path)
         }
         frontEntries.emplace_back(key, std::move(pts));
     }
+
+    std::uint64_t segCount = 0;
+    if (!getWord(in, &segCount))
+        return false;
+    if (segCount > remainingWords() / (kKeyWords + 1))
+        return false;
+    std::vector<std::pair<CacheKey, SegmentRecord>> segEntries;
+    segEntries.reserve(std::size_t(segCount));
+    for (std::uint64_t e = 0; e < segCount; ++e) {
+        CacheKey key;
+        for (std::uint64_t &w : key.words)
+            if (!getWord(in, &w))
+                return false;
+        key.hashValue = key.computeHash();
+        std::uint64_t stageCount = 0;
+        if (!getWord(in, &stageCount))
+            return false;
+        // A segment record always has >= 2 stages and fits the key's
+        // tag capacity; anything else is corruption.
+        if (stageCount < 2 ||
+            stageCount > remainingWords() / kSegmentStageWords)
+            return false;
+        SegmentRecord rec;
+        rec.id.resize(std::size_t(stageCount));
+        rec.mappings.resize(std::size_t(stageCount));
+        rec.results.resize(std::size_t(stageCount));
+        for (std::uint64_t st = 0; st < stageCount; ++st) {
+            for (std::uint64_t &w : rec.id[st].sig)
+                if (!getWord(in, &w))
+                    return false;
+            std::uint64_t cols = 0, df = 0, tm = 0, tn = 0, tk = 0;
+            if (!getWord(in, &cols) || !getWord(in, &df) ||
+                !getWord(in, &tm) || !getWord(in, &tn) ||
+                !getWord(in, &tk))
+                return false;
+            rec.id[st].cols = cols;
+            rec.mappings[st].dataflow = DataflowTag(df);
+            rec.mappings[st].tm = Int(tm);
+            rec.mappings[st].tn = Int(tn);
+            rec.mappings[st].tk = Int(tk);
+            if (!getResult(in, &rec.results[st]))
+                return false;
+        }
+        if (!getSegmentCost(in, &rec.cost))
+            return false;
+        segEntries.emplace_back(key, std::move(rec));
+    }
     // The sections must consume the file exactly — trailing bytes
     // mean a corrupt length/count somewhere, so reject wholesale.
     if (std::uint64_t(in.tellg()) != fileBytes)
@@ -599,6 +809,8 @@ CostCache::load(const std::string &path)
         insert(kv.first, kv.second);
     for (const auto &kv : frontEntries)
         insertFrontier(kv.first, kv.second);
+    for (const auto &kv : segEntries)
+        insertSegment(kv.first, kv.second);
     return true;
 }
 
@@ -609,6 +821,7 @@ CostCache::clear()
         std::lock_guard<std::mutex> lk(s->mu);
         s->map.clear();
         s->fronts.clear();
+        s->segs.clear();
     }
     // Invalidate every thread's L0 entries for this cache: slots are
     // tagged with the epoch at fill time, so bumping it turns them
@@ -622,6 +835,9 @@ CostCache::clear()
     frontHits_.store(0);
     frontMisses_.store(0);
     frontInserts_.store(0);
+    segHits_.store(0);
+    segMisses_.store(0);
+    segInserts_.store(0);
 }
 
 } // namespace dse

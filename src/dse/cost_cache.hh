@@ -11,8 +11,10 @@
  * whole per-layer mapping frontiers, keyed on (hardware, layer
  * shape, K): a frontier hit skips the entire mapping sweep of that
  * layer. Frontier entries have their own thread-local L0 in front of
- * the sharded table and persist in the same cache file (format
- * version 2).
+ * the sharded table and persist in the same cache file. Segment
+ * entries (hardware + per-stage layer/slice identity -> resolved
+ * stage mappings + pipelined cost) memoize the segmentation search
+ * the same way and joined the file in format version 3.
  *
  * Layer *names* and repeat counts are deliberately excluded from the
  * keys: two layers with identical shapes hit the same entry even
@@ -32,7 +34,9 @@
 #include <vector>
 
 #include "dse/pareto.hh"
+#include "model/layer_class.hh"
 #include "sim/perf.hh"
+#include "sim/segment_cost.hh"
 
 namespace lego
 {
@@ -77,6 +81,55 @@ CacheKey makeFrontierKey(const HardwareConfig &hw, const Layer &l,
                          std::size_t k);
 
 /**
+ * Exact identity of one pipelined-segment stage as keyed into the
+ * cache: the layer's canonical signature plus its slice width. A
+ * multi-stage segment cannot fit every stage's full signature into
+ * the fixed-width CacheKey, so the segment key carries *hashed*
+ * per-stage tags and the stored SegmentRecord carries these exact
+ * ids for verification at lookup — a tag collision therefore reads
+ * as a miss, never as a wrong result (the cache's exactness
+ * contract is preserved).
+ */
+struct SegmentKeyId
+{
+    std::array<std::uint64_t, LayerSignature::kWords> sig{};
+    std::uint64_t cols = 0;
+
+    bool operator==(const SegmentKeyId &o) const
+    {
+        return cols == o.cols && sig == o.sig;
+    }
+};
+
+/** Make the id of one stage. */
+SegmentKeyId segmentKeyId(const Layer &l, int cols);
+
+/**
+ * Memoized evaluation of one pipelined segment: per-stage resolved
+ * mappings/results (under the slice sub-configs) plus the pipelined
+ * SegmentCost. A hit skips the per-stage mapping searches AND the
+ * pipeline cost evaluation.
+ */
+struct SegmentRecord
+{
+    std::vector<SegmentKeyId> id; //!< Verification, one per stage.
+    std::vector<Mapping> mappings;
+    std::vector<LayerResult> results;
+    SegmentCost cost;
+};
+
+/**
+ * Build the canonical key of a segment memo entry: the hardware
+ * section of makeCacheKey, a segment sentinel (disjoint from both
+ * per-mapping and frontier key spaces), the stage count, and one
+ * hashed tag word per stage (FNV-1a over the stage's SegmentKeyId).
+ * Panics past the key's tag-word capacity (17 stages) — far above
+ * any sensible SegmentOptions::maxStages.
+ */
+CacheKey makeSegmentKey(const HardwareConfig &hw,
+                        const std::vector<SegmentKeyId> &stages);
+
+/**
  * Point-in-time snapshot of every CostCache counter, with a
  * subtraction operator so clients can report exact per-window deltas
  * (the serve loop's per-request stats epochs, the engine's explore()
@@ -92,6 +145,9 @@ struct CacheCounters
     std::uint64_t frontHits = 0;   //!< Frontier hits (either level).
     std::uint64_t frontMisses = 0; //!< Frontier full-sweep misses.
     std::uint64_t frontInserts = 0;//!< Frontier entries created.
+    std::uint64_t segHits = 0;     //!< Segment-record hits.
+    std::uint64_t segMisses = 0;   //!< Segment-record misses.
+    std::uint64_t segInserts = 0;  //!< Segment entries created.
 
     CacheCounters operator-(const CacheCounters &o) const
     {
@@ -104,6 +160,9 @@ struct CacheCounters
         d.frontHits = frontHits - o.frontHits;
         d.frontMisses = frontMisses - o.frontMisses;
         d.frontInserts = frontInserts - o.frontInserts;
+        d.segHits = segHits - o.segHits;
+        d.segMisses = segMisses - o.segMisses;
+        d.segInserts = segInserts - o.segInserts;
         return d;
     }
 };
@@ -177,6 +236,23 @@ class CostCache
 
     /** @} */
 
+    /** @name Segment entries (keys from makeSegmentKey) @{ */
+
+    /**
+     * Sharded lookup of a memoized segment evaluation. `stages` is
+     * the exact per-stage identity the key was built from; a stored
+     * record whose id differs (hashed-tag collision) counts as a
+     * miss, preserving exactness.
+     */
+    bool lookupSegment(const CacheKey &key,
+                       const std::vector<SegmentKeyId> &stages,
+                       SegmentRecord *out);
+
+    /** Insert a segment record (first writer wins). */
+    void insertSegment(const CacheKey &key, const SegmentRecord &rec);
+
+    /** @} */
+
     std::uint64_t hits() const { return hits_.load(); }
     std::uint64_t misses() const { return misses_.load(); }
     std::uint64_t l0Hits() const { return l0Hits_.load(); }
@@ -185,6 +261,9 @@ class CostCache
     std::uint64_t frontHits() const { return frontHits_.load(); }
     std::uint64_t frontMisses() const { return frontMisses_.load(); }
     std::uint64_t frontInserts() const { return frontInserts_.load(); }
+    std::uint64_t segHits() const { return segHits_.load(); }
+    std::uint64_t segMisses() const { return segMisses_.load(); }
+    std::uint64_t segInserts() const { return segInserts_.load(); }
 
     /** Snapshot of all counters in one call (relaxed loads; exact
      *  when no lookup is concurrently in flight, e.g. between
@@ -200,6 +279,9 @@ class CostCache
         c.frontHits = frontHits();
         c.frontMisses = frontMisses();
         c.frontInserts = frontInserts();
+        c.segHits = segHits();
+        c.segMisses = segMisses();
+        c.segInserts = segInserts();
         return c;
     }
 
@@ -207,6 +289,8 @@ class CostCache
     std::size_t size() const;
     /** Frontier entry count. */
     std::size_t frontierCount() const;
+    /** Segment entry count. */
+    std::size_t segmentCount() const;
     void clear();
 
     /**
@@ -251,6 +335,7 @@ class CostCache
         std::unordered_map<CacheKey, std::vector<FrontierPoint>,
                            CacheKeyHash>
             fronts;
+        std::unordered_map<CacheKey, SegmentRecord, CacheKeyHash> segs;
     };
 
     Shard &shardFor(const CacheKey &key);
@@ -268,6 +353,9 @@ class CostCache
     std::atomic<std::uint64_t> frontHits_{0};
     std::atomic<std::uint64_t> frontMisses_{0};
     std::atomic<std::uint64_t> frontInserts_{0};
+    std::atomic<std::uint64_t> segHits_{0};
+    std::atomic<std::uint64_t> segMisses_{0};
+    std::atomic<std::uint64_t> segInserts_{0};
 };
 
 } // namespace dse

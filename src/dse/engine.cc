@@ -50,6 +50,8 @@ DseEngine::statsSince(const StatsEpoch &e) const
     s.l0Misses = cc.l0Misses;
     s.frontHits = cc.frontHits;
     s.frontMisses = cc.frontMisses;
+    s.segHits = cc.segHits;
+    s.segMisses = cc.segMisses;
     const EvalCounters ec = evaluator_.counters();
     s.modelEvals = ec.modelEvals - e.eval.modelEvals;
     s.mappingsPruned = ec.mappingsPruned - e.eval.mappingsPruned;
@@ -76,6 +78,9 @@ DseEngine::publishMetrics(obs::MetricsRegistry &registry) const
     registry.counter("dse.cache.front_hits").set(cc.frontHits);
     registry.counter("dse.cache.front_misses").set(cc.frontMisses);
     registry.counter("dse.cache.front_inserts").set(cc.frontInserts);
+    registry.counter("dse.cache.seg_hits").set(cc.segHits);
+    registry.counter("dse.cache.seg_misses").set(cc.segMisses);
+    registry.counter("dse.cache.seg_inserts").set(cc.segInserts);
     const EvalCounters ec = evaluator_.counters();
     registry.counter("dse.eval.searches").set(ec.searches);
     registry.counter("dse.eval.model_evals").set(ec.modelEvals);
@@ -87,9 +92,18 @@ DseEngine::publishMetrics(obs::MetricsRegistry &registry) const
         .set(ec.layersDeduped);
     registry.counter("dse.eval.cross_model_deduped")
         .set(ec.crossModelDeduped);
+    registry.counter("dse.segment.runs").set(segStats_.chainRuns);
+    registry.counter("dse.segment.moves").set(segStats_.movesTried);
+    registry.counter("dse.segment.plans")
+        .set(segStats_.plansEvaluated);
+    registry.counter("dse.segment.infeasible")
+        .set(segStats_.infeasible);
+    registry.counter("dse.segment.accepted").set(segStats_.accepted);
     registry.gauge("dse.cache.entries").set(double(cache_.size()));
     registry.gauge("dse.cache.frontier_entries")
         .set(double(cache_.frontierCount()));
+    registry.gauge("dse.cache.segment_entries")
+        .set(double(cache_.segmentCount()));
 }
 
 DseResult
@@ -179,7 +193,27 @@ DseEngine::mapModelComposed(const HardwareConfig &hw, const Model &m)
         hw, m, opt_.compose.frontierK, &pool_);
     LEGO_TRACE_SPAN_ARG("dse.compose", "dse", "layers",
                         fronts.size());
-    return composeSchedule(m, std::move(fronts), opt_.compose);
+    if (!opt_.compose.segment.enable)
+        return composeSchedule(m, std::move(fronts), opt_.compose);
+    const SegmentPlan plan =
+        searchSegmentPlan(hw, m, opt_.compose.segment);
+    return composeSchedule(m, std::move(fronts), opt_.compose, plan);
+}
+
+SegmentPlan
+DseEngine::searchSegmentPlan(const HardwareConfig &hw, const Model &m,
+                             const SegmentOptions &sopt)
+{
+    SegmentSearchStats stats;
+    SegmentPlan plan = searchSegments(hw, m, evaluator_, sopt, &stats);
+    segStats_.chainRuns += stats.chainRuns;
+    segStats_.movesTried += stats.movesTried;
+    segStats_.plansEvaluated += stats.plansEvaluated;
+    segStats_.infeasible += stats.infeasible;
+    segStats_.accepted += stats.accepted;
+    segStats_.cacheHits += stats.cacheHits;
+    segStats_.cacheMisses += stats.cacheMisses;
+    return plan;
 }
 
 std::vector<ScheduleResult>

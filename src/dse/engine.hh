@@ -20,6 +20,7 @@
 #include <chrono>
 
 #include "dse/evaluator.hh"
+#include "dse/segment_search.hh"
 #include "dse/strategy.hh"
 #include "obs/metrics.hh"
 
@@ -74,6 +75,10 @@ struct DseStats
      *  sweeps skipped. The serving warm-pass headline number. */
     std::uint64_t frontHits = 0;
     std::uint64_t frontMisses = 0; //!< Frontier lookups that swept.
+    /** Segment-record memo hits/misses (segmentation search only;
+     *  both zero when segmentation is off). */
+    std::uint64_t segHits = 0;
+    std::uint64_t segMisses = 0;
     /** runLayerWithEff invocations issued by this engine's
      *  evaluator — the hot-path unit of work. Per-engine exact. */
     std::uint64_t modelEvals = 0;
@@ -135,6 +140,22 @@ class DseEngine
                                     const Model &m);
 
     /**
+     * Segmentation search through this engine's evaluator (and its
+     * memo cache), accumulating the engine's dse.segment.* stats.
+     * Returns the all-singleton plan when `sopt.enable` is false or
+     * no pipelined segment strictly dominates its serial execution.
+     */
+    SegmentPlan searchSegmentPlan(const HardwareConfig &hw,
+                                  const Model &m,
+                                  const SegmentOptions &sopt);
+
+    /** Cumulative segmentation-search work counters (all calls). */
+    const SegmentSearchStats &segmentStats() const
+    {
+        return segStats_;
+    }
+
+    /**
      * Zoo-level mapping with one class table across models (see
      * Evaluator::mapZoo): classical K = 1 best-latency schedules,
      * one per model — options().compose does not apply here.
@@ -193,6 +214,7 @@ class DseEngine
     CostCache cache_;
     WorkerPool pool_;
     Evaluator evaluator_;
+    SegmentSearchStats segStats_;
 };
 
 } // namespace dse

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Segmentation search: decide which contiguous chains of a model's
+ * layers to spatially pipeline, and how to slice the PE array among
+ * the stages. Reuses the DSE's annealing machinery (SplitMix64
+ * stream + temperature-accept loop, as in strategy.cc) over a
+ * segment-tree state per chainable run: split / merge moves change
+ * the segmentation, resize moves shift column quanta between
+ * adjacent stages. Candidate segments are costed through
+ * sim/segment_cost.hh with per-stage mappings searched under the
+ * slice sub-configs (memoized in the CostCache at both the layer
+ * and the segment level).
+ *
+ * Determinism: the whole search runs on the calling thread and all
+ * randomness lives in one SplitMix64 stream seeded from
+ * SegmentOptions::seed — results are bit-identical for any worker
+ * count, warm or cold cache.
+ *
+ * Acceptance: a pipelined segment enters the final plan only when
+ * its pipelined cost STRICTLY dominates the serial execution of its
+ * member layers on both (cycles, energy). Everything else decomposes
+ * back to singleton segments, so enabling segmentation can never
+ * produce a worse schedule than the classical path.
+ */
+
+#ifndef LEGO_DSE_SEGMENT_SEARCH_HH
+#define LEGO_DSE_SEGMENT_SEARCH_HH
+
+#include "dse/evaluator.hh"
+#include "mapper/segment.hh"
+
+namespace lego
+{
+namespace dse
+{
+
+/** Work counters of one searchSegments call. */
+struct SegmentSearchStats
+{
+    std::uint64_t chainRuns = 0;      //!< Chainable runs considered.
+    std::uint64_t movesTried = 0;     //!< Annealer moves proposed.
+    std::uint64_t plansEvaluated = 0; //!< Pipelined segments costed.
+    std::uint64_t infeasible = 0;     //!< Costed segments over capacity.
+    std::uint64_t accepted = 0;       //!< Pipelined segments in the plan.
+    std::uint64_t cacheHits = 0;      //!< Segment-record cache hits.
+    std::uint64_t cacheMisses = 0;    //!< Segment-record cache misses.
+};
+
+/**
+ * Search a segmentation plan for `m` on `hw`. The evaluator supplies
+ * the per-stage mapping searches (and its CostCache, when present,
+ * memoizes both the per-stage layer results and whole segment
+ * records). Returns the all-singleton plan when `opt.enable` is
+ * false or nothing dominates.
+ */
+SegmentPlan searchSegments(const HardwareConfig &hw, const Model &m,
+                           const Evaluator &ev,
+                           const SegmentOptions &opt,
+                           SegmentSearchStats *stats = nullptr);
+
+} // namespace dse
+} // namespace lego
+
+#endif // LEGO_DSE_SEGMENT_SEARCH_HH

@@ -17,6 +17,7 @@
 
 #include "dse/pareto.hh"
 #include "mapper/mapper.hh"
+#include "mapper/segment.hh"
 #include "model/models.hh"
 
 namespace lego
@@ -37,6 +38,9 @@ struct ComposeOptions
      * to total latency <= budget (cycles).
      */
     double latencyBudgetCycles = 0;
+    /** Inter-layer pipelining knobs (default off: the composition is
+     *  layer-valued and byte-identical to the classical path). */
+    SegmentOptions segment;
 };
 
 /** What the composer did (attached to every ScheduleResult). */
@@ -61,6 +65,16 @@ struct ScheduleResult
      *  holds >= 1 point, the selected one among them). */
     std::vector<dse::MappingFrontier> perLayerFrontier;
     ComposeInfo compose;
+    /**
+     * Segment-valued view of the schedule. Empty on the classical
+     * path (segmentation off); otherwise ordered segments covering
+     * every layer, with pipelined segments carrying their stage
+     * breakdown and pipelined cost. Members of a pipelined segment
+     * have their perLayer entry overridden with the per-stage
+     * mapping/result; the summary accounts the segment's pipelined
+     * cost once at the segment's position.
+     */
+    std::vector<Segment> segments;
 };
 
 /** Map and simulate a full model on a hardware instance (best
@@ -84,6 +98,21 @@ ScheduleResult scheduleModel(const HardwareConfig &hw, const Model &m,
 ScheduleResult composeSchedule(const Model &m,
                                std::vector<dse::MappingFrontier> fronts,
                                const ComposeOptions &opt);
+
+/**
+ * Segment-valued composition: run the frontier composition above,
+ * then apply `plan` on top — members of each pipelined segment have
+ * their per-layer decision replaced by the segment's stage
+ * mapping/result and the summary is re-accumulated in one ordered
+ * pass charging each pipelined segment its pipelined cost. The
+ * all-singleton plan applies zero overrides and re-accumulates the
+ * identical per-layer sequence, so it is bit-identical to the
+ * layer-valued composeSchedule (test-pinned).
+ */
+ScheduleResult composeSchedule(const Model &m,
+                               std::vector<dse::MappingFrontier> fronts,
+                               const ComposeOptions &opt,
+                               const SegmentPlan &plan);
 
 /**
  * Zoo-level composition: one composeSchedule per model, under the

@@ -1,0 +1,110 @@
+#include "mapper/segment.hh"
+
+#include <algorithm>
+
+#include "mapper/schedule.hh"
+
+namespace lego
+{
+
+SegmentPlan
+singletonPlan(const Model &m)
+{
+    SegmentPlan plan;
+    plan.segments.reserve(m.layers.size());
+    for (std::size_t i = 0; i < m.layers.size(); ++i) {
+        Segment s;
+        s.first = i;
+        s.len = 1;
+        plan.segments.push_back(std::move(s));
+    }
+    return plan;
+}
+
+std::vector<std::pair<std::size_t, std::size_t>>
+chainRuns(const Model &m)
+{
+    std::vector<std::pair<std::size_t, std::size_t>> runs;
+    std::size_t start = 0;
+    std::size_t len = 0;
+    for (std::size_t i = 0; i < m.layers.size(); ++i) {
+        if (len > 0 &&
+            chainable(m.layers[i - 1], m.layers[i])) {
+            ++len;
+            continue;
+        }
+        if (len >= 2)
+            runs.emplace_back(start, len);
+        start = i;
+        len = m.layers[i].isTensorOp() ? 1 : 0;
+    }
+    if (len >= 2)
+        runs.emplace_back(start, len);
+    return runs;
+}
+
+namespace
+{
+
+void
+validatePlan(const Model &m, const SegmentPlan &plan)
+{
+    std::size_t next = 0;
+    for (const Segment &s : plan.segments) {
+        if (s.first != next || s.len == 0)
+            panic("segment plan does not cover the layer list");
+        if (s.pipelined() && s.stages.size() != s.len)
+            panic("pipelined segment is missing stage data");
+        next = s.first + s.len;
+    }
+    if (next != m.layers.size())
+        panic("segment plan does not cover the layer list");
+}
+
+} // namespace
+
+ScheduleResult
+composeSchedule(const Model &m,
+                std::vector<dse::MappingFrontier> fronts,
+                const ComposeOptions &opt, const SegmentPlan &plan)
+{
+    validatePlan(m, plan);
+    ScheduleResult out = composeSchedule(m, std::move(fronts), opt);
+
+    // Apply the plan: override member decisions of pipelined
+    // segments, then re-accumulate the summary in one ordered pass.
+    // With an all-singleton plan both loops below replay exactly the
+    // accumulate sequence of the layer-valued path (same values,
+    // same order), so the result is bit-identical.
+    out.summary = RunSummary{};
+    for (const Segment &s : plan.segments) {
+        if (!s.pipelined()) {
+            for (std::size_t i = s.first; i < s.first + s.len; ++i) {
+                const Layer &l = m.layers[i];
+                accumulate(out.summary, out.perLayer[i].result,
+                           l.isTensorOp(), l.repeat);
+            }
+            continue;
+        }
+        // Pipelined: charge the segment's cost once, at the
+        // segment's position, expanded by the (uniform) repeat.
+        LayerResult agg;
+        agg.cycles = s.cost.cycles;
+        agg.energyPj = s.cost.energyPj;
+        agg.dramBytes = s.cost.dramBytes;
+        for (const SegmentStage &st : s.stages)
+            agg.macs += st.result.macs;
+        accumulate(out.summary, agg, true,
+                   m.layers[s.first].repeat);
+        for (std::size_t j = 0; j < s.stages.size(); ++j) {
+            MappedLayer ml;
+            ml.mapping = s.stages[j].mapping;
+            ml.result = s.stages[j].result;
+            out.perLayer[s.first + j] = ml;
+        }
+    }
+    out.segments = plan.segments;
+    return out;
+}
+
+} // namespace lego

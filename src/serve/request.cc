@@ -284,6 +284,15 @@ parseRequest(const std::string &line, ServeRequest *out,
                 return bail("k must be an integer in [1, " +
                             std::to_string(kMaxFrontierK) + "]");
             req.frontierK = std::size_t(k);
+        } else if (key == "segment") {
+            double v = 0;
+            if (!sc.parseNumber(&v))
+                return bail(sc.err);
+            // Strictly 0 or 1: a typo'd value must not silently pick
+            // a default (the knob flips the whole compose path).
+            if (v != 0 && v != 1)
+                return bail("segment must be 0 or 1");
+            req.segment = v == 1;
         } else {
             return bail("unknown key \"" + key + "\"");
         }
@@ -360,7 +369,12 @@ formatRequest(const ServeRequest &req)
             std::to_chars(buf, buf + sizeof(buf), req.budget);
         out += ", \"budget\": " + std::string(buf, r.ptr);
     }
-    out += ", \"k\": " + std::to_string(req.frontierK) + "}";
+    out += ", \"k\": " + std::to_string(req.frontierK);
+    // Emitted only when on, so pre-segmentation traces format (and
+    // replay) byte-identically.
+    if (req.segment)
+        out += ", \"segment\": 1";
+    out += "}";
     return out;
 }
 

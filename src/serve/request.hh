@@ -24,6 +24,11 @@
  *              budget 0 the latency cap is treated as unbounded, so
  *              the answer is the min-energy composition.
  *  - k         frontier width per layer (>= 1, default 1)
+ *  - segment   0 or 1 (default 0). 1 runs the segmentation search
+ *              (SET-style inter-layer spatial pipelining) per model
+ *              and composes the schedule from the resulting segment
+ *              plan; 0 keeps the layer-valued path bit-identical to
+ *              a loop without the knob.
  *
  * The parser is strict: unknown keys, malformed values, or an empty
  * model list are an error (parse errors still consume their line, so
@@ -58,6 +63,7 @@ struct ServeRequest
     Objective objective = Objective::Latency;
     double budget = 0;
     std::size_t frontierK = 1;
+    bool segment = false; //!< Inter-layer pipelining search on/off.
 };
 
 /**

@@ -213,6 +213,11 @@ ServeLoop::buildResponse(const Pending &p)
     ComposeOptions copt;
     copt.frontierK =
         p.req.frontierK == 0 ? 1 : p.req.frontierK;
+    // Segmentation knobs (maxStages / rounds / seed) come from the
+    // loop's configured compose options; the request only flips the
+    // switch. Default off keeps the layer-valued path untouched.
+    copt.segment = opt_.dse.compose.segment;
+    copt.segment.enable = p.req.segment;
     if (p.req.objective == Objective::Latency) {
         copt.energyBudgetPj = p.req.budget; // 0 = unbudgeted.
     } else {
@@ -240,7 +245,22 @@ ServeLoop::buildResponse(const Pending &p)
         LEGO_TRACE_SPAN_ARG("serve.compose", "serve", "models",
                             zoo.size());
         const std::uint64_t t0 = obs::Tracer::nowNs();
-        r.schedules = composeZoo(zoo, std::move(fronts), copt);
+        if (!copt.segment.enable) {
+            r.schedules = composeZoo(zoo, std::move(fronts), copt);
+        } else {
+            // Segment-valued path: search a plan per model, then
+            // compose from it. The all-singleton plan degenerates to
+            // the composeZoo result bit for bit.
+            r.schedules.reserve(zoo.size());
+            for (std::size_t mi = 0; mi < zoo.size(); ++mi) {
+                LEGO_TRACE_SPAN_ARG("serve.segment", "serve",
+                                    "model", mi);
+                const SegmentPlan plan = engine_.searchSegmentPlan(
+                    opt_.hw, *zoo[mi], copt.segment);
+                r.schedules.push_back(composeSchedule(
+                    *zoo[mi], std::move(fronts[mi]), copt, plan));
+            }
+        }
         metrics_.histogram("serve.compose_us")
             .record(double(obs::Tracer::nowNs() - t0) / 1000.0);
     }

@@ -56,4 +56,46 @@ nocTransferCycles(const NocSpec &s, Int bytes, int hops)
     return Int(hops) * 3 + flits;
 }
 
+NocPartitionTable::NocPartitionTable(const NocSpec &spec, int totalCols)
+    : spec_(spec), totalCols_(std::max(1, totalCols))
+{
+    const int total =
+        std::max(1, spec_.endpointsX * spec_.endpointsY);
+    byCols_.resize(size_t(totalCols_) + 1);
+    for (int c = 1; c <= totalCols_; c++) {
+        // A c-column slice owns a proportional share of the fabric's
+        // endpoints (at least 2 so a bisection exists).
+        NocSpec sub = spec_;
+        sub.endpointsX = std::max(
+            2, int(Int(total) * c / totalCols_));
+        sub.endpointsY = 1;
+        byCols_[size_t(c)] = nocCost(sub);
+    }
+}
+
+const NocCost &
+NocPartitionTable::at(int sliceCols) const
+{
+    const int c = std::min(std::max(1, sliceCols), totalCols_);
+    return byCols_[size_t(c)];
+}
+
+double
+NocPartitionTable::bisectionGBs(int sliceCols) const
+{
+    return at(sliceCols).bisectionGBs;
+}
+
+double
+NocPartitionTable::energyPerBytePj(int sliceCols) const
+{
+    return at(sliceCols).energyPerBytePj;
+}
+
+Int
+NocPartitionTable::transferCycles(Int bytes) const
+{
+    return nocTransferCycles(spec_, bytes, 1);
+}
+
 } // namespace lego

@@ -11,6 +11,8 @@
 
 #include "core/types.hh"
 
+#include <vector>
+
 namespace lego
 {
 
@@ -46,6 +48,44 @@ int meshHops(int x0, int y0, int x1, int y1);
  * dimension-ordered wormhole routing with `hops` hops.
  */
 Int nocTransferCycles(const NocSpec &s, Int bytes, int hops);
+
+/**
+ * Per-partition views of one NoC fabric. Segment pipelining splits
+ * the PE array into contiguous column slices; each slice owns a
+ * proportional share of the fabric's endpoints, and inter-stage tile
+ * streams cross the slice boundary. The table evaluates nocCost()
+ * once per possible slice width at construction, so segment costing
+ * answers bandwidth/energy queries with array lookups instead of
+ * re-deriving a whole-array NocSpec per call.
+ */
+class NocPartitionTable
+{
+  public:
+    /** `spec` is the whole-array fabric; `totalCols` the number of
+     *  array columns it feeds (slice widths range 1..totalCols). */
+    NocPartitionTable(const NocSpec &spec, int totalCols);
+
+    /** Bisection bandwidth (GB/s) of a `sliceCols`-wide partition's
+     *  share of the fabric. */
+    double bisectionGBs(int sliceCols) const;
+
+    /** Energy per byte (pJ) of traffic crossing into or out of a
+     *  `sliceCols`-wide partition. */
+    double energyPerBytePj(int sliceCols) const;
+
+    /** Cycles to stream `bytes` between adjacent partitions (one hop
+     *  across the slice boundary, wormhole-pipelined body). */
+    Int transferCycles(Int bytes) const;
+
+    const NocSpec &spec() const { return spec_; }
+
+  private:
+    const NocCost &at(int sliceCols) const;
+
+    NocSpec spec_;
+    int totalCols_;
+    std::vector<NocCost> byCols_; //!< Index = slice width (0 unused).
+};
 
 } // namespace lego
 

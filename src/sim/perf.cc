@@ -74,6 +74,23 @@ mappingCycles(const HardwareConfig &hw, const Layer &l,
     return std::max(cm.compute, cm.mem);
 }
 
+Int
+mappingComputeCycles(const HardwareConfig &hw, const Layer &l,
+                     const Mapping &map, double spatialEff)
+{
+    return cycleModel(hw, l, map, spatialEff).compute;
+}
+
+Int
+mappingTileCount(const Layer &l, const Mapping &map)
+{
+    const Int m = l.gemmM(), n = l.gemmN(), k = l.gemmK();
+    const Int tm = std::min<Int>(map.tm, m);
+    const Int tn = std::min<Int>(map.tn, n);
+    const Int tk = std::min<Int>(map.tk, k);
+    return ceilDiv(m, tm) * ceilDiv(n, tn) * ceilDiv(k, tk);
+}
+
 void
 mappingCyclesBatch(const HardwareConfig &hw, const Layer &l,
                    const Mapping *maps, std::size_t count,

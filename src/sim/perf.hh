@@ -58,6 +58,22 @@ Int mappingCycles(const HardwareConfig &hw, const Layer &l,
                   const Mapping &map, double spatialEff);
 
 /**
+ * Compute half of mappingCycles alone: pipeline cycles (ideal MACs at
+ * the dataflow's spatial efficiency plus per-tile fill/drain) with NO
+ * DRAM-bandwidth term. Segment costing uses this to derive per-stage
+ * steady-state rates — inside a pipelined segment the intermediate
+ * traffic moves over SRAM/NoC, so the whole-layer DRAM bound does not
+ * apply and the memory side is re-derived from residual DRAM traffic.
+ * Shares cycleModel with runLayerWithEff (cannot drift).
+ */
+Int mappingComputeCycles(const HardwareConfig &hw, const Layer &l,
+                         const Mapping &map, double spatialEff);
+
+/** Number of L1 tiles the mapping sweeps: ceil(M/tm)*ceil(N/tn)*
+ *  ceil(K/tk) with tiles clamped to the problem dims. */
+Int mappingTileCount(const Layer &l, const Mapping &map);
+
+/**
  * Batched mappingCycles over a contiguous array of `count` mappings
  * of ONE (layer, dataflow): out[i] = mappingCycles(hw, l, maps[i],
  * spatialEff). The per-layer constants are hoisted once and the

@@ -1,0 +1,164 @@
+#include "sim/segment_cost.hh"
+
+#include <algorithm>
+
+#include "sim/dram.hh"
+
+namespace lego
+{
+
+HardwareConfig
+partitionConfig(const HardwareConfig &hw, int sliceCols)
+{
+    if (sliceCols <= 0 || sliceCols > hw.cols)
+        panic("partitionConfig: slice of " +
+              std::to_string(sliceCols) + " of " +
+              std::to_string(hw.cols) + " columns");
+    if (sliceCols == hw.cols)
+        return hw;
+    HardwareConfig sub = hw;
+    sub.cols = sliceCols;
+    sub.l1Kb = std::max<Int>(1, hw.l1Kb * sliceCols / hw.cols);
+    sub.numPpus = std::max(1, hw.numPpus * sliceCols / hw.cols);
+    return sub;
+}
+
+bool
+chainable(const Layer &producer, const Layer &consumer)
+{
+    if (!producer.isTensorOp() || !consumer.isTensorOp())
+        return false;
+    if (producer.repeat != consumer.repeat)
+        return false;
+
+    const bool pConv = producer.kind == LayerKind::Conv ||
+                       producer.kind == LayerKind::DwConv;
+    const bool cConv = consumer.kind == LayerKind::Conv ||
+                       consumer.kind == LayerKind::DwConv;
+    if (pConv && cConv) {
+        const Int pOutCh = producer.kind == LayerKind::DwConv
+                               ? producer.ic
+                               : producer.oc;
+        return consumer.n == producer.n && consumer.ic == pOutCh &&
+               consumer.oh * consumer.stride == producer.oh &&
+               consumer.ow * consumer.stride == producer.ow;
+    }
+    if (!pConv && !cConv) {
+        // Linear/MatMul chains: consumer's M x K operand is the
+        // producer's M x N output.
+        return consumer.m == producer.m && consumer.k == producer.nOut;
+    }
+    // Conv <-> GEMM transitions need a layout change (flatten /
+    // im2col) that the forwarding buffers do not model; reject.
+    return false;
+}
+
+SegmentCost
+segmentPipelineCost(const HardwareConfig &hw,
+                    const std::vector<SegmentStage> &stages,
+                    const SramPartitionTable &sram,
+                    const NocPartitionTable &noc)
+{
+    SegmentCost sc;
+    const std::size_t S = stages.size();
+    if (S == 0)
+        return sc;
+
+    sc.feasible = true;
+    std::vector<Int> compute(S), residual(S);
+    Int maxCompute = 0, totalResidual = 0;
+    double stageEnergy = 0;
+    Int fill = 0;
+
+    for (std::size_t i = 0; i < S; i++) {
+        const SegmentStage &st = stages[i];
+        const HardwareConfig sub = partitionConfig(hw, st.cols);
+        const Layer &l = st.layer;
+        const double se =
+            spatialEfficiency(sub, l, st.mapping.dataflow);
+        compute[i] = mappingComputeCycles(sub, l, st.mapping, se);
+        maxCompute = std::max(maxCompute, compute[i]);
+
+        // Residual DRAM traffic: the whole-stage traffic minus the
+        // forwarded flows — a non-first stage reads its input from
+        // the producer's buffer (all reload_x passes), a non-last
+        // stage's final output write goes to the forwarding buffer.
+        // Partial-sum spills (K-tiled accumulation) stay in DRAM.
+        const Int n = l.gemmN();
+        const Int tn = std::min<Int>(st.mapping.tn, n);
+        const Int reload_x = ceilDiv(n, tn);
+        Int saved = 0;
+        if (i > 0)
+            saved += l.inputBytes() * reload_x;
+        if (i + 1 < S)
+            saved += l.outputBytes();
+        residual[i] = std::max<Int>(0, st.result.dramBytes - saved);
+        sc.dramBytesSaved += st.result.dramBytes - residual[i];
+        totalResidual += residual[i];
+
+        // Buffer occupancy: the mapping's double-buffered working
+        // set (mirrors dse fitsL1: operands at dataBits, 24-bit
+        // partials) plus, for a producer stage, the double-buffered
+        // outgoing intermediate tile it keeps live for the consumer.
+        const Int m = l.gemmM(), k = l.gemmK();
+        const Int tm = std::min<Int>(st.mapping.tm, m);
+        const Int tk = std::min<Int>(st.mapping.tk, k);
+        const Int operand =
+            (tm * tk + tk * tn) * Int(hw.dataBits) / 8;
+        const Int partial = tm * tn * 3;
+        const Int ws = 2 * (operand + partial);
+        const Int extra = i + 1 < S
+                              ? 2 * tm * tn * Int(hw.dataBits) / 8
+                              : Int(0);
+        sc.bufferBytes += ws + extra;
+        if (!sram.fits(st.cols, ws, extra))
+            sc.feasible = false;
+
+        stageEnergy += st.result.energyPj;
+        // One tile's latency through this stage for the fill term.
+        const Int tiles =
+            std::max<Int>(1, mappingTileCount(l, st.mapping));
+        fill += ceilDiv(compute[i], tiles) + sub.rows + sub.cols + 8;
+    }
+
+    // Forwarded flows re-charged at on-chip prices. The intermediate
+    // lives in the producer's L1 share; the consumer's reload passes
+    // cross the slice boundary over the NoC.
+    Int maxNocCycles = 0;
+    double savedDramPj = 0;
+    for (std::size_t e = 0; e + 1 < S; e++) {
+        const SegmentStage &p = stages[e];
+        const SegmentStage &c = stages[e + 1];
+        const Int cn = c.layer.gemmN();
+        const Int ctn = std::min<Int>(c.mapping.tn, cn);
+        const Int reload = ceilDiv(cn, ctn);
+        const Int fwdWrite = p.layer.outputBytes();
+        const Int fwdRead = c.layer.inputBytes() * reload;
+        sc.nocBytes += fwdRead;
+        const int narrow = std::min(p.cols, c.cols);
+        sc.nocEnergyPj +=
+            double(fwdRead) * noc.energyPerBytePj(narrow);
+        sc.sramEnergyPj +=
+            double(fwdWrite) * sram.writeEnergyPj(p.cols) +
+            double(fwdRead) * sram.readEnergyPj(p.cols);
+        maxNocCycles =
+            std::max(maxNocCycles, noc.transferCycles(fwdRead));
+    }
+    for (std::size_t i = 0; i < S; i++)
+        savedDramPj += dramEnergyPj(
+            hw.dram, stages[i].result.dramBytes - residual[i]);
+
+    // Steady state: the slowest of any stage's compute pipeline, the
+    // shared DRAM interface moving the residual traffic, and the
+    // busiest inter-stage NoC stream. Fill: one tile traversing the
+    // whole chain before the overlap begins.
+    const Int dramSteady =
+        dramCycles(hw.dram, totalResidual, hw.freqGhz);
+    sc.cycles = std::max({maxCompute, dramSteady, maxNocCycles}) + fill;
+    sc.dramBytes = totalResidual;
+    sc.energyPj = stageEnergy - savedDramPj + sc.sramEnergyPj +
+                  sc.nocEnergyPj;
+    return sc;
+}
+
+} // namespace lego

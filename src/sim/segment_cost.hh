@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Pipelined segment cost model (SET-style inter-layer spatial
+ * pipelining). A segment is a contiguous producer/consumer chain of
+ * tensor layers that share the PE array at the same time: each stage
+ * owns a contiguous column slice, and intermediate tensors stream
+ * between adjacent slices over the on-chip NoC into the consumer's
+ * L1 share instead of round-tripping through DRAM.
+ *
+ * The model here answers, for one candidate (chain, per-stage slice
+ * widths, per-stage mappings):
+ *   - is it feasible (every stage's working set plus its live
+ *     intermediate tiles fits its L1 share)?
+ *   - pipelined latency: per-stage steady-state rates overlapped,
+ *     plus a fill term for the first tile to traverse the chain;
+ *   - energy: per-stage compute energy with the forwarded DRAM
+ *     traffic re-charged at SRAM + NoC prices.
+ */
+
+#ifndef LEGO_SIM_SEGMENT_COST_HH
+#define LEGO_SIM_SEGMENT_COST_HH
+
+#include <vector>
+
+#include "model/layer.hh"
+#include "sim/arch_config.hh"
+#include "sim/noc.hh"
+#include "sim/perf.hh"
+#include "sim/sram.hh"
+
+namespace lego
+{
+
+/**
+ * Sub-array view of `hw` owning `sliceCols` contiguous columns: the
+ * slice keeps all rows, a proportional share of the L1 and of the
+ * PPUs, and the same clock/DRAM interface. With sliceCols == hw.cols
+ * this is `hw` itself, so whole-array results memoize through the
+ * same cost-cache keys as the serial path.
+ */
+HardwareConfig partitionConfig(const HardwareConfig &hw, int sliceCols);
+
+/** One stage of a pipelined segment. */
+struct SegmentStage
+{
+    Layer layer;
+    Mapping mapping;    //!< Chosen under partitionConfig(hw, cols).
+    LayerResult result; //!< runLayer under partitionConfig(hw, cols).
+    int cols = 0;       //!< Slice width in array columns.
+};
+
+/** Modeled cost of one pipelined segment (per repeat instance). */
+struct SegmentCost
+{
+    bool feasible = false;
+    Int cycles = 0;          //!< Pipelined latency: steady + fill.
+    double energyPj = 0;
+    Int dramBytes = 0;       //!< Residual after on-chip forwarding.
+    Int bufferBytes = 0;     //!< Live intermediate tile bytes (all stages).
+    Int nocBytes = 0;        //!< Inter-stage NoC traffic.
+    double nocEnergyPj = 0;
+    double sramEnergyPj = 0; //!< Forwarding writes + reads.
+    Int dramBytesSaved = 0;  //!< DRAM traffic the pipeline avoided.
+};
+
+/**
+ * Can `consumer` directly consume `producer`'s output tensor?
+ * Requires both to be tensor ops with the same repeat count and
+ * matching channel/spatial shapes (conv halos tolerated — the few
+ * border rows a 3x3 window needs beyond the producer tile are
+ * re-read from the forwarding buffer, not DRAM). PPU layers break
+ * chains: they run in place on the output buffers either way.
+ */
+bool chainable(const Layer &producer, const Layer &consumer);
+
+/**
+ * Evaluate one pipelined segment. `stages` must be a chainable()
+ * sequence whose `cols` sum to at most hw.cols; each stage's
+ * mapping/result must come from partitionConfig(hw, stage.cols).
+ * Infeasible configurations (working set overflow) return
+ * feasible = false with the partial accounting filled in.
+ */
+SegmentCost segmentPipelineCost(const HardwareConfig &hw,
+                                const std::vector<SegmentStage> &stages,
+                                const SramPartitionTable &sram,
+                                const NocPartitionTable &noc);
+
+} // namespace lego
+
+#endif // LEGO_SIM_SEGMENT_COST_HH

@@ -1,5 +1,6 @@
 #include "sim/sram.hh"
 
+#include <algorithm>
 #include <cmath>
 
 namespace lego
@@ -26,6 +27,66 @@ sramCost(const SramSpec &s)
     // Leakage ~4 uW per KB at 28 nm HVT arrays.
     c.leakageUw = 4.0 * kb;
     return c;
+}
+
+SramPartitionTable::SramPartitionTable(Int totalKb, int totalCols,
+                                       Int widthBits)
+    : totalBytes_(totalKb * 1024),
+      totalCols_(totalCols > 0 ? totalCols : 1),
+      widthBits_(widthBits)
+{
+    readPjByte_.resize(size_t(totalCols_) + 1, 0.0);
+    writePjByte_.resize(size_t(totalCols_) + 1, 0.0);
+    for (int c = 1; c <= totalCols_; c++) {
+        // A slice's share keeps the whole-array macro size: the L1
+        // is banked, and a partition owns whole banks, so per-access
+        // energy matches the bank the byte lives in.
+        SramSpec spec;
+        spec.capacityBytes =
+            std::max<Int>(1, ceilDiv(totalBytes_ * c, totalCols_));
+        spec.widthBits = widthBits_;
+        SramCost cost = sramCost(spec);
+        const double bytes_per_access =
+            double(widthBits_) / 8.0;
+        readPjByte_[size_t(c)] = cost.readEnergyPj / bytes_per_access;
+        writePjByte_[size_t(c)] =
+            cost.writeEnergyPj / bytes_per_access;
+    }
+}
+
+int
+SramPartitionTable::clampCols(int sliceCols) const
+{
+    if (sliceCols < 1)
+        return 1;
+    if (sliceCols > totalCols_)
+        return totalCols_;
+    return sliceCols;
+}
+
+Int
+SramPartitionTable::capacityBytes(int sliceCols) const
+{
+    return totalBytes_ * clampCols(sliceCols) / totalCols_;
+}
+
+bool
+SramPartitionTable::fits(int sliceCols, Int usedBytes,
+                         Int extraBytes) const
+{
+    return usedBytes + extraBytes <= capacityBytes(sliceCols);
+}
+
+double
+SramPartitionTable::readEnergyPj(int sliceCols) const
+{
+    return readPjByte_[size_t(clampCols(sliceCols))];
+}
+
+double
+SramPartitionTable::writeEnergyPj(int sliceCols) const
+{
+    return writePjByte_[size_t(clampCols(sliceCols))];
 }
 
 SramCost

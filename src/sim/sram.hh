@@ -12,6 +12,8 @@
 
 #include "core/types.hh"
 
+#include <vector>
+
 namespace lego
 {
 
@@ -36,6 +38,46 @@ SramCost sramCost(const SramSpec &s);
 
 /** Total cost of `banks` equal macros splitting `totalBytes`. */
 SramCost sramArrayCost(Int totalBytes, int banks, Int widthBits);
+
+/**
+ * Buffer-occupancy view of the shared L1 split into contiguous
+ * column partitions. A partition of the PE array owns a proportional
+ * share of the L1 capacity; segment costing asks whether a stage's
+ * working set plus its live intermediate tiles fit that share, and
+ * what inter-stage SRAM traffic costs. Per-slice SramCost is
+ * evaluated once up front so queries don't re-run the macro model.
+ */
+class SramPartitionTable
+{
+  public:
+    /** `totalKb` is the whole-array L1 (hw.l1Kb); `totalCols` the
+     *  array width the capacity is striped over. */
+    SramPartitionTable(Int totalKb, int totalCols, Int widthBits = 64);
+
+    /** Capacity in bytes of a `sliceCols`-wide partition's share. */
+    Int capacityBytes(int sliceCols) const;
+
+    /** True when `usedBytes` (mapping working set) plus `extraBytes`
+     *  (live intermediate tiles) fit the partition's share. */
+    bool fits(int sliceCols, Int usedBytes, Int extraBytes) const;
+
+    /** Per-byte read energy (pJ) for a partition's macro share. */
+    double readEnergyPj(int sliceCols) const;
+
+    /** Per-byte write energy (pJ) for a partition's macro share. */
+    double writeEnergyPj(int sliceCols) const;
+
+    Int totalBytes() const { return totalBytes_; }
+
+  private:
+    int clampCols(int sliceCols) const;
+
+    Int totalBytes_ = 0;
+    int totalCols_ = 1;
+    Int widthBits_ = 64;
+    std::vector<double> readPjByte_;  //!< Index = slice width.
+    std::vector<double> writePjByte_;
+};
 
 } // namespace lego
 

@@ -7,7 +7,14 @@ disabled-tracing overhead gate in BENCH_dse.json.
 Usage:
   check_obs.py [--trace FILE] [--stats FILE]
                [--access-log FILE --expect-requests N]
-               [--bench FILE --max-overhead-pct PCT]
+               [--bench FILE --max-overhead-pct PCT
+                [--require-segment-dominance]]
+
+Metrics snapshots carrying DSE engine counters must include the
+dse.segment.* segmentation-search family; --require-segment-dominance
+additionally gates BENCH_dse.json's segment_pipeline_rn50 sweep
+(>= 1 pipelined segment, latency/energy ratios < 1, disabled-path
+identity).
 
 Every given artifact is validated; any violation exits 1 with a
 message. Stdlib only — runs on a bare CI python3.
@@ -74,7 +81,18 @@ def check_stats(path):
             if key not in hist:
                 return fail(f"{path}: histogram {name}: missing "
                             f"{key!r}")
-    nc = len(serve["counters"])
+    counters = serve["counters"]
+    # Any snapshot carrying DSE engine counters must also carry the
+    # segmentation-search family (zero-valued when the segment knob
+    # never fired — the counters exist either way).
+    if any(name.startswith("dse.") for name in counters):
+        for name in ("dse.segment.runs", "dse.segment.moves",
+                     "dse.segment.plans", "dse.segment.infeasible",
+                     "dse.segment.accepted", "dse.cache.seg_hits",
+                     "dse.cache.seg_misses"):
+            if name not in counters:
+                return fail(f"{path}: counters missing {name!r}")
+    nc = len(counters)
     nh = len(serve["histograms"])
     print(f"ok: {path}: {nc} counters, {nh} histograms")
 
@@ -104,7 +122,7 @@ def check_access_log(path, expect_requests):
     print(f"ok: {path}: {len(lines)} lines ({rejected} rejected)")
 
 
-def check_bench(path, max_overhead_pct):
+def check_bench(path, max_overhead_pct, require_segment_dominance):
     with open(path) as f:
         doc = json.load(f)
     tracing = doc.get("tracing")
@@ -118,13 +136,36 @@ def check_bench(path, max_overhead_pct):
     if max_overhead_pct is not None and pct > max_overhead_pct:
         return fail(f"{path}: disabled-tracing overhead {pct}% > "
                     f"{max_overhead_pct}%")
-    serve = {s["name"]: s for s in doc.get("sweeps", [])}.get(
-        "serve_replay")
+    sweeps = {s["name"]: s for s in doc.get("sweeps", [])}
+    serve = sweeps.get("serve_replay")
     if serve is None:
         return fail(f"{path}: no serve_replay sweep")
     for key in ("p50_ms", "p95_ms", "p99_ms"):
         if key not in serve:
             return fail(f"{path}: serve_replay missing {key!r}")
+    if require_segment_dominance:
+        seg = sweeps.get("segment_pipeline_rn50")
+        if seg is None:
+            return fail(f"{path}: no segment_pipeline_rn50 sweep")
+        for key in ("pipelined_segments", "latency_ratio",
+                    "energy_ratio", "identical_output"):
+            if key not in seg:
+                return fail(f"{path}: segment_pipeline_rn50 missing "
+                            f"{key!r}")
+        if not seg["identical_output"]:
+            fail(f"{path}: segmentation-off schedule diverged from "
+                 "the serial composition")
+        if seg["pipelined_segments"] < 1:
+            fail(f"{path}: no pipelined segments accepted")
+        if seg["latency_ratio"] >= 1.0 or seg["energy_ratio"] >= 1.0:
+            fail(f"{path}: segmented schedule does not strictly "
+                 f"dominate serial (latency {seg['latency_ratio']}, "
+                 f"energy {seg['energy_ratio']})")
+        if not FAILURES:
+            print(f"ok: {path}: segment_pipeline_rn50: "
+                  f"{seg['pipelined_segments']} pipelined segments, "
+                  f"latency {seg['latency_ratio']}x, "
+                  f"energy {seg['energy_ratio']}x")
     print(f"ok: {path}: disabled overhead {pct}%, serve_replay "
           f"p50/p95/p99 = {serve['p50_ms']}/{serve['p95_ms']}/"
           f"{serve['p99_ms']} ms")
@@ -140,6 +181,11 @@ def main():
     ap.add_argument("--bench", help="BENCH_dse.json")
     ap.add_argument("--max-overhead-pct", type=float, default=None,
                     help="fail if disabled-tracing overhead exceeds")
+    ap.add_argument("--require-segment-dominance",
+                    action="store_true",
+                    help="fail unless segment_pipeline_rn50 shows "
+                         ">= 1 pipelined segment with latency and "
+                         "energy ratios < 1")
     args = ap.parse_args()
     if not (args.trace or args.stats or args.access_log
             or args.bench):
@@ -151,7 +197,8 @@ def main():
     if args.access_log:
         check_access_log(args.access_log, args.expect_requests)
     if args.bench:
-        check_bench(args.bench, args.max_overhead_pct)
+        check_bench(args.bench, args.max_overhead_pct,
+                    args.require_segment_dominance)
     sys.exit(1 if FAILURES else 0)
 
 
