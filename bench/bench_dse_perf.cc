@@ -491,7 +491,13 @@ sweepServeReplay()
         s.crossModelDeduped += ws.crossModelDeduped;
         frontHits += ws.frontHits;
         frontLookups += ws.frontHits + ws.frontMisses;
-        identical = identical && warm[i].ok &&
+        // No request in this sweep carries a deadline and the queue
+        // is unbounded, so a degraded or shed response here means
+        // the robustness plumbing leaked into the exact path — fail
+        // through the identical_output gate (no JSON schema change).
+        identical = identical && warm[i].ok && !warm[i].degraded &&
+                    !warm[i].shed && !cold[i].degraded &&
+                    !cold[i].shed &&
                     serve::sameResponse(cold[i], warm[i]);
         for (const ScheduleResult &sched : warm[i].schedules)
             s.frontierPoints += sched.compose.frontierPoints;

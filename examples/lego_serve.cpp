@@ -32,6 +32,19 @@
  *   --calibrate     print each trace model's composition extremes
  *                   (best-latency vs min-energy totals at K = 8) —
  *                   the numbers trace budgets are chosen between
+ *   --chaos         fault-injection replay: one scenario per builtin
+ *                   failpoint (cache save/load seams, request parse,
+ *                   worker dispatch) plus overload-shedding and
+ *                   deadline-degradation scenarios. Exits nonzero
+ *                   unless EVERY injected fault degrades gracefully
+ *                   (structured error or degraded response; the loop
+ *                   never crashes, the cache file survives failed
+ *                   saves). CI runs this as the chaos-smoke step.
+ *
+ * SIGINT/SIGTERM initiate a graceful shutdown: the handler only sets
+ * a flag; the main thread stops submitting at the next trace line,
+ * drains what was admitted, flushes the cache and stats, and exits
+ * with 128 + signo.
  *
  * Observability (all optional, all off the result path — the replay
  * gates above hold bit-exactly with these on or off):
@@ -45,6 +58,7 @@
  *                      passes appended, rejected requests included
  */
 
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -53,12 +67,25 @@
 
 #include "lego.hh"
 #include "obs/build_info.hh"
+#include "obs/failpoint.hh"
 #include "obs/trace.hh"
 
 using namespace lego;
 
 namespace
 {
+
+/** Set by the SIGINT/SIGTERM handler; everything else happens on the
+ *  main thread (the handler must not touch the ServeLoop — flag-based
+ *  shutdown is what makes the handler-vs-destructor race impossible:
+ *  shutdown() only ever runs from main). */
+volatile std::sig_atomic_t g_signal = 0;
+
+extern "C" void
+onSignal(int sig)
+{
+    g_signal = sig;
+}
 
 struct PassNumbers
 {
@@ -132,8 +159,11 @@ runPass(const char *label, const std::vector<TraceLine> &lines,
     sopt.accessLogPath = obsPaths.accessLog;
     sopt.statsPath = obsPaths.stats;
     serve::ServeLoop loop(sopt);
-    for (const TraceLine &line : lines)
+    for (const TraceLine &line : lines) {
+        if (g_signal)
+            break; // Graceful: admitted requests still drain below.
         loop.submitLine(line.text, line.lineNo);
+    }
     loop.drain();
 
     PassNumbers pass;
@@ -212,6 +242,243 @@ calibrate(const std::vector<serve::ServeRequest> &trace)
     }
 }
 
+/** One chaos scenario's observable outcome. */
+struct ChaosPass
+{
+    std::vector<serve::ServeResponse> responses;
+    bool flushOk = true;
+    std::uint64_t modelEvals = 0;  //!< 0 = the pass ran fully warm.
+    std::uint64_t quarantined = 0; //!< Cache files quarantined.
+};
+
+ChaosPass
+runChaosPass(const std::vector<TraceLine> &lines,
+             const std::string &cachePath, int threads,
+             const std::string &statsPath,
+             std::size_t maxQueueDepth = 0)
+{
+    serve::ServeOptions sopt;
+    sopt.hw = servingConfig();
+    sopt.dse.threads = threads;
+    sopt.dse.cachePath = cachePath;
+    sopt.statsPath = statsPath;
+    sopt.maxQueueDepth = maxQueueDepth;
+    serve::ServeLoop loop(sopt);
+    for (const TraceLine &line : lines) {
+        if (g_signal)
+            break;
+        loop.submitLine(line.text, line.lineNo);
+    }
+    loop.drain();
+    ChaosPass pass;
+    pass.responses = loop.responses();
+    for (const serve::ServeResponse &r : pass.responses)
+        pass.modelEvals += r.stats.dse.modelEvals;
+    pass.quarantined = loop.engine().cache().quarantined();
+    pass.flushOk = loop.shutdown();
+    return pass;
+}
+
+/**
+ * Fault-injection replay: every builtin failpoint is armed in turn
+ * against the same trace and the loop must degrade exactly as
+ * documented (src/serve/README.md, "Failure modes & degradation") —
+ * never crash, never lose the cache file to a failed save, never
+ * answer a non-shed, non-faulted request with anything but ok.
+ * Returns the process exit code.
+ */
+int
+runChaos(const std::vector<TraceLine> &lines,
+         const std::string &cachePath, int threads, bool keepCache,
+         const std::string &statsPath)
+{
+    obs::Failpoints &fp = obs::Failpoints::instance();
+    bool allOk = true;
+    auto report = [&](const std::string &name, bool ok,
+                      const std::string &detail) {
+        std::printf("chaos %-20s %s%s%s\n", name.c_str(),
+                    ok ? "ok" : "FAIL",
+                    detail.empty() ? "" : " — ", detail.c_str());
+        if (!ok)
+            allOk = false;
+    };
+    auto okCount = [](const ChaosPass &p) {
+        std::size_t n = 0;
+        for (const serve::ServeResponse &r : p.responses)
+            if (r.ok)
+                ++n;
+        return n;
+    };
+    auto allRespOk = [&](const ChaosPass &p) {
+        return okCount(p) == p.responses.size() &&
+               p.responses.size() == lines.size();
+    };
+
+    // Baseline: a clean cold pass populates the cache every later
+    // warm scenario leans on (modelEvals == 0 is the warmness — and
+    // therefore cache-survival — probe).
+    std::remove(cachePath.c_str());
+    {
+        ChaosPass p =
+            runChaosPass(lines, cachePath, threads, statsPath);
+        report("baseline", allRespOk(p) && p.flushOk,
+               "cold pass must succeed end to end");
+        if (!allOk)
+            return 1; // Nothing below is meaningful without it.
+    }
+
+    // Forced-corrupt load: the file is quarantined aside, the loop
+    // cold-starts, answers everything, and re-saves a clean cache.
+    {
+        fp.arm("cache.load.corrupt", 1);
+        ChaosPass p =
+            runChaosPass(lines, cachePath, threads, statsPath);
+        fp.disarmAll();
+        const std::string aside = cachePath + ".corrupt";
+        const bool asideExists =
+            static_cast<bool>(std::ifstream(aside));
+        report("cache.load.corrupt",
+               allRespOk(p) && p.quarantined == 1 &&
+                   p.modelEvals > 0 && p.flushOk && asideExists,
+               "want quarantine + cold start + clean re-save");
+        std::remove(aside.c_str());
+    }
+
+    // Every save-path seam: the flush fails loudly, the responses
+    // are untouched, and — because the failed save must leave the
+    // previous file intact — the NEXT scenario still runs warm.
+    const char *saveSeams[] = {"cache.save.open", "cache.save.write",
+                               "cache.save.fsync",
+                               "cache.save.rename",
+                               "cache.save.crash"};
+    for (const char *seam : saveSeams) {
+        if (g_signal)
+            return 128 + g_signal;
+        fp.arm(seam, 1);
+        ChaosPass p =
+            runChaosPass(lines, cachePath, threads, statsPath);
+        fp.disarmAll();
+        report(seam,
+               allRespOk(p) && !p.flushOk && p.modelEvals == 0,
+               "want warm pass + failed flush");
+    }
+    {
+        // Recovery probe: after five failed saves the on-disk cache
+        // is still the last good one (crash-safety), and saving
+        // works again with nothing armed.
+        ChaosPass p =
+            runChaosPass(lines, cachePath, threads, statsPath);
+        report("recovery", allRespOk(p) && p.flushOk &&
+                               p.modelEvals == 0,
+               "want warm pass + clean flush");
+    }
+
+    // Parse seam: the faulted line keeps its queue position as a
+    // structured error; everything after it is answered normally.
+    {
+        fp.arm("serve.parse", 1);
+        ChaosPass p =
+            runChaosPass(lines, cachePath, threads, statsPath);
+        fp.disarmAll();
+        bool shaped = p.responses.size() == lines.size() &&
+                      okCount(p) == p.responses.size() - 1 &&
+                      !p.responses.empty() && !p.responses[0].ok &&
+                      p.responses[0].error.find(
+                          "injected parse fault") !=
+                          std::string::npos;
+        report("serve.parse", shaped,
+               "want exactly one structured parse-fault response");
+    }
+
+    // Dispatch seam: the injected exception is contained to one
+    // request as an internal-error response; the dispatcher (and
+    // every request behind it) survives.
+    {
+        fp.arm("pool.dispatch", 1);
+        ChaosPass p =
+            runChaosPass(lines, cachePath, threads, statsPath);
+        fp.disarmAll();
+        bool shaped = p.responses.size() == lines.size() &&
+                      okCount(p) == p.responses.size() - 1 &&
+                      !p.responses.empty() && !p.responses[0].ok &&
+                      p.responses[0].error.find("pool.dispatch") !=
+                          std::string::npos &&
+                      p.responses[0].error.rfind("internal error:",
+                                                 0) == 0;
+        report("pool.dispatch", shaped,
+               "want one contained internal-error response");
+    }
+
+    // Overload: a depth-1 admission queue against a burst submit
+    // must shed (with a positive retry hint) and still answer every
+    // non-shed request correctly, in order.
+    {
+        ChaosPass p = runChaosPass(lines, cachePath, threads,
+                                   statsPath, /*maxQueueDepth=*/1);
+        std::size_t shed = 0;
+        bool shapes = p.responses.size() == lines.size();
+        for (const serve::ServeResponse &r : p.responses) {
+            if (r.shed) {
+                ++shed;
+                shapes = shapes && !r.ok && r.retryAfterMs > 0;
+            } else {
+                shapes = shapes && r.ok;
+            }
+        }
+        report("overload",
+               shapes && shed > 0 && shed < p.responses.size(),
+               "want >= 1 shed with retry hints, rest served (shed " +
+                   std::to_string(shed) + "/" +
+                   std::to_string(p.responses.size()) + ")");
+    }
+
+    // Expired deadline on a cold cache: the sweep trips immediately
+    // and the response is a best-so-far schedule flagged degraded —
+    // ok, never empty, never an error.
+    {
+        const std::string coldCache = cachePath + ".deadline";
+        std::remove(coldCache.c_str());
+        const std::vector<TraceLine> tiny = {
+            {"{\"id\": \"chaos-deadline-tiny\", \"models\": "
+             "[\"bert\"], \"k\": 8, \"deadline_ms\": 0.001}",
+             1}};
+        ChaosPass p =
+            runChaosPass(tiny, coldCache, threads, statsPath);
+        std::remove(coldCache.c_str());
+        bool shaped = p.responses.size() == 1 &&
+                      p.responses[0].ok &&
+                      p.responses[0].degraded &&
+                      !p.responses[0].schedules.empty();
+        report("deadline.expired", shaped,
+               "want ok + degraded best-so-far schedule");
+    }
+
+    // Generous deadline on the warm cache: must NOT degrade — the
+    // deadline knob is free until it actually expires.
+    {
+        const std::vector<TraceLine> huge = {
+            {"{\"id\": \"chaos-deadline-huge\", \"models\": "
+             "[\"mobilenetv2\"], \"k\": 8, \"deadline_ms\": 1e9}",
+             1}};
+        ChaosPass p =
+            runChaosPass(huge, cachePath, threads, statsPath);
+        bool shaped = p.responses.size() == 1 &&
+                      p.responses[0].ok &&
+                      !p.responses[0].degraded &&
+                      p.modelEvals == 0;
+        report("deadline.generous", shaped,
+               "want warm non-degraded response");
+    }
+
+    if (!keepCache)
+        std::remove(cachePath.c_str());
+    if (g_signal)
+        return 128 + g_signal;
+    std::printf("%s\n",
+                allOk ? "chaos replay OK" : "chaos replay FAILED");
+    return allOk ? 0 : 1;
+}
+
 } // namespace
 
 int
@@ -222,6 +489,7 @@ main(int argc, char **argv)
     std::string cachePath = "lego_serve.cache";
     int threads = 1;
     bool keepCache = false, printTrace = false, doCalibrate = false;
+    bool doChaos = false;
     std::string traceOut;
     ObsPaths obsPaths;
     for (int i = 1; i < argc; ++i) {
@@ -239,6 +507,8 @@ main(int argc, char **argv)
             printTrace = true;
         } else if (!std::strcmp(argv[i], "--calibrate")) {
             doCalibrate = true;
+        } else if (!std::strcmp(argv[i], "--chaos")) {
+            doChaos = true;
         } else if (!std::strcmp(argv[i], "--trace-out") &&
                    i + 1 < argc) {
             traceOut = argv[++i];
@@ -256,6 +526,11 @@ main(int argc, char **argv)
     std::printf("%s\n", obs::buildInfo().oneLine().c_str());
     if (!traceOut.empty())
         obs::Tracer::setEnabled(true);
+    // Flag-based graceful shutdown: the handler sets g_signal, the
+    // main thread notices between trace lines / passes and exits
+    // through the normal drain + flush path with 128 + signo.
+    std::signal(SIGINT, onSignal);
+    std::signal(SIGTERM, onSignal);
 
     if (printTrace) {
         for (const serve::ServeRequest &req : serve::demoTrace())
@@ -295,6 +570,9 @@ main(int argc, char **argv)
         calibrate(trace);
         return 0;
     }
+    if (doChaos)
+        return runChaos(lines, cachePath, threads, keepCache,
+                        obsPaths.stats);
 
     // Pass 1 must be genuinely cold: a stale cache file would turn
     // the cold pass into a warm one and hide regressions.
@@ -302,12 +580,24 @@ main(int argc, char **argv)
     std::printf("— cold pass —\n");
     PassNumbers cold =
         runPass("cold", lines, cachePath, threads, obsPaths);
+    if (g_signal) {
+        std::printf("interrupted by signal %d; cache flushed, "
+                    "exiting\n",
+                    int(g_signal));
+        return 128 + g_signal;
+    }
     std::printf("— warm pass (restart, cache %s) —\n",
                 cachePath.c_str());
     PassNumbers warm =
         runPass("warm", lines, cachePath, threads, obsPaths);
     if (!keepCache)
         std::remove(cachePath.c_str());
+    if (g_signal) {
+        std::printf("interrupted by signal %d; cache flushed, "
+                    "exiting\n",
+                    int(g_signal));
+        return 128 + g_signal;
+    }
 
     if (!traceOut.empty()) {
         if (obs::Tracer::instance().writeJson(

@@ -1,11 +1,16 @@
 #include "dse/cost_cache.hh"
 
+#include <cerrno>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <utility>
 
+#include <fcntl.h>
+#include <unistd.h>
+
 #include "model/layer_class.hh"
+#include "obs/failpoint.hh"
 #include "obs/trace.hh"
 
 namespace lego
@@ -50,13 +55,15 @@ const char kCacheFileSchema[] =
     "SegmentKey{hw13,sentinel2,stageCount,tag[stageCount]}"
     "SegmentRecord{stage:sig15,cols,mapping4,LayerResult;"
     "cost:feasible,cycles,energyPj,dramBytes,bufferBytes,nocBytes,"
-    "nocEnergyPj,sramEnergyPj,dramBytesSaved}";
+    "nocEnergyPj,sramEnergyPj,dramBytesSaved}"
+    "Section{count,entries...,crc32}";
 
 constexpr std::uint64_t kCacheFileMagic = 0x4c45474f44534543ull;
-/** v3: segment-entry section appended (inter-layer pipelining).
+/** v4: per-section CRC32 checksum word appended (crash-safe cache).
+ *  v3: segment-entry section appended (inter-layer pipelining).
  *  v2: frontier-entry section appended (PR 4). Older files are
  *  rejected by the version check — deliberate cold start. */
-constexpr std::uint64_t kCacheFileVersion = 3;
+constexpr std::uint64_t kCacheFileVersion = 4;
 
 /** Mapping-slot sentinel marking a frontier key. No per-mapping key
  *  can carry it: real dataflow tags are small enum values. */
@@ -66,38 +73,85 @@ constexpr std::uint64_t kFrontierKeySentinel = ~0ull;
  *  sentinel so the three key spaces stay disjoint. */
 constexpr std::uint64_t kSegmentKeySentinel = ~0ull - 1;
 
-void
-putWord(std::ostream &out, std::uint64_t w)
+/**
+ * CRC32 (IEEE 802.3, reflected 0xEDB88320) over a byte range — the
+ * per-section checksum of cache format v4. Table-driven; computed
+ * identically at save and load so any flipped bit in a section is
+ * caught even when the size prechecks still pass.
+ */
+std::uint32_t
+crc32Of(const char *data, std::size_t n)
 {
-    out.write(reinterpret_cast<const char *>(&w), sizeof(w));
+    static const std::uint32_t *table = [] {
+        static std::uint32_t t[256];
+        for (std::uint32_t i = 0; i < 256; ++i) {
+            std::uint32_t c = i;
+            for (int k = 0; k < 8; ++k)
+                c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+            t[i] = c;
+        }
+        return t;
+    }();
+    std::uint32_t c = 0xFFFFFFFFu;
+    for (std::size_t i = 0; i < n; ++i)
+        c = table[(c ^ std::uint8_t(data[i])) & 0xFFu] ^ (c >> 8);
+    return c ^ 0xFFFFFFFFu;
+}
+
+/** In-memory serialization buffer: save() builds the whole file
+ *  image first so sections can be checksummed and the file written
+ *  (and fsynced) in one durable pass. */
+struct Blob
+{
+    std::string bytes;
+
+    void word(std::uint64_t w)
+    {
+        bytes.append(reinterpret_cast<const char *>(&w), sizeof(w));
+    }
+};
+
+/** Cursor over a fully slurped file image. */
+struct ByteReader
+{
+    const std::string &bytes;
+    std::size_t at = 0;
+
+    bool word(std::uint64_t *w)
+    {
+        if (bytes.size() < at + sizeof(*w))
+            return false;
+        std::memcpy(w, bytes.data() + at, sizeof(*w));
+        at += sizeof(*w);
+        return true;
+    }
+
+    std::uint64_t remainingWords() const
+    {
+        return at > bytes.size()
+                   ? 0
+                   : (bytes.size() - at) / sizeof(std::uint64_t);
+    }
+};
+
+void
+putResult(Blob &out, const LayerResult &r)
+{
+    out.word(std::uint64_t(r.cycles));
+    out.word(doubleBits(r.utilization));
+    out.word(std::uint64_t(r.dramBytes));
+    out.word(doubleBits(r.energyPj));
+    out.word(std::uint64_t(r.macs));
+    out.word(std::uint64_t(r.memoryBound ? 1 : 0));
 }
 
 bool
-getWord(std::istream &in, std::uint64_t *w)
-{
-    in.read(reinterpret_cast<char *>(w), sizeof(*w));
-    return bool(in);
-}
-
-void
-putResult(std::ostream &out, const LayerResult &r)
-{
-    putWord(out, std::uint64_t(r.cycles));
-    putWord(out, doubleBits(r.utilization));
-    putWord(out, std::uint64_t(r.dramBytes));
-    putWord(out, doubleBits(r.energyPj));
-    putWord(out, std::uint64_t(r.macs));
-    putWord(out, std::uint64_t(r.memoryBound ? 1 : 0));
-}
-
-bool
-getResult(std::istream &in, LayerResult *r)
+getResult(ByteReader &in, LayerResult *r)
 {
     std::uint64_t cycles = 0, util = 0, dram = 0, energy = 0,
                   macs = 0, membound = 0;
-    if (!getWord(in, &cycles) || !getWord(in, &util) ||
-        !getWord(in, &dram) || !getWord(in, &energy) ||
-        !getWord(in, &macs) || !getWord(in, &membound))
+    if (!in.word(&cycles) || !in.word(&util) || !in.word(&dram) ||
+        !in.word(&energy) || !in.word(&macs) || !in.word(&membound))
         return false;
     r->cycles = Int(cycles);
     r->utilization = bitsDouble(util);
@@ -117,30 +171,28 @@ constexpr std::uint64_t kKeyWords =
 constexpr std::uint64_t kFrontierPointWords = 4 + kResultWords + 1;
 
 void
-putSegmentCost(std::ostream &out, const SegmentCost &c)
+putSegmentCost(Blob &out, const SegmentCost &c)
 {
-    putWord(out, std::uint64_t(c.feasible ? 1 : 0));
-    putWord(out, std::uint64_t(c.cycles));
-    putWord(out, doubleBits(c.energyPj));
-    putWord(out, std::uint64_t(c.dramBytes));
-    putWord(out, std::uint64_t(c.bufferBytes));
-    putWord(out, std::uint64_t(c.nocBytes));
-    putWord(out, doubleBits(c.nocEnergyPj));
-    putWord(out, doubleBits(c.sramEnergyPj));
-    putWord(out, std::uint64_t(c.dramBytesSaved));
+    out.word(std::uint64_t(c.feasible ? 1 : 0));
+    out.word(std::uint64_t(c.cycles));
+    out.word(doubleBits(c.energyPj));
+    out.word(std::uint64_t(c.dramBytes));
+    out.word(std::uint64_t(c.bufferBytes));
+    out.word(std::uint64_t(c.nocBytes));
+    out.word(doubleBits(c.nocEnergyPj));
+    out.word(doubleBits(c.sramEnergyPj));
+    out.word(std::uint64_t(c.dramBytesSaved));
 }
 
 bool
-getSegmentCost(std::istream &in, SegmentCost *c)
+getSegmentCost(ByteReader &in, SegmentCost *c)
 {
     std::uint64_t feas = 0, cycles = 0, energy = 0, dram = 0,
                   buf = 0, nocb = 0, nocpj = 0, srampj = 0,
                   saved = 0;
-    if (!getWord(in, &feas) || !getWord(in, &cycles) ||
-        !getWord(in, &energy) || !getWord(in, &dram) ||
-        !getWord(in, &buf) || !getWord(in, &nocb) ||
-        !getWord(in, &nocpj) || !getWord(in, &srampj) ||
-        !getWord(in, &saved))
+    if (!in.word(&feas) || !in.word(&cycles) || !in.word(&energy) ||
+        !in.word(&dram) || !in.word(&buf) || !in.word(&nocb) ||
+        !in.word(&nocpj) || !in.word(&srampj) || !in.word(&saved))
         return false;
     c->feasible = feas != 0;
     c->cycles = Int(cycles);
@@ -581,6 +633,48 @@ CostCache::fileFormatVersion()
     return kCacheFileVersion;
 }
 
+namespace
+{
+
+/** write(2) the whole buffer, retrying short writes and EINTR. */
+bool
+writeAll(int fd, const std::string &bytes)
+{
+    std::size_t at = 0;
+    while (at < bytes.size()) {
+        const ssize_t n =
+            ::write(fd, bytes.data() + at, bytes.size() - at);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        at += std::size_t(n);
+    }
+    return true;
+}
+
+/** fsync the directory holding `path`, persisting a rename within
+ *  it. Best-effort: the renamed file itself is already valid, a
+ *  failure here only re-opens the (pre-existing) window in which a
+ *  power cut may resurface the old file. */
+void
+fsyncParentDir(const std::string &path)
+{
+    const std::size_t slash = path.find_last_of('/');
+    const std::string dir =
+        slash == std::string::npos
+            ? "."
+            : (slash == 0 ? "/" : path.substr(0, slash));
+    const int fd = ::open(dir.c_str(), O_RDONLY);
+    if (fd >= 0) {
+        ::fsync(fd);
+        ::close(fd);
+    }
+}
+
+} // namespace
+
 bool
 CostCache::save(const std::string &path) const
 {
@@ -601,209 +695,277 @@ CostCache::save(const std::string &path) const
             segEntries.push_back(kv);
     }
 
-    // Write to a sibling temp file and rename over the target, so an
-    // interrupted save can never leave a truncated file behind in
-    // place of a previously valid cache.
-    const std::string tmp = path + ".tmp";
-    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-    if (!out)
-        return false;
-    putWord(out, kCacheFileMagic);
-    putWord(out, kCacheFileVersion);
-    putWord(out, schemaHash());
-    putWord(out, std::uint64_t(entries.size()));
+    // Serialize the whole image in memory first: each section is
+    // followed by its CRC32 (over the section bytes including the
+    // leading count word), so load() can tell torn/rotted data from
+    // a merely stale format.
+    Blob out;
+    out.word(kCacheFileMagic);
+    out.word(kCacheFileVersion);
+    out.word(schemaHash());
+    std::size_t sectionStart = out.bytes.size();
+    auto sealSection = [&] {
+        out.word(crc32Of(out.bytes.data() + sectionStart,
+                         out.bytes.size() - sectionStart));
+        sectionStart = out.bytes.size();
+    };
+    out.word(std::uint64_t(entries.size()));
     for (const auto &kv : entries) {
         for (std::uint64_t w : kv.first.words)
-            putWord(out, w);
+            out.word(w);
         putResult(out, kv.second);
     }
-    putWord(out, std::uint64_t(frontEntries.size()));
+    sealSection();
+    out.word(std::uint64_t(frontEntries.size()));
     for (const auto &kv : frontEntries) {
         for (std::uint64_t w : kv.first.words)
-            putWord(out, w);
-        putWord(out, std::uint64_t(kv.second.size()));
+            out.word(w);
+        out.word(std::uint64_t(kv.second.size()));
         for (const FrontierPoint &p : kv.second) {
-            putWord(out, std::uint64_t(p.mapping.dataflow));
-            putWord(out, std::uint64_t(p.mapping.tm));
-            putWord(out, std::uint64_t(p.mapping.tn));
-            putWord(out, std::uint64_t(p.mapping.tk));
+            out.word(std::uint64_t(p.mapping.dataflow));
+            out.word(std::uint64_t(p.mapping.tm));
+            out.word(std::uint64_t(p.mapping.tn));
+            out.word(std::uint64_t(p.mapping.tk));
             putResult(out, p.result);
-            putWord(out, p.seq);
+            out.word(p.seq);
         }
     }
-    putWord(out, std::uint64_t(segEntries.size()));
+    sealSection();
+    out.word(std::uint64_t(segEntries.size()));
     for (const auto &kv : segEntries) {
         for (std::uint64_t w : kv.first.words)
-            putWord(out, w);
+            out.word(w);
         const SegmentRecord &rec = kv.second;
-        putWord(out, std::uint64_t(rec.id.size()));
+        out.word(std::uint64_t(rec.id.size()));
         for (std::size_t st = 0; st < rec.id.size(); ++st) {
             for (std::uint64_t w : rec.id[st].sig)
-                putWord(out, w);
-            putWord(out, rec.id[st].cols);
-            putWord(out, std::uint64_t(rec.mappings[st].dataflow));
-            putWord(out, std::uint64_t(rec.mappings[st].tm));
-            putWord(out, std::uint64_t(rec.mappings[st].tn));
-            putWord(out, std::uint64_t(rec.mappings[st].tk));
+                out.word(w);
+            out.word(rec.id[st].cols);
+            out.word(std::uint64_t(rec.mappings[st].dataflow));
+            out.word(std::uint64_t(rec.mappings[st].tm));
+            out.word(std::uint64_t(rec.mappings[st].tn));
+            out.word(std::uint64_t(rec.mappings[st].tk));
             putResult(out, rec.results[st]);
         }
         putSegmentCost(out, rec.cost);
     }
-    out.flush();
-    if (!out) {
-        out.close();
+    sealSection();
+
+    // Durable write: temp file, write, fsync, rename, fsync the
+    // directory. A crash (or injected fault) at ANY point leaves
+    // either the previous valid file or the new valid file at
+    // `path` — never a torn one. Each step has a failpoint so
+    // chaos runs can prove that property.
+    obs::Failpoints &fp = obs::Failpoints::instance();
+    const std::string tmp = path + ".tmp";
+    if (fp.fire("cache.save.open"))
+        return false;
+    const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC,
+                          0644);
+    if (fd < 0)
+        return false;
+    if (fp.fire("cache.save.crash")) {
+        // Simulated mid-write crash: half the image reaches the temp
+        // file, which is left behind un-renamed — exactly the debris
+        // a real crash leaves. The target file stays untouched.
+        (void)::write(fd, out.bytes.data(), out.bytes.size() / 2);
+        ::close(fd);
+        return false;
+    }
+    bool ok = writeAll(fd, out.bytes) && !fp.fire("cache.save.write");
+    // fsync BEFORE rename: once the new name is visible it must
+    // point at durable bytes, else a crash after the rename can
+    // surface a stale-or-empty file (the pre-v4 durability bug).
+    if (ok && (fp.fire("cache.save.fsync") || ::fsync(fd) != 0))
+        ok = false;
+    ::close(fd);
+    if (!ok) {
         std::remove(tmp.c_str());
         return false;
     }
-    out.close();
-    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    if (fp.fire("cache.save.rename") ||
+        std::rename(tmp.c_str(), path.c_str()) != 0) {
         std::remove(tmp.c_str());
         return false;
     }
+    fsyncParentDir(path);
     return true;
 }
 
-bool
-CostCache::load(const std::string &path)
+CacheLoadStatus
+CostCache::loadEx(const std::string &path)
 {
     LEGO_TRACE_SPAN("cache.load", "cache");
     std::ifstream in(path, std::ios::binary | std::ios::ate);
     if (!in)
-        return false;
-    const std::uint64_t fileBytes = std::uint64_t(in.tellg());
+        return CacheLoadStatus::Missing;
+    const std::streamoff fileBytes = in.tellg();
     in.seekg(0);
-    std::uint64_t magic = 0, version = 0, schema = 0, count = 0;
-    if (!getWord(in, &magic) || magic != kCacheFileMagic)
-        return false;
-    if (!getWord(in, &version) || version != kCacheFileVersion)
-        return false;
-    if (!getWord(in, &schema) || schema != schemaHash())
-        return false;
-    if (!getWord(in, &count))
-        return false;
+    std::string bytes(std::size_t(fileBytes), '\0');
+    if (fileBytes > 0 && !in.read(&bytes[0], fileBytes))
+        return CacheLoadStatus::Corrupt;
+    if (obs::Failpoints::instance().fire("cache.load.corrupt"))
+        return CacheLoadStatus::Corrupt;
+
+    ByteReader rd{bytes};
+    std::uint64_t magic = 0, version = 0, schema = 0;
+    if (!rd.word(&magic) || magic != kCacheFileMagic)
+        return CacheLoadStatus::Corrupt;
+    // A wrong version or schema on an intact header is a file from
+    // another build — a DELIBERATE cold start, not corruption (so
+    // loadOrQuarantine won't destroy a downgrade's still-good file).
+    if (!rd.word(&version))
+        return CacheLoadStatus::Corrupt;
+    if (version != kCacheFileVersion)
+        return CacheLoadStatus::Stale;
+    if (!rd.word(&schema))
+        return CacheLoadStatus::Corrupt;
+    if (schema != schemaHash())
+        return CacheLoadStatus::Stale;
+
+    // Each section ends with a CRC32 word covering the section bytes
+    // (count word included). checkCrc verifies the bytes the cursor
+    // just consumed; a mismatch means torn or rotted data even when
+    // every count precheck passed.
+    std::size_t sectionStart = rd.at;
+    auto checkCrc = [&]() -> bool {
+        const std::size_t end = rd.at;
+        std::uint64_t stored = 0;
+        if (!rd.word(&stored))
+            return false;
+        const std::uint32_t actual = crc32Of(
+            bytes.data() + sectionStart, end - sectionStart);
+        sectionStart = rd.at;
+        return stored == actual;
+    };
+
+    std::uint64_t count = 0;
+    if (!rd.word(&count))
+        return CacheLoadStatus::Corrupt;
     // Counts are cross-checked against the remaining file length
     // before any allocation, so a corrupt count word can neither
     // overflow nor balloon the reserve below. Divide instead of
     // multiplying so a hostile count cannot overflow the check.
-    auto remainingWords = [&]() -> std::uint64_t {
-        const std::uint64_t at = std::uint64_t(in.tellg());
-        return at > fileBytes ? 0 : (fileBytes - at) / sizeof(std::uint64_t);
-    };
     const std::uint64_t entryWords = kKeyWords + kResultWords;
-    if (count > remainingWords() / entryWords)
-        return false;
+    if (count > rd.remainingWords() / entryWords)
+        return CacheLoadStatus::Corrupt;
 
-    // Decode fully before touching the cache: a truncated file must
+    // Decode fully before touching the cache: a corrupt file must
     // not leave a half-merged state behind.
     std::vector<std::pair<CacheKey, LayerResult>> entries;
     entries.reserve(std::size_t(count));
     for (std::uint64_t e = 0; e < count; ++e) {
         CacheKey key;
         for (std::uint64_t &w : key.words)
-            if (!getWord(in, &w))
-                return false;
+            if (!rd.word(&w))
+                return CacheLoadStatus::Corrupt;
         key.hashValue = key.computeHash();
         LayerResult r;
-        if (!getResult(in, &r))
-            return false;
+        if (!getResult(rd, &r))
+            return CacheLoadStatus::Corrupt;
         entries.emplace_back(key, r);
     }
+    if (!checkCrc())
+        return CacheLoadStatus::Corrupt;
 
     std::uint64_t frontCount = 0;
-    if (!getWord(in, &frontCount))
-        return false;
-    if (frontCount > remainingWords() / (kKeyWords + 1))
-        return false;
+    if (!rd.word(&frontCount))
+        return CacheLoadStatus::Corrupt;
+    if (frontCount > rd.remainingWords() / (kKeyWords + 1))
+        return CacheLoadStatus::Corrupt;
     std::vector<std::pair<CacheKey, std::vector<FrontierPoint>>>
         frontEntries;
     frontEntries.reserve(std::size_t(frontCount));
     for (std::uint64_t e = 0; e < frontCount; ++e) {
         CacheKey key;
         for (std::uint64_t &w : key.words)
-            if (!getWord(in, &w))
-                return false;
+            if (!rd.word(&w))
+                return CacheLoadStatus::Corrupt;
         key.hashValue = key.computeHash();
         std::uint64_t points = 0;
-        if (!getWord(in, &points))
-            return false;
+        if (!rd.word(&points))
+            return CacheLoadStatus::Corrupt;
         // save() never writes an empty frontier; accepting one here
         // would defer the failure to a mid-sweep panic instead of
         // the contractual load-time wholesale rejection.
         if (points == 0 ||
-            points > remainingWords() / kFrontierPointWords)
-            return false;
+            points > rd.remainingWords() / kFrontierPointWords)
+            return CacheLoadStatus::Corrupt;
         std::vector<FrontierPoint> pts;
         pts.reserve(std::size_t(points));
         for (std::uint64_t pi = 0; pi < points; ++pi) {
             std::uint64_t df = 0, tm = 0, tn = 0, tk = 0, seq = 0;
             FrontierPoint p;
-            if (!getWord(in, &df) || !getWord(in, &tm) ||
-                !getWord(in, &tn) || !getWord(in, &tk))
-                return false;
+            if (!rd.word(&df) || !rd.word(&tm) || !rd.word(&tn) ||
+                !rd.word(&tk))
+                return CacheLoadStatus::Corrupt;
             p.mapping.dataflow = DataflowTag(df);
             p.mapping.tm = Int(tm);
             p.mapping.tn = Int(tn);
             p.mapping.tk = Int(tk);
-            if (!getResult(in, &p.result))
-                return false;
-            if (!getWord(in, &seq))
-                return false;
+            if (!getResult(rd, &p.result))
+                return CacheLoadStatus::Corrupt;
+            if (!rd.word(&seq))
+                return CacheLoadStatus::Corrupt;
             p.seq = seq;
             pts.push_back(p);
         }
         frontEntries.emplace_back(key, std::move(pts));
     }
+    if (!checkCrc())
+        return CacheLoadStatus::Corrupt;
 
     std::uint64_t segCount = 0;
-    if (!getWord(in, &segCount))
-        return false;
-    if (segCount > remainingWords() / (kKeyWords + 1))
-        return false;
+    if (!rd.word(&segCount))
+        return CacheLoadStatus::Corrupt;
+    if (segCount > rd.remainingWords() / (kKeyWords + 1))
+        return CacheLoadStatus::Corrupt;
     std::vector<std::pair<CacheKey, SegmentRecord>> segEntries;
     segEntries.reserve(std::size_t(segCount));
     for (std::uint64_t e = 0; e < segCount; ++e) {
         CacheKey key;
         for (std::uint64_t &w : key.words)
-            if (!getWord(in, &w))
-                return false;
+            if (!rd.word(&w))
+                return CacheLoadStatus::Corrupt;
         key.hashValue = key.computeHash();
         std::uint64_t stageCount = 0;
-        if (!getWord(in, &stageCount))
-            return false;
+        if (!rd.word(&stageCount))
+            return CacheLoadStatus::Corrupt;
         // A segment record always has >= 2 stages and fits the key's
         // tag capacity; anything else is corruption.
         if (stageCount < 2 ||
-            stageCount > remainingWords() / kSegmentStageWords)
-            return false;
+            stageCount > rd.remainingWords() / kSegmentStageWords)
+            return CacheLoadStatus::Corrupt;
         SegmentRecord rec;
         rec.id.resize(std::size_t(stageCount));
         rec.mappings.resize(std::size_t(stageCount));
         rec.results.resize(std::size_t(stageCount));
         for (std::uint64_t st = 0; st < stageCount; ++st) {
             for (std::uint64_t &w : rec.id[st].sig)
-                if (!getWord(in, &w))
-                    return false;
+                if (!rd.word(&w))
+                    return CacheLoadStatus::Corrupt;
             std::uint64_t cols = 0, df = 0, tm = 0, tn = 0, tk = 0;
-            if (!getWord(in, &cols) || !getWord(in, &df) ||
-                !getWord(in, &tm) || !getWord(in, &tn) ||
-                !getWord(in, &tk))
-                return false;
+            if (!rd.word(&cols) || !rd.word(&df) || !rd.word(&tm) ||
+                !rd.word(&tn) || !rd.word(&tk))
+                return CacheLoadStatus::Corrupt;
             rec.id[st].cols = cols;
             rec.mappings[st].dataflow = DataflowTag(df);
             rec.mappings[st].tm = Int(tm);
             rec.mappings[st].tn = Int(tn);
             rec.mappings[st].tk = Int(tk);
-            if (!getResult(in, &rec.results[st]))
-                return false;
+            if (!getResult(rd, &rec.results[st]))
+                return CacheLoadStatus::Corrupt;
         }
-        if (!getSegmentCost(in, &rec.cost))
-            return false;
+        if (!getSegmentCost(rd, &rec.cost))
+            return CacheLoadStatus::Corrupt;
         segEntries.emplace_back(key, std::move(rec));
     }
+    if (!checkCrc())
+        return CacheLoadStatus::Corrupt;
     // The sections must consume the file exactly — trailing bytes
     // mean a corrupt length/count somewhere, so reject wholesale.
-    if (std::uint64_t(in.tellg()) != fileBytes)
-        return false;
+    if (rd.at != bytes.size())
+        return CacheLoadStatus::Corrupt;
 
     for (const auto &kv : entries)
         insert(kv.first, kv.second);
@@ -811,7 +973,32 @@ CostCache::load(const std::string &path)
         insertFrontier(kv.first, kv.second);
     for (const auto &kv : segEntries)
         insertSegment(kv.first, kv.second);
-    return true;
+    return CacheLoadStatus::Loaded;
+}
+
+bool
+CostCache::load(const std::string &path)
+{
+    return loadEx(path) == CacheLoadStatus::Loaded;
+}
+
+CacheLoadStatus
+CostCache::loadOrQuarantine(const std::string &path)
+{
+    const CacheLoadStatus st = loadEx(path);
+    if (st != CacheLoadStatus::Corrupt)
+        return st;
+    // Set the evidence aside (replacing any older quarantine) so the
+    // next save() starts clean and the bad file stays inspectable.
+    const std::string aside = path + ".corrupt";
+    std::remove(aside.c_str());
+    if (std::rename(path.c_str(), aside.c_str()) == 0)
+        std::fprintf(stderr,
+                     "lego: cache file %s failed validation; "
+                     "quarantined to %s (cold start)\n",
+                     path.c_str(), aside.c_str());
+    quarantined_.fetch_add(1, std::memory_order_relaxed);
+    return st;
 }
 
 void
@@ -838,6 +1025,7 @@ CostCache::clear()
     segHits_.store(0);
     segMisses_.store(0);
     segInserts_.store(0);
+    quarantined_.store(0);
 }
 
 } // namespace dse

@@ -148,6 +148,7 @@ struct CacheCounters
     std::uint64_t segHits = 0;     //!< Segment-record hits.
     std::uint64_t segMisses = 0;   //!< Segment-record misses.
     std::uint64_t segInserts = 0;  //!< Segment entries created.
+    std::uint64_t quarantined = 0; //!< Corrupt files set aside.
 
     CacheCounters operator-(const CacheCounters &o) const
     {
@@ -163,8 +164,20 @@ struct CacheCounters
         d.segHits = segHits - o.segHits;
         d.segMisses = segMisses - o.segMisses;
         d.segInserts = segInserts - o.segInserts;
+        d.quarantined = quarantined - o.quarantined;
         return d;
     }
+};
+
+/** What CostCache::loadEx found at the path. */
+enum class CacheLoadStatus
+{
+    Loaded,  //!< Entries merged.
+    Missing, //!< No file (fresh deployment) — expected cold start.
+    Stale,   //!< Valid file from another format version or schema —
+             //!< deliberate cold start, NOT corruption.
+    Corrupt, //!< Bad magic, failed checksum, truncation, structural
+             //!< nonsense — the file cannot be trusted.
 };
 
 /**
@@ -264,6 +277,7 @@ class CostCache
     std::uint64_t segHits() const { return segHits_.load(); }
     std::uint64_t segMisses() const { return segMisses_.load(); }
     std::uint64_t segInserts() const { return segInserts_.load(); }
+    std::uint64_t quarantined() const { return quarantined_.load(); }
 
     /** Snapshot of all counters in one call (relaxed loads; exact
      *  when no lookup is concurrently in flight, e.g. between
@@ -282,6 +296,7 @@ class CostCache
         c.segHits = segHits();
         c.segMisses = segMisses();
         c.segInserts = segInserts();
+        c.quarantined = quarantined();
         return c;
     }
 
@@ -296,13 +311,18 @@ class CostCache
     /**
      * @name Persistence (warm-starting model-zoo sweeps)
      *
-     * Versioned binary serialization of every scalar and frontier
-     * entry. The file header carries a magic word, a format version,
-     * and a schema hash over the serialized field layout, so a file
-     * written by an older build — different version OR different
-     * schema — is *rejected* by load() (cold start), never misread.
-     * Entries are host-endian; the magic word doubles as the
-     * endianness check.
+     * Versioned binary serialization of every scalar, frontier, and
+     * segment entry. The file header carries a magic word, a format
+     * version, and a schema hash over the serialized field layout,
+     * so a file written by an older build — different version OR
+     * different schema — is *rejected* (cold start), never misread.
+     * Format v4 additionally appends a CRC32 checksum word to each
+     * of the three sections, so silent corruption (bit rot, a torn
+     * write that the size prechecks happen to accept) is detected,
+     * and save() fsyncs the temp file before the rename — a crash at
+     * any point leaves either the old valid file or the new valid
+     * file, never a torn one. Entries are host-endian; the magic
+     * word doubles as the endianness check.
      * @{
      */
 
@@ -314,16 +334,35 @@ class CostCache
      *  can attribute cache files to the format that wrote them. */
     static std::uint64_t fileFormatVersion();
 
-    /** Write all entries to `path`. False on I/O failure. */
+    /**
+     * Write all entries to `path`: serialize to a sibling temp file,
+     * fsync it, rename over the target, then fsync the directory —
+     * crash-durable at every step. False on any I/O failure (the
+     * previous file at `path` is left untouched).
+     */
     bool save(const std::string &path) const;
 
     /**
      * Merge entries from `path` into the cache (first writer wins,
-     * as with insert). False — leaving the cache untouched — when
-     * the file is missing, truncated, or from a different schema or
-     * format version. Hit/miss counters are not affected.
+     * as with insert), reporting WHY a file was not loaded: Missing
+     * (no file), Stale (valid but another version/schema — a
+     * deliberate cold start), or Corrupt (bad magic, checksum or
+     * structural failure). The cache is untouched unless Loaded;
+     * hit/miss counters are never affected.
      */
+    CacheLoadStatus loadEx(const std::string &path);
+
+    /** loadEx() == Loaded — the status-blind convenience form. */
     bool load(const std::string &path);
+
+    /**
+     * loadEx(), but a Corrupt file is additionally set aside by
+     * renaming it to `path + ".corrupt"` (best-effort) and counted
+     * in quarantined(), so the next save() starts from a clean slate
+     * and the evidence survives for inspection instead of being
+     * overwritten.
+     */
+    CacheLoadStatus loadOrQuarantine(const std::string &path);
 
     /** @} */
 
@@ -356,6 +395,7 @@ class CostCache
     std::atomic<std::uint64_t> segHits_{0};
     std::atomic<std::uint64_t> segMisses_{0};
     std::atomic<std::uint64_t> segInserts_{0};
+    std::atomic<std::uint64_t> quarantined_{0};
 };
 
 } // namespace dse

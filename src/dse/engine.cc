@@ -16,9 +16,11 @@ DseEngine::DseEngine(DseOptions opt)
       evaluator_(&cache_, opt_.eval)
 {
     // Warm-start from the persisted cache when one is configured; a
-    // missing or stale (schema-mismatched) file is just a cold start.
+    // missing or stale (schema-mismatched) file is just a cold
+    // start, and a CORRUPT file is quarantined to `<path>.corrupt`
+    // so the next saveCache() starts from a clean slate.
     if (!opt_.cachePath.empty())
-        cache_.load(opt_.cachePath);
+        cache_.loadOrQuarantine(opt_.cachePath);
 }
 
 bool
@@ -81,6 +83,7 @@ DseEngine::publishMetrics(obs::MetricsRegistry &registry) const
     registry.counter("dse.cache.seg_hits").set(cc.segHits);
     registry.counter("dse.cache.seg_misses").set(cc.segMisses);
     registry.counter("dse.cache.seg_inserts").set(cc.segInserts);
+    registry.counter("dse.cache.quarantined").set(cc.quarantined);
     const EvalCounters ec = evaluator_.counters();
     registry.counter("dse.eval.searches").set(ec.searches);
     registry.counter("dse.eval.model_evals").set(ec.modelEvals);
@@ -107,7 +110,8 @@ DseEngine::publishMetrics(obs::MetricsRegistry &registry) const
 }
 
 DseResult
-DseEngine::explore(const CandidateSpace &space, const Model &m)
+DseEngine::explore(const CandidateSpace &space, const Model &m,
+                   const CancelToken *cancel)
 {
     LEGO_TRACE_SPAN_ARG("dse.explore", "dse", "space",
                         space.size());
@@ -128,6 +132,14 @@ DseEngine::explore(const CandidateSpace &space, const Model &m)
     std::unordered_set<std::size_t> evaluated;
 
     for (;;) {
+        // Batch boundary is the cancellation chunk: everything
+        // already evaluated has folded into the archive, so stopping
+        // here returns a coherent best-so-far frontier.
+        if (cancel && cancel->shouldStop()) {
+            cancel->noteDegraded();
+            res.degraded = true;
+            break;
+        }
         std::vector<std::size_t> batch =
             strat->nextBatch(space, res.archive);
         if (batch.empty())
@@ -202,10 +214,12 @@ DseEngine::mapModelComposed(const HardwareConfig &hw, const Model &m)
 
 SegmentPlan
 DseEngine::searchSegmentPlan(const HardwareConfig &hw, const Model &m,
-                             const SegmentOptions &sopt)
+                             const SegmentOptions &sopt,
+                             const CancelToken *cancel)
 {
     SegmentSearchStats stats;
-    SegmentPlan plan = searchSegments(hw, m, evaluator_, sopt, &stats);
+    SegmentPlan plan =
+        searchSegments(hw, m, evaluator_, sopt, &stats, cancel);
     segStats_.chainRuns += stats.chainRuns;
     segStats_.movesTried += stats.movesTried;
     segStats_.plansEvaluated += stats.plansEvaluated;

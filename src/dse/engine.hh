@@ -99,6 +99,10 @@ struct DseResult
 {
     ParetoArchive archive;
     DseStats stats;
+    /** True when a CancelToken stopped explore() before the strategy
+     *  was exhausted — the archive holds the best points found so
+     *  far, not the full search's. */
+    bool degraded = false;
 };
 
 /**
@@ -120,8 +124,16 @@ class DseEngine
   public:
     explicit DseEngine(DseOptions opt = {});
 
-    /** Explore the hardware space against a model. */
-    DseResult explore(const CandidateSpace &space, const Model &m);
+    /**
+     * Explore the hardware space against a model. A non-null
+     * `cancel` is checked at batch boundaries: a tripped token ends
+     * the exploration after the in-flight batch folds into the
+     * archive, returning the best-so-far frontier with
+     * `DseResult::degraded` set. A null token is the exact
+     * historical exploration.
+     */
+    DseResult explore(const CandidateSpace &space, const Model &m,
+                      const CancelToken *cancel = nullptr);
 
     /**
      * Mapping-space search on a fixed hardware instance: map every
@@ -145,9 +157,10 @@ class DseEngine
      * Returns the all-singleton plan when `sopt.enable` is false or
      * no pipelined segment strictly dominates its serial execution.
      */
-    SegmentPlan searchSegmentPlan(const HardwareConfig &hw,
-                                  const Model &m,
-                                  const SegmentOptions &sopt);
+    SegmentPlan
+    searchSegmentPlan(const HardwareConfig &hw, const Model &m,
+                      const SegmentOptions &sopt,
+                      const CancelToken *cancel = nullptr);
 
     /** Cumulative segmentation-search work counters (all calls). */
     const SegmentSearchStats &segmentStats() const

@@ -122,7 +122,8 @@ Evaluator::scoredRunLayer(const HardwareConfig &hw, const Layer &l,
 
 MappingFrontier
 Evaluator::sweepFrontier(const HardwareConfig &hw, const Layer &l,
-                         std::size_t cap) const
+                         std::size_t cap,
+                         const CancelToken *cancel) const
 {
     LEGO_TRACE_SPAN_ARG("dse.sweepFrontier", "dse", "k", cap);
     MappingFrontier front(cap);
@@ -166,6 +167,12 @@ Evaluator::sweepFrontier(const HardwareConfig &hw, const Layer &l,
         // true top-K of the full non-dominated set.
         MappingFrontier full(0);
         for (std::size_t i = 0; i < cands.size(); ++i) {
+            if (cancel && cancel->shouldStop()) {
+                // Best-so-far truncation: the frontier built from
+                // the candidates already evaluated is returned as-is.
+                cancel->noteDegraded();
+                break;
+            }
             FrontierPoint p;
             p.mapping = cands[i];
             p.result = scoredRunLayer(hw, l, cands[i], seOf(i));
@@ -216,6 +223,12 @@ Evaluator::sweepFrontier(const HardwareConfig &hw, const Layer &l,
                                           std::memory_order_relaxed);
                 break;
             }
+            // Deadline check AFTER the bound cut: a sweep the cut
+            // would have ended anyway is complete, not degraded.
+            if (cancel && cancel->shouldStop()) {
+                cancel->noteDegraded();
+                break;
+            }
             const std::size_t s = spanOf(i);
             ++evalsPerSpan[s];
             FrontierPoint p;
@@ -250,7 +263,8 @@ Evaluator::sweepFrontier(const HardwareConfig &hw, const Layer &l,
 
 MappingFrontier
 Evaluator::searchMappingFrontier(const HardwareConfig &hw,
-                                 const Layer &l, std::size_t k) const
+                                 const Layer &l, std::size_t k,
+                                 const CancelToken *cancel) const
 {
     LEGO_TRACE_SPAN_ARG("dse.search", "dse", "k", k);
     const std::size_t cap = k == 0 ? 1 : k;
@@ -280,17 +294,21 @@ Evaluator::searchMappingFrontier(const HardwareConfig &hw,
         }
     }
     searches_.fetch_add(1, std::memory_order_relaxed);
-    MappingFrontier front = sweepFrontier(hw, l, cap);
-    if (memo)
+    MappingFrontier front = sweepFrontier(hw, l, cap, cancel);
+    // Never memoize under a tripped token: the sweep may have been
+    // truncated, and a cached partial frontier would degrade LATER
+    // deadline-free requests (shouldStop is monotonic, so any sweep
+    // that truncated still reads as tripped here).
+    if (memo && !(cancel && cancel->shouldStop()))
         cache_->insertFrontierFast(fkey, front.points());
     return front;
 }
 
 MappedLayer
-Evaluator::searchMapping(const HardwareConfig &hw,
-                         const Layer &l) const
+Evaluator::searchMapping(const HardwareConfig &hw, const Layer &l,
+                         const CancelToken *cancel) const
 {
-    MappingFrontier front = searchMappingFrontier(hw, l, 1);
+    MappingFrontier front = searchMappingFrontier(hw, l, 1, cancel);
     MappedLayer best;
     best.mapping = front.best().mapping;
     best.result = front.best().result;
@@ -299,7 +317,8 @@ Evaluator::searchMapping(const HardwareConfig &hw,
 
 std::vector<MappingFrontier>
 Evaluator::mapModelFrontier(const HardwareConfig &hw, const Model &m,
-                            std::size_t k, WorkerPool *pool) const
+                            std::size_t k, WorkerPool *pool,
+                            const CancelToken *cancel) const
 {
     LEGO_TRACE_SPAN_ARG("dse.mapModelFrontier", "dse", "layers",
                         m.layers.size());
@@ -316,7 +335,8 @@ Evaluator::mapModelFrontier(const HardwareConfig &hw, const Model &m,
                                              MappingFrontier(cap));
         auto mapOne = [&](std::size_t c) {
             byClass[c] = searchMappingFrontier(
-                hw, m.layers[classes[c].representative], cap);
+                hw, m.layers[classes[c].representative], cap,
+                cancel);
         };
         if (pool) {
             pool->parallelFor(classes.size(), mapOne);
@@ -331,7 +351,8 @@ Evaluator::mapModelFrontier(const HardwareConfig &hw, const Model &m,
                                  std::memory_order_relaxed);
     } else {
         auto mapOne = [&](std::size_t i) {
-            fronts[i] = searchMappingFrontier(hw, m.layers[i], cap);
+            fronts[i] = searchMappingFrontier(hw, m.layers[i], cap,
+                                              cancel);
         };
         if (pool) {
             pool->parallelFor(m.layers.size(), mapOne);
@@ -356,7 +377,8 @@ Evaluator::mapModel(const HardwareConfig &hw, const Model &m,
 std::vector<std::vector<MappingFrontier>>
 Evaluator::mapZooFrontier(const HardwareConfig &hw,
                           const std::vector<const Model *> &zoo,
-                          std::size_t k, WorkerPool *pool) const
+                          std::size_t k, WorkerPool *pool,
+                          const CancelToken *cancel) const
 {
     LEGO_TRACE_SPAN_ARG("dse.mapZooFrontier", "dse", "models",
                         zoo.size());
@@ -364,7 +386,8 @@ Evaluator::mapZooFrontier(const HardwareConfig &hw,
     std::vector<std::vector<MappingFrontier>> fronts(zoo.size());
     if (!policy_.dedupLayerClasses) {
         for (std::size_t mi = 0; mi < zoo.size(); ++mi)
-            fronts[mi] = mapModelFrontier(hw, *zoo[mi], cap, pool);
+            fronts[mi] =
+                mapModelFrontier(hw, *zoo[mi], cap, pool, cancel);
         return fronts;
     }
     for (std::size_t mi = 0; mi < zoo.size(); ++mi)
@@ -380,7 +403,7 @@ Evaluator::mapZooFrontier(const HardwareConfig &hw,
     auto mapOne = [&](std::size_t c) {
         const ZooLayerRef &rep = classes[c].representative;
         byClass[c] = searchMappingFrontier(
-            hw, zoo[rep.model]->layers[rep.layer], cap);
+            hw, zoo[rep.model]->layers[rep.layer], cap, cancel);
     };
     if (pool) {
         pool->parallelFor(classes.size(), mapOne);

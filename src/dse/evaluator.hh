@@ -41,6 +41,7 @@
 
 #include <atomic>
 
+#include "dse/cancel.hh"
 #include "dse/cost_cache.hh"
 #include "dse/pareto.hh"
 #include "dse/worker_pool.hh"
@@ -144,17 +145,26 @@ class Evaluator
      * are cut — the kept set is bit-identical to the unpruned
      * sweep's. The frontier's best point IS the scalar search
      * answer.
+     *
+     * A non-null `cancel` makes the sweep best-effort: once the
+     * token trips, remaining candidates are skipped (noteDegraded is
+     * recorded) and the frontier built so far is returned — always
+     * holding at least one point, so composition never starves. A
+     * null token is the exact historical sweep. Truncated frontiers
+     * are never memoized (see cancel.hh).
      */
-    MappingFrontier searchMappingFrontier(const HardwareConfig &hw,
-                                          const Layer &l,
-                                          std::size_t k) const;
+    MappingFrontier
+    searchMappingFrontier(const HardwareConfig &hw, const Layer &l,
+                          std::size_t k,
+                          const CancelToken *cancel = nullptr) const;
 
     /**
      * Scalar projection: the best point of the K = 1 frontier.
      * Bit-identical to the historical exhaustive best-mapping sweep.
      */
-    MappedLayer searchMapping(const HardwareConfig &hw,
-                              const Layer &l) const;
+    MappedLayer
+    searchMapping(const HardwareConfig &hw, const Layer &l,
+                  const CancelToken *cancel = nullptr) const;
 
     /**
      * Per-layer frontiers for every layer of the model (aligned with
@@ -163,7 +173,8 @@ class Evaluator
      */
     std::vector<MappingFrontier>
     mapModelFrontier(const HardwareConfig &hw, const Model &m,
-                     std::size_t k, WorkerPool *pool = nullptr) const;
+                     std::size_t k, WorkerPool *pool = nullptr,
+                     const CancelToken *cancel = nullptr) const;
 
     /**
      * Map every layer of the model at K = 1 and aggregate —
@@ -184,7 +195,8 @@ class Evaluator
     std::vector<std::vector<MappingFrontier>>
     mapZooFrontier(const HardwareConfig &hw,
                    const std::vector<const Model *> &zoo,
-                   std::size_t k, WorkerPool *pool = nullptr) const;
+                   std::size_t k, WorkerPool *pool = nullptr,
+                   const CancelToken *cancel = nullptr) const;
 
     /** mapZooFrontier at K = 1, composed into per-model schedules —
      *  bit-identical to mapModel on each model separately. */
@@ -208,8 +220,8 @@ class Evaluator
                                const Layer &l, const Mapping &map,
                                double spatialEff) const;
     MappingFrontier sweepFrontier(const HardwareConfig &hw,
-                                  const Layer &l,
-                                  std::size_t cap) const;
+                                  const Layer &l, std::size_t cap,
+                                  const CancelToken *cancel) const;
 
     CostCache *cache_;
     EvalPolicy policy_;

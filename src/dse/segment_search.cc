@@ -73,11 +73,12 @@ class RunAnnealer
                 const std::vector<MappedLayer> &serial,
                 const SramPartitionTable &sram,
                 const NocPartitionTable &noc,
-                SegmentSearchStats *stats)
+                SegmentSearchStats *stats,
+                const CancelToken *cancel)
         : hw_(hw), m_(m), ev_(ev), opt_(opt), first_(first),
           len_(len), serial_(serial), sram_(sram), noc_(noc),
-          stats_(stats), rng_(opt.seed ^ (0x9e3779b97f4a7c15ull *
-                                          (first + 1)))
+          stats_(stats), cancel_(cancel),
+          rng_(opt.seed ^ (0x9e3779b97f4a7c15ull * (first + 1)))
     {}
 
     /** Anneal, then emit the run's segments (strict-domination
@@ -102,6 +103,12 @@ class RunAnnealer
         // — the resize moves then have something to improve.
         double temp = 0.35;
         for (int round = 0; round < opt_.rounds; ++round) {
+            // Round boundary is the chunk: a tripped deadline stops
+            // proposing and emits the best state visited so far.
+            if (cancel_ && cancel_->shouldStop()) {
+                cancel_->noteDegraded();
+                break;
+            }
             std::vector<Group> cand = propose(state);
             if (stats_)
                 ++stats_->movesTried;
@@ -246,7 +253,7 @@ class RunAnnealer
                 const Layer &l = m_.layers[first_ + g.start + i];
                 const HardwareConfig sub =
                     partitionConfig(hw_, g.cols[i]);
-                MappedLayer ml = ev_.searchMapping(sub, l);
+                MappedLayer ml = ev_.searchMapping(sub, l, cancel_);
                 SegmentStage st;
                 st.layer = l;
                 st.mapping = ml.mapping;
@@ -265,7 +272,11 @@ class RunAnnealer
                     rec.results.push_back(st.result);
                 }
                 rec.cost = seg.cost;
-                cache->insertSegment(key, rec);
+                // Per-stage mappings may be truncated under a
+                // tripped token; keep them out of the persistent
+                // memo so later deadline-free searches stay exact.
+                if (!(cancel_ && cancel_->shouldStop()))
+                    cache->insertSegment(key, rec);
             }
         }
         if (!seg.cost.feasible && stats_)
@@ -427,6 +438,7 @@ class RunAnnealer
     const SramPartitionTable &sram_;
     const NocPartitionTable &noc_;
     SegmentSearchStats *stats_;
+    const CancelToken *cancel_;
     SplitMix64 rng_;
 };
 
@@ -435,7 +447,7 @@ class RunAnnealer
 SegmentPlan
 searchSegments(const HardwareConfig &hw, const Model &m,
                const Evaluator &ev, const SegmentOptions &opt,
-               SegmentSearchStats *stats)
+               SegmentSearchStats *stats, const CancelToken *cancel)
 {
     LEGO_TRACE_SPAN_ARG("dse.segment.search", "dse", "layers",
                         m.layers.size());
@@ -453,7 +465,7 @@ searchSegments(const HardwareConfig &hw, const Model &m,
     std::vector<MappedLayer> serial(m.layers.size());
     for (std::size_t i = 0; i < m.layers.size(); ++i)
         if (m.layers[i].isTensorOp())
-            serial[i] = ev.searchMapping(hw, m.layers[i]);
+            serial[i] = ev.searchMapping(hw, m.layers[i], cancel);
 
     // Partition tables are per (hw) — built once per search, shared
     // by every candidate costing (the satellite plumbing).
@@ -476,7 +488,7 @@ searchSegments(const HardwareConfig &hw, const Model &m,
             serial.begin() + long(run.first),
             serial.begin() + long(run.first + run.second));
         RunAnnealer annealer(hw, m, ev, opt, run.first, run.second,
-                             runSerial, sram, noc, stats);
+                             runSerial, sram, noc, stats, cancel);
         annealer.run(&plan.segments);
         next = run.first + run.second;
     }

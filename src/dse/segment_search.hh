@@ -52,11 +52,18 @@ struct SegmentSearchStats
  * memoizes both the per-stage layer results and whole segment
  * records). Returns the all-singleton plan when `opt.enable` is
  * false or nothing dominates.
+ *
+ * A non-null `cancel` bounds the search: annealing rounds stop at
+ * the first tripped check and the best state found so far is
+ * emitted (still strict-domination filtered, so a truncated search
+ * can only fall back toward the serial plan, never below it).
+ * Segment records computed under a tripped token are not memoized.
  */
 SegmentPlan searchSegments(const HardwareConfig &hw, const Model &m,
                            const Evaluator &ev,
                            const SegmentOptions &opt,
-                           SegmentSearchStats *stats = nullptr);
+                           SegmentSearchStats *stats = nullptr,
+                           const CancelToken *cancel = nullptr);
 
 } // namespace dse
 } // namespace lego

@@ -1,7 +1,9 @@
 #include "dse/worker_pool.hh"
 
 #include <algorithm>
+#include <stdexcept>
 
+#include "obs/failpoint.hh"
 #include "obs/metrics.hh"
 #include "obs/trace.hh"
 
@@ -109,6 +111,13 @@ WorkerPool::parallelFor(std::size_t n,
 {
     if (n == 0)
         return;
+    // Fault-injection seam covering BOTH the inline and the threaded
+    // dispatch path: a sweep whose fan-out machinery fails must
+    // surface as an exception the caller can turn into a structured
+    // error, never a hang or partial silent result.
+    if (obs::Failpoints::instance().fire("pool.dispatch"))
+        throw std::runtime_error(
+            "injected fault (failpoint pool.dispatch)");
     LEGO_TRACE_SPAN_ARG("pool.parallelFor", "pool", "n", n);
     if (workers_.empty()) {
         const std::uint64_t t0 = obs::Tracer::nowNs();

@@ -1,0 +1,177 @@
+#include "obs/failpoint.hh"
+
+#include <cstdlib>
+
+#include "obs/metrics.hh"
+
+namespace lego
+{
+namespace obs
+{
+
+namespace
+{
+
+/** Split "a,b=2,c" into {name, count} pairs; malformed counts arm
+ *  kAlways (arming too much is the safe failure mode for a fault
+ *  schedule — it can only make the run MORE hostile). */
+std::vector<std::pair<std::string, std::uint64_t>>
+parseSpec(const char *spec)
+{
+    std::vector<std::pair<std::string, std::uint64_t>> out;
+    if (!spec)
+        return out;
+    std::string s(spec);
+    std::size_t at = 0;
+    while (at <= s.size()) {
+        std::size_t comma = s.find(',', at);
+        if (comma == std::string::npos)
+            comma = s.size();
+        std::string item = s.substr(at, comma - at);
+        at = comma + 1;
+        if (item.empty())
+            continue;
+        std::uint64_t count = Failpoints::kAlways;
+        const std::size_t eq = item.find('=');
+        if (eq != std::string::npos) {
+            const std::string num = item.substr(eq + 1);
+            item.resize(eq);
+            char *end = nullptr;
+            const unsigned long long v =
+                std::strtoull(num.c_str(), &end, 10);
+            if (end && *end == '\0' && !num.empty())
+                count = v;
+        }
+        if (!item.empty())
+            out.emplace_back(item, count);
+    }
+    return out;
+}
+
+} // namespace
+
+Failpoints::Failpoints()
+{
+    for (const auto &kv : parseSpec(std::getenv("LEGO_FAILPOINTS")))
+        arm(kv.first, kv.second);
+}
+
+Failpoints &
+Failpoints::instance()
+{
+    static Failpoints inst;
+    return inst;
+}
+
+void
+Failpoints::arm(const std::string &name, std::uint64_t count)
+{
+    if (count == 0)
+        return disarm(name);
+    std::lock_guard<std::mutex> lock(mu_);
+    State &st = points_[name];
+    if (!st.armed)
+        armedCount_.fetch_add(1, std::memory_order_relaxed);
+    st.armed = true;
+    st.remaining = count;
+}
+
+void
+Failpoints::disarm(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = points_.find(name);
+    if (it == points_.end() || !it->second.armed)
+        return;
+    it->second.armed = false;
+    it->second.remaining = 0;
+    armedCount_.fetch_sub(1, std::memory_order_relaxed);
+}
+
+void
+Failpoints::disarmAll()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto &kv : points_) {
+        if (kv.second.armed)
+            armedCount_.fetch_sub(1, std::memory_order_relaxed);
+        kv.second.armed = false;
+        kv.second.remaining = 0;
+    }
+}
+
+void
+Failpoints::resetHits()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto &kv : points_)
+        kv.second.hits = 0;
+}
+
+bool
+Failpoints::fire(const std::string &name)
+{
+    if (armedCount_.load(std::memory_order_relaxed) == 0)
+        return false; // Production fast path: nothing armed.
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = points_.find(name);
+    if (it == points_.end() || !it->second.armed)
+        return false;
+    State &st = it->second;
+    ++st.hits;
+    if (st.remaining != kAlways && --st.remaining == 0) {
+        st.armed = false;
+        armedCount_.fetch_sub(1, std::memory_order_relaxed);
+    }
+    return true;
+}
+
+bool
+Failpoints::armed(const std::string &name) const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = points_.find(name);
+    return it != points_.end() && it->second.armed;
+}
+
+std::uint64_t
+Failpoints::hits(const std::string &name) const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = points_.find(name);
+    return it == points_.end() ? 0 : it->second.hits;
+}
+
+std::vector<Failpoints::Info>
+Failpoints::snapshot() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<Info> out;
+    out.reserve(points_.size());
+    for (const auto &kv : points_)
+        out.push_back({kv.first, kv.second.armed,
+                       kv.second.remaining, kv.second.hits});
+    return out;
+}
+
+void
+Failpoints::publishMetrics(MetricsRegistry &reg) const
+{
+    for (const Info &info : snapshot())
+        reg.counter("failpoint." + info.name).set(info.hits);
+}
+
+const std::vector<std::string> &
+builtinFailpoints()
+{
+    static const std::vector<std::string> names = {
+        "cache.save.open",   "cache.save.write",
+        "cache.save.fsync",  "cache.save.rename",
+        "cache.save.crash",  "cache.load.corrupt",
+        "serve.parse",       "pool.dispatch",
+    };
+    return names;
+}
+
+} // namespace obs
+} // namespace lego

@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Deterministic fault injection: a process-global registry of named
+ * failpoints compiled into the I/O and dispatch seams that real
+ * deployments see fail (cache save/load, request parse, worker
+ * dispatch).
+ *
+ * A failpoint is a named site that normally does nothing (one relaxed
+ * atomic load when nothing is armed). Arming it — programmatically
+ * via `Failpoints::instance().arm(name, count)` or through the
+ * `LEGO_FAILPOINTS` environment variable — makes the next `count`
+ * calls to `fire(name)` return true, and the seam then behaves as if
+ * the real fault happened (write error, corrupt file, throw...).
+ * Because firing is a plain counted decision, a fault schedule
+ * replays deterministically: same trace + same armed set = same
+ * failures, which is what lets `lego_serve --chaos` assert exact
+ * degraded behavior rather than "it probably survived".
+ *
+ * Environment syntax (parsed once, at first instance() call):
+ *
+ *     LEGO_FAILPOINTS="cache.save.fsync,serve.parse=2"
+ *
+ * comma-separated `name` (always fires) or `name=N` (fires N times
+ * then auto-disarms). Unknown names are accepted — seams look
+ * themselves up by name, so arming a name no seam checks is a no-op.
+ *
+ * Hit counters survive disarming and are published as
+ * `failpoint.<name>` counters via publishMetrics(), so a chaos run's
+ * stats artifact proves which faults actually fired (validated by
+ * tools/check_obs.py --expect-failpoints).
+ *
+ * The registered seams are enumerated by builtinFailpoints(); see
+ * src/obs/README.md for what each one simulates.
+ */
+
+#ifndef LEGO_OBS_FAILPOINT_HH
+#define LEGO_OBS_FAILPOINT_HH
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace lego
+{
+namespace obs
+{
+
+class MetricsRegistry;
+
+class Failpoints
+{
+  public:
+    /** arm() count meaning "every call fires until disarmed". */
+    static constexpr std::uint64_t kAlways = ~std::uint64_t(0);
+
+    /** The process-wide registry (parses LEGO_FAILPOINTS once). */
+    static Failpoints &instance();
+
+    /** Make the next `count` fire(name) calls return true
+     *  (kAlways = until disarm). Re-arming resets the remaining
+     *  count but keeps the hit counter. */
+    void arm(const std::string &name,
+             std::uint64_t count = kAlways);
+    /** Stop `name` from firing. Hits are kept. */
+    void disarm(const std::string &name);
+    /** Disarm every failpoint. Hits are kept (reset separately
+     *  with resetHits()) so a chaos scenario can disarm first and
+     *  assert its fault fired afterwards. */
+    void disarmAll();
+    /** Zero every hit counter (test isolation). */
+    void resetHits();
+
+    /**
+     * The seam call: true when `name` is armed (counting one hit
+     * and consuming one shot unless armed kAlways). Unarmed names
+     * cost one relaxed atomic load when NOTHING is armed — the
+     * production fast path.
+     */
+    bool fire(const std::string &name);
+
+    bool armed(const std::string &name) const;
+    std::uint64_t hits(const std::string &name) const;
+
+    struct Info
+    {
+        std::string name;
+        bool armed = false;
+        std::uint64_t remaining = 0; //!< kAlways when uncounted.
+        std::uint64_t hits = 0;
+    };
+    /** Every failpoint ever armed or fired, name-ordered. */
+    std::vector<Info> snapshot() const;
+
+    /** Mirror hit counters into `reg` as `failpoint.<name>`. */
+    void publishMetrics(MetricsRegistry &reg) const;
+
+  private:
+    Failpoints(); // Parses LEGO_FAILPOINTS.
+
+    struct State
+    {
+        bool armed = false;
+        std::uint64_t remaining = 0;
+        std::uint64_t hits = 0;
+    };
+
+    mutable std::mutex mu_;
+    std::map<std::string, State> points_;
+    std::atomic<std::uint64_t> armedCount_{0};
+};
+
+/**
+ * The failpoint names compiled into library seams — the set a chaos
+ * run must cover:
+ *
+ *   cache.save.open     CostCache::save cannot create the temp file
+ *   cache.save.write    write() to the temp file fails mid-stream
+ *   cache.save.fsync    fsync(temp) fails (dirty page-cache "save")
+ *   cache.save.rename   rename(temp, path) fails
+ *   cache.save.crash    process dies mid-write: a half-written temp
+ *                       file is left behind, the target untouched
+ *   cache.load.corrupt  load sees the file as corrupt (checksum
+ *                       path) regardless of its real content
+ *   serve.parse         parseRequest rejects the line
+ *   pool.dispatch       WorkerPool::parallelFor throws before
+ *                       running any item
+ */
+const std::vector<std::string> &builtinFailpoints();
+
+} // namespace obs
+} // namespace lego
+
+#endif // LEGO_OBS_FAILPOINT_HH

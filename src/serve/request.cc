@@ -8,6 +8,7 @@
 #include <istream>
 
 #include "model/models.hh"
+#include "obs/failpoint.hh"
 
 namespace lego
 {
@@ -219,6 +220,14 @@ bool
 parseRequest(const std::string &line, ServeRequest *out,
              std::string *err)
 {
+    // Fault-injection seam: a parse failure must degrade to a
+    // structured error response that keeps its queue position, never
+    // take the loop down (tests/chaos replay arm this).
+    if (obs::Failpoints::instance().fire("serve.parse")) {
+        if (err)
+            *err = "injected parse fault (failpoint serve.parse)";
+        return false;
+    }
     ServeRequest req;
     Scanner sc(line);
     // The key whose value is being parsed; errors cite it so a
@@ -284,6 +293,16 @@ parseRequest(const std::string &line, ServeRequest *out,
                 return bail("k must be an integer in [1, " +
                             std::to_string(kMaxFrontierK) + "]");
             req.frontierK = std::size_t(k);
+        } else if (key == "deadline_ms") {
+            if (!sc.parseNumber(&req.deadlineMs))
+                return bail(sc.err);
+            // Bounded above so arming the token (ms -> ns int64)
+            // can never overflow; 1e12 ms is ~31 years, far beyond
+            // any real deadline. NaN/inf are malformed, not "never".
+            if (!std::isfinite(req.deadlineMs) ||
+                req.deadlineMs < 0 || req.deadlineMs > 1e12)
+                return bail("deadline_ms must be a finite number in "
+                            "[0, 1e12]");
         } else if (key == "segment") {
             double v = 0;
             if (!sc.parseNumber(&v))
@@ -370,6 +389,14 @@ formatRequest(const ServeRequest &req)
         out += ", \"budget\": " + std::string(buf, r.ptr);
     }
     out += ", \"k\": " + std::to_string(req.frontierK);
+    // Emitted only when set, so deadline-free traces format (and
+    // replay) byte-identically to the pre-deadline wire format.
+    if (req.deadlineMs > 0) {
+        char buf[64];
+        std::to_chars_result r =
+            std::to_chars(buf, buf + sizeof(buf), req.deadlineMs);
+        out += ", \"deadline_ms\": " + std::string(buf, r.ptr);
+    }
     // Emitted only when on, so pre-segmentation traces format (and
     // replay) byte-identically.
     if (req.segment)

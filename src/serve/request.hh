@@ -29,6 +29,13 @@
  *              and composes the schedule from the resulting segment
  *              plan; 0 keeps the layer-valued path bit-identical to
  *              a loop without the knob.
+ *  - deadline_ms  soft deadline in milliseconds (> 0; 0, the
+ *              default, = no deadline). The serving loop arms a
+ *              CancelToken with it: sweeps and segment searches
+ *              stop at their next chunk boundary once it expires
+ *              and the response is composed from the best-so-far
+ *              frontiers with `degraded` set. Deadline-free
+ *              requests take the exact historical path.
  *
  * The parser is strict: unknown keys, malformed values, or an empty
  * model list are an error (parse errors still consume their line, so
@@ -64,6 +71,9 @@ struct ServeRequest
     double budget = 0;
     std::size_t frontierK = 1;
     bool segment = false; //!< Inter-layer pipelining search on/off.
+    /** Soft deadline in ms; 0 = none (the exact, non-degradable
+     *  path). Parsed strictly: finite, >= 0, <= 1e12. */
+    double deadlineMs = 0;
 };
 
 /**

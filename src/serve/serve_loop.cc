@@ -1,10 +1,15 @@
 #include "serve/serve_loop.hh"
 
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
+#include <exception>
 #include <limits>
 #include <utility>
 
+#include "dse/cancel.hh"
 #include "obs/build_info.hh"
+#include "obs/failpoint.hh"
 #include "obs/trace.hh"
 
 namespace lego
@@ -43,8 +48,12 @@ jsonEscaped(const std::string &s)
 bool
 sameResponse(const ServeResponse &a, const ServeResponse &b)
 {
+    // degraded/shed are part of the comparable outcome (a degraded
+    // answer is NOT the same response as the full search's);
+    // retryAfterMs is a load hint and deliberately excluded.
     if (a.ok != b.ok || a.seq != b.seq || a.id != b.id ||
         a.error != b.error || a.models != b.models ||
+        a.degraded != b.degraded || a.shed != b.shed ||
         a.schedules.size() != b.schedules.size())
         return false;
     for (std::size_t i = 0; i < a.schedules.size(); ++i)
@@ -60,6 +69,11 @@ ServeLoop::ServeLoop(ServeOptions opt)
     // schema even before the first request (or first error).
     metrics_.counter("serve.requests");
     metrics_.counter("serve.errors");
+    metrics_.counter("serve.shed");
+    metrics_.counter("serve.degraded");
+    metrics_.counter("serve.stalled");
+    metrics_.counter("serve.internal_errors");
+    metrics_.gauge("serve.queue_depth");
     metrics_.histogram("serve.queue_us");
     metrics_.histogram("serve.request_us");
     metrics_.histogram("serve.sweep_us");
@@ -67,11 +81,26 @@ ServeLoop::ServeLoop(ServeOptions opt)
     if (!opt_.accessLogPath.empty())
         accessLog_.open(opt_.accessLogPath, std::ios::app);
     dispatcher_ = std::thread([this] { dispatcherLoop(); });
+    if (opt_.stallTimeoutMs > 0)
+        watchdog_ = std::thread([this] { watchdogLoop(); });
 }
 
 ServeLoop::~ServeLoop()
 {
     shutdown();
+}
+
+double
+ServeLoop::retryAfterHint(std::size_t depth)
+{
+    // Mean request latency observed so far, times the queue ahead of
+    // the caller (plus the slot it would take). Before any request
+    // has finished there is no estimate; 50 ms is a deliberate
+    // round number, not a measurement.
+    const obs::Histogram::Snapshot s =
+        metrics_.histogram("serve.request_us").snapshot();
+    const double perReqMs = s.count ? s.mean() / 1000.0 : 50.0;
+    return std::max(1.0, perReqMs * double(depth + 1));
 }
 
 std::uint64_t
@@ -84,8 +113,20 @@ ServeLoop::admit(Pending p)
         std::lock_guard<std::mutex> lk(mu_);
         if (!accepting_)
             return kRejected;
+        // Overload shedding: past maxQueueDepth the entry still
+        // takes a sequence slot and travels the queue — answered in
+        // place with a structured rejection — so a replayed trace
+        // keeps its exact admission ordering even through overload.
+        if (opt_.maxQueueDepth && !p.shed &&
+            queue_.size() >= opt_.maxQueueDepth) {
+            p.shed = true;
+            p.retryAfterMs = retryAfterHint(queue_.size());
+            metrics_.counter("serve.shed").add(1);
+        }
         seq = p.seq = nextSeq_++;
         queue_.push_back(std::move(p));
+        metrics_.gauge("serve.queue_depth")
+            .set(double(queue_.size()));
     }
     workCv_.notify_one();
     return seq;
@@ -133,15 +174,54 @@ ServeLoop::dispatcherLoop()
                 return; // stop_ set and nothing left to serve.
             p = std::move(queue_.front());
             queue_.pop_front();
+            metrics_.gauge("serve.queue_depth")
+                .set(double(queue_.size()));
             ++inFlight_;
+            // Stamp the in-flight request for the watchdog.
+            inFlightSeq_ = p.seq;
+            inFlightStartNs_ = obs::Tracer::nowNs();
+            inFlightStalled_ = false;
         }
         ServeResponse r = serveOne(p);
         {
             std::lock_guard<std::mutex> lk(mu_);
             responses_.push_back(std::move(r));
             --inFlight_;
+            inFlightStartNs_ = 0;
         }
         idleCv_.notify_all();
+    }
+}
+
+void
+ServeLoop::watchdogLoop()
+{
+    // Poll often enough that a stall is flagged within ~5/4 of the
+    // threshold, rarely enough to stay invisible in profiles.
+    const auto poll = std::chrono::milliseconds(std::max(
+        std::int64_t(50), std::int64_t(opt_.stallTimeoutMs / 4)));
+    const std::uint64_t limitNs =
+        std::uint64_t(opt_.stallTimeoutMs * 1e6);
+    std::unique_lock<std::mutex> lk(mu_);
+    for (;;) {
+        if (watchdogCv_.wait_for(lk, poll,
+                                 [this] { return stop_; }))
+            return;
+        if (inFlightStartNs_ == 0 || inFlightStalled_)
+            continue;
+        const std::uint64_t nowNs = obs::Tracer::nowNs();
+        if (nowNs - inFlightStartNs_ < limitNs)
+            continue;
+        // Observational only: the sweep keeps running (deadlines are
+        // the cooperative bound); counted once per request.
+        inFlightStalled_ = true;
+        metrics_.counter("serve.stalled").add(1);
+        std::fprintf(stderr,
+                     "lego-serve: watchdog: request seq %llu in "
+                     "flight for %.1f s (threshold %.1f s)\n",
+                     static_cast<unsigned long long>(inFlightSeq_),
+                     double(nowNs - inFlightStartNs_) / 1e9,
+                     opt_.stallTimeoutMs / 1e3);
     }
 }
 
@@ -161,7 +241,23 @@ ServeLoop::serveOne(const Pending &p)
     ServeResponse r;
     {
         LEGO_TRACE_SPAN_ARG("serve.request", "serve", "seq", p.seq);
-        r = buildResponse(p);
+        // Containment boundary: an exception escaping one request's
+        // build (an injected pool.dispatch fault, an OOM in a sweep)
+        // becomes that request's error response — it must never
+        // unwind the dispatcher and take every queued request with
+        // it.
+        try {
+            r = buildResponse(p);
+        } catch (const std::exception &e) {
+            r = ServeResponse();
+            r.seq = p.seq;
+            r.traceLine = p.lineNo;
+            r.id = p.req.id.empty() ? "#" + std::to_string(p.seq)
+                                    : p.req.id;
+            r.models = p.req.models;
+            r.error = std::string("internal error: ") + e.what();
+            metrics_.counter("serve.internal_errors").add(1);
+        }
     }
     const double wallUs =
         double(obs::Tracer::nowNs() - startNs) / 1000.0;
@@ -183,6 +279,18 @@ ServeLoop::buildResponse(const Pending &p)
     r.traceLine = p.lineNo;
     r.id = p.req.id.empty() ? "#" + std::to_string(p.seq) : p.req.id;
     r.models = p.req.models;
+    if (p.shed) {
+        // Shed at admission: answered in place so the response
+        // stream stays dense in sequence numbers. The hint was
+        // computed at shed time, when the depth was observed.
+        r.shed = true;
+        r.retryAfterMs = p.retryAfterMs;
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%.1f", p.retryAfterMs);
+        r.error = "shed: admission queue full; retry in " +
+                  std::string(buf) + " ms";
+        return r;
+    }
     if (!p.parseOk) {
         r.error = p.error;
         return r;
@@ -228,6 +336,16 @@ ServeLoop::buildResponse(const Pending &p)
                              : std::numeric_limits<double>::max();
     }
 
+    // Deadline: a stack token armed only when the request asked for
+    // one. Deadline-free requests pass a null token everywhere —
+    // sweeps compile to the exact historical path, bit for bit.
+    dse::CancelToken deadline;
+    const dse::CancelToken *cancel = nullptr;
+    if (p.req.deadlineMs > 0) {
+        deadline.setDeadlineIn(p.req.deadlineMs);
+        cancel = &deadline;
+    }
+
     // One stats epoch per request: requests never overlap on the
     // dispatcher, so these deltas are exact per-request numbers.
     const dse::StatsEpoch epoch = engine_.beginEpoch();
@@ -237,7 +355,7 @@ ServeLoop::buildResponse(const Pending &p)
                             copt.frontierK);
         const std::uint64_t t0 = obs::Tracer::nowNs();
         fronts = engine_.evaluator().mapZooFrontier(
-            opt_.hw, zoo, copt.frontierK, &engine_.pool());
+            opt_.hw, zoo, copt.frontierK, &engine_.pool(), cancel);
         metrics_.histogram("serve.sweep_us")
             .record(double(obs::Tracer::nowNs() - t0) / 1000.0);
     }
@@ -256,7 +374,7 @@ ServeLoop::buildResponse(const Pending &p)
                 LEGO_TRACE_SPAN_ARG("serve.segment", "serve",
                                     "model", mi);
                 const SegmentPlan plan = engine_.searchSegmentPlan(
-                    opt_.hw, *zoo[mi], copt.segment);
+                    opt_.hw, *zoo[mi], copt.segment, cancel);
                 r.schedules.push_back(composeSchedule(
                     *zoo[mi], std::move(fronts[mi]), copt, plan));
             }
@@ -267,6 +385,13 @@ ServeLoop::buildResponse(const Pending &p)
     r.stats.dse = engine_.statsSince(epoch);
     r.compose = copt;
     r.ok = true;
+    // Best-so-far is never nothing: every frontier keeps >= 1 point
+    // even under a tripped token, so a degraded response still
+    // carries one composed schedule per model.
+    if (cancel && cancel->degraded()) {
+        r.degraded = true;
+        metrics_.counter("serve.degraded").add(1);
+    }
     return r;
 }
 
@@ -291,6 +416,13 @@ ServeLoop::logAccess(const ServeResponse &r, double queueUs,
     std::snprintf(num, sizeof(num), "%.4f",
                   r.stats.frontierHitRate());
     line += std::string(", \"front_hit_rate\": ") + num;
+    if (r.degraded)
+        line += ", \"degraded\": true";
+    if (r.shed) {
+        line += ", \"shed\": true";
+        std::snprintf(num, sizeof(num), "%.1f", r.retryAfterMs);
+        line += std::string(", \"retry_after_ms\": ") + num;
+    }
     if (!r.error.empty())
         line += ", \"error\": \"" + jsonEscaped(r.error) + "\"";
     line += "}";
@@ -305,8 +437,12 @@ ServeLoop::writeStats()
         return;
     // Fold the engine's monotonic counters into the loop registry so
     // one snapshot carries everything; pool.* contention histograms
-    // live in the process-global registry (shared by every pool).
+    // live in the process-global registry (shared by every pool),
+    // and armed-failpoint hit counters land there too so a chaos
+    // replay's stats artifact proves which faults actually fired.
     engine_.publishMetrics(metrics_);
+    obs::Failpoints::instance().publishMetrics(
+        obs::MetricsRegistry::global());
     std::ofstream out(opt_.statsPath, std::ios::trunc);
     if (!out)
         return;
@@ -330,11 +466,13 @@ ServeLoop::drain()
 bool
 ServeLoop::shutdown()
 {
-    // Whole-shutdown serialization: concurrent shutdown() calls (a
-    // signal handler thread racing the destructor, say) must not
-    // both reach the join below — joining one std::thread from two
-    // threads is undefined. mu_ cannot be held across the join (the
-    // dispatcher needs it to finish), hence the dedicated mutex.
+    // Whole-shutdown serialization: concurrent shutdown() calls (an
+    // embedder reacting to a signal flag racing the destructor, say
+    // — lego_serve's SIGINT path calls shutdown() from main while
+    // the destructor is still pending) must not both reach the join
+    // below — joining one std::thread from two threads is undefined.
+    // mu_ cannot be held across the join (the dispatcher needs it to
+    // finish), hence the dedicated mutex.
     std::lock_guard<std::mutex> shutdownLk(shutdownMu_);
     {
         std::lock_guard<std::mutex> lk(mu_);
@@ -346,8 +484,11 @@ ServeLoop::shutdown()
         stop_ = true;
     }
     workCv_.notify_all();
+    watchdogCv_.notify_all();
     if (dispatcher_.joinable())
         dispatcher_.join();
+    if (watchdog_.joinable())
+        watchdog_.join();
     {
         std::lock_guard<std::mutex> lk(mu_);
         if (!flushed_) {

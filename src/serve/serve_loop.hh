@@ -21,6 +21,18 @@
  * frontier hit rate is the serving headline (lego_serve asserts
  * >= 90% on a replayed trace).
  *
+ * Robustness (see src/serve/README.md, "Failure modes &
+ * degradation"): a request-level `deadline_ms` arms a CancelToken so
+ * overlong sweeps answer with a best-so-far schedule flagged
+ * `degraded`; a bounded admission queue (ServeOptions::maxQueueDepth)
+ * sheds overload with a structured error carrying a `retry_after_ms`
+ * hint; a watchdog thread flags sweeps stalled past
+ * ServeOptions::stallTimeoutMs ("serve.stalled"); and an exception
+ * escaping a request's build is caught into an error response
+ * ("serve.internal_errors") instead of taking the loop down.
+ * Deadline-free requests on an unsaturated loop take the exact
+ * historical path — bit-identical responses.
+ *
  * Shutdown: drain() blocks until the queue is empty and the
  * dispatcher is idle; shutdown() drains, stops accepting, joins the
  * dispatcher, and flushes the cache to DseOptions::cachePath.
@@ -71,7 +83,16 @@ struct ServeResponse
      *  equal. */
     std::size_t traceLine = 0;
     bool ok = false;
-    std::string error;     //!< Parse / unknown-model message.
+    std::string error;     //!< Parse / unknown-model / shed message.
+    /** The request's deadline expired mid-search: schedules hold the
+     *  best-so-far composition, not the full search's. */
+    bool degraded = false;
+    /** Rejected at admission because the queue was over
+     *  maxQueueDepth (ok = false, no schedules). */
+    bool shed = false;
+    /** Back-off hint accompanying a shed response (0 otherwise).
+     *  Load-dependent — excluded from sameResponse. */
+    double retryAfterMs = 0;
     std::vector<std::string> models; //!< As named by the request.
     /** One composed schedule per model (empty on error). */
     std::vector<ScheduleResult> schedules;
@@ -80,12 +101,13 @@ struct ServeResponse
 };
 
 /**
- * Bit-exact response equality: outcome, identity, and every
- * composed schedule (via lego::sameSchedule). THE comparator behind
- * the replay-identity gates (cold-vs-warm, 1-vs-N workers) in
- * lego_serve, bench_dse_perf, and tests/test_serve.cc — shared so
- * the gates cannot drift apart. Stats are deliberately excluded:
- * cache-tier counts legitimately differ between passes.
+ * Bit-exact response equality: outcome, identity, degradation/shed
+ * flags, and every composed schedule (via lego::sameSchedule). THE
+ * comparator behind the replay-identity gates (cold-vs-warm, 1-vs-N
+ * workers) in lego_serve, bench_dse_perf, and tests/test_serve.cc —
+ * shared so the gates cannot drift apart. Stats and retryAfterMs are
+ * deliberately excluded: cache-tier counts and load hints
+ * legitimately differ between passes.
  */
 bool sameResponse(const ServeResponse &a, const ServeResponse &b);
 
@@ -115,6 +137,22 @@ struct ServeOptions
     /** Snapshot statsPath every N answered requests; 0 = only at
      *  shutdown (shutdown always snapshots when statsPath is set). */
     std::size_t statsEvery = 0;
+    /** @} */
+    /**
+     * @name Overload control
+     * @{
+     */
+    /** Admission-queue bound: a request arriving while maxQueueDepth
+     *  entries are already waiting is shed — it keeps its sequence
+     *  slot but is answered in place with ok = false, shed = true,
+     *  and a retry_after_ms hint. 0 (the default) = unbounded, the
+     *  exact historical admission behavior. */
+    std::size_t maxQueueDepth = 0;
+    /** Watchdog threshold in ms: a request in flight longer than
+     *  this is counted once in "serve.stalled" and logged to stderr
+     *  (observational only — the sweep is never killed; deadlines
+     *  are the cooperative bound). 0 disables the watchdog. */
+    double stallTimeoutMs = 30000;
     /** @} */
 };
 
@@ -181,21 +219,29 @@ class ServeLoop
     obs::MetricsRegistry &metrics() { return metrics_; }
 
   private:
-    /** One admission-queue slot: a request or its parse failure. */
+    /** One admission-queue slot: a request, its parse failure, or a
+     *  shed marker (shed entries keep their queue position so replay
+     *  ordering — and therefore determinism — survives overload). */
     struct Pending
     {
         std::uint64_t seq = 0;
         std::size_t lineNo = 0;   //!< 1-based trace line (0 = API).
         std::uint64_t admitNs = 0; //!< Admission stamp (queue wait).
         bool parseOk = true;
+        bool shed = false;        //!< Rejected at admission.
+        double retryAfterMs = 0;  //!< Hint computed at shed time.
         std::string error;
         ServeRequest req;
     };
 
     void dispatcherLoop();
+    void watchdogLoop();
     ServeResponse serveOne(const Pending &p);
     ServeResponse buildResponse(const Pending &p);
     std::uint64_t admit(Pending p);
+    /** Back-off hint for a shed response: the mean request latency
+     *  observed so far times the queue ahead of the caller. */
+    double retryAfterHint(std::size_t depth);
     void logAccess(const ServeResponse &r, double queueUs,
                    double wallUs);
     void writeStats();
@@ -221,6 +267,18 @@ class ServeLoop
     bool flushed_ = false;   //!< shutdown() ran its flush already.
     bool flushOk_ = true;
     std::thread dispatcher_;
+
+    /** @name Watchdog state (under mu_ unless noted)
+     *  The dispatcher stamps the in-flight request's (seq, start)
+     *  before building it; the watchdog thread polls and counts a
+     *  stall once per request when the build outlives
+     *  stallTimeoutMs. @{ */
+    std::condition_variable watchdogCv_; //!< Wakes for shutdown.
+    std::uint64_t inFlightSeq_ = 0;
+    std::uint64_t inFlightStartNs_ = 0;  //!< 0 = nothing in flight.
+    bool inFlightStalled_ = false;       //!< Already counted.
+    std::thread watchdog_;
+    /** @} */
 };
 
 } // namespace serve

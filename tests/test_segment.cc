@@ -316,9 +316,9 @@ TEST(SegmentSearch, AcceptedSegmentsStrictlyDominate)
               serial.summary.totalEnergyPj);
 }
 
-/** Segment records survive a v3 save/load round trip bit-for-bit; a
+/** Segment records survive a v4 save/load round trip bit-for-bit; a
  *  v2-stamped file is rejected wholesale (cold start). */
-TEST(SegmentCache, V3RoundTripAndV2Rejected)
+TEST(SegmentCache, V4RoundTripAndV2Rejected)
 {
     const std::string path =
         testing::TempDir() + "lego_segment_cache.bin";
@@ -336,7 +336,7 @@ TEST(SegmentCache, V3RoundTripAndV2Rejected)
     ASSERT_GT(cold.segmentCount(), 0u);
     ASSERT_GT(cold.segInserts(), 0u);
     ASSERT_TRUE(cold.save(path));
-    EXPECT_EQ(CostCache::fileFormatVersion(), 3u);
+    EXPECT_EQ(CostCache::fileFormatVersion(), 4u);
 
     CostCache warm;
     ASSERT_TRUE(warm.load(path));

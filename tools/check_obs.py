@@ -5,16 +5,23 @@ schema, access-log shape/line count, and (optionally) the
 disabled-tracing overhead gate in BENCH_dse.json.
 
 Usage:
-  check_obs.py [--trace FILE] [--stats FILE]
+  check_obs.py [--trace FILE] [--stats FILE
+                [--expect-failpoints N]]
                [--access-log FILE --expect-requests N]
                [--bench FILE --max-overhead-pct PCT
                 [--require-segment-dominance]]
 
 Metrics snapshots carrying DSE engine counters must include the
-dse.segment.* segmentation-search family; --require-segment-dominance
-additionally gates BENCH_dse.json's segment_pipeline_rn50 sweep
-(>= 1 pipelined segment, latency/energy ratios < 1, disabled-path
-identity).
+dse.segment.* segmentation-search family and the
+dse.cache.quarantined corruption counter; snapshots carrying serve.*
+counters must include the robustness family (serve.shed,
+serve.degraded, serve.stalled, serve.internal_errors counters and
+the serve.queue_depth gauge). --expect-failpoints N requires >= N
+distinct failpoint.* counters with >= 1 hit each — the chaos-smoke
+proof that the fault-injection replay actually fired its seams.
+--require-segment-dominance additionally gates BENCH_dse.json's
+segment_pipeline_rn50 sweep (>= 1 pipelined segment, latency/energy
+ratios < 1, disabled-path identity).
 
 Every given artifact is validated; any violation exits 1 with a
 message. Stdlib only — runs on a bare CI python3.
@@ -64,7 +71,7 @@ def check_trace(path):
           f"{other.get('dropped_events', 0)} dropped")
 
 
-def check_stats(path):
+def check_stats(path, expect_failpoints=None):
     with open(path) as f:
         doc = json.load(f)
     build = doc.get("build")
@@ -83,15 +90,41 @@ def check_stats(path):
                             f"{key!r}")
     counters = serve["counters"]
     # Any snapshot carrying DSE engine counters must also carry the
-    # segmentation-search family (zero-valued when the segment knob
-    # never fired — the counters exist either way).
+    # segmentation-search family and the cache-corruption counter
+    # (zero-valued when nothing fired — the counters exist either
+    # way).
     if any(name.startswith("dse.") for name in counters):
         for name in ("dse.segment.runs", "dse.segment.moves",
                      "dse.segment.plans", "dse.segment.infeasible",
                      "dse.segment.accepted", "dse.cache.seg_hits",
-                     "dse.cache.seg_misses"):
+                     "dse.cache.seg_misses",
+                     "dse.cache.quarantined"):
             if name not in counters:
                 return fail(f"{path}: counters missing {name!r}")
+    # A serving snapshot must carry the full robustness family, so
+    # dashboards can alert on shed/degraded/stalled without probing
+    # whether the loop predates hardened serving.
+    if any(name.startswith("serve.") for name in counters):
+        for name in ("serve.shed", "serve.degraded",
+                     "serve.stalled", "serve.internal_errors"):
+            if name not in counters:
+                return fail(f"{path}: counters missing {name!r}")
+        if "serve.queue_depth" not in serve["gauges"]:
+            return fail(f"{path}: gauges missing "
+                        "'serve.queue_depth'")
+    if expect_failpoints is not None:
+        # Failpoint hit counters land in the process-global registry;
+        # accept them from either object so bench-style snapshots
+        # (process only) validate too.
+        fired = set()
+        for obj in (serve, doc.get("process") or {}):
+            for name, value in obj.get("counters", {}).items():
+                if name.startswith("failpoint.") and value >= 1:
+                    fired.add(name)
+        if len(fired) < expect_failpoints:
+            return fail(f"{path}: {len(fired)} failpoint counters "
+                        f"with hits, expected >= {expect_failpoints}"
+                        f" ({sorted(fired)})")
     nc = len(counters)
     nh = len(serve["histograms"])
     print(f"ok: {path}: {nc} counters, {nh} histograms")
@@ -175,6 +208,9 @@ def main():
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("--trace", help="Chrome trace_event JSON")
     ap.add_argument("--stats", help="metrics snapshot JSON")
+    ap.add_argument("--expect-failpoints", type=int, default=None,
+                    help="minimum distinct failpoint.* counters "
+                         "with >= 1 hit in the stats snapshot")
     ap.add_argument("--access-log", help="per-request JSON lines")
     ap.add_argument("--expect-requests", type=int, default=None,
                     help="exact access-log line count")
@@ -193,7 +229,7 @@ def main():
     if args.trace:
         check_trace(args.trace)
     if args.stats:
-        check_stats(args.stats)
+        check_stats(args.stats, args.expect_failpoints)
     if args.access_log:
         check_access_log(args.access_log, args.expect_requests)
     if args.bench:
