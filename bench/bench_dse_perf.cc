@@ -56,6 +56,7 @@
 #include "obs/build_info.hh"
 #include "obs/metrics.hh"
 #include "obs/trace.hh"
+#include "serve_load.hh"
 
 using namespace lego;
 
@@ -653,15 +654,57 @@ measureTracingOverhead(const Model &rn50, double headlineWall,
 }
 
 void
+writeLoadConfig(std::ofstream &out, const char *name,
+                const bench::LoadPassResult &p, bool last)
+{
+    char buf[512];
+    std::snprintf(buf, sizeof(buf),
+                  "      {\"name\": \"%s\", "
+                  "\"requests_per_sec\": %.1f, "
+                  "\"p50_ms\": %.4f, \"p95_ms\": %.4f, "
+                  "\"p99_ms\": %.4f, \"coalesce_rate\": %.4f, "
+                  "\"shed_rate\": %.4f}%s\n",
+                  name, p.requestsPerSec, p.p50Ms, p.p95Ms, p.p99Ms,
+                  p.coalesceRate, p.shedRate, last ? "" : ",");
+    out << buf;
+}
+
+void
 writeJson(const std::string &path,
           const std::vector<SweepNumbers> &sweeps,
-          const TracingProbe &probe)
+          const TracingProbe &probe,
+          const bench::ServeLoadNumbers &load)
 {
     std::ofstream out(path);
     out << "{\n";
     out << "  \"bench\": \"bench_dse_perf\",\n";
-    out << "  \"schema\": 3,\n";
+    out << "  \"schema\": 4,\n";
     out << "  \"build\": " << obs::buildInfo().toJson() << ",\n";
+    {
+        // Schema 4: the serve_load section — the concurrent-serving
+        // matrix (cold/warm x maxInFlight {1, 4}) with its identity
+        // and coalescing-payoff gates. warm_speedup is the tracked,
+        // machine-independent number the baseline gate rides on.
+        char buf[256];
+        std::snprintf(
+            buf, sizeof(buf),
+            "  \"serve_load\": {\n"
+            "    \"requests\": %llu,\n"
+            "    \"identical_responses\": %s,\n"
+            "    \"follower_model_evals\": %llu,\n"
+            "    \"warm_speedup\": %.2f,\n"
+            "    \"configs\": [\n",
+            (unsigned long long)load.requests,
+            load.identicalResponses ? "true" : "false",
+            (unsigned long long)load.followerEvals,
+            load.warmSpeedup);
+        out << buf;
+        writeLoadConfig(out, "w1_cold", load.w1Cold, false);
+        writeLoadConfig(out, "w1_warm", load.w1Warm, false);
+        writeLoadConfig(out, "w4_cold", load.w4Cold, false);
+        writeLoadConfig(out, "w4_warm", load.w4Warm, true);
+        out << "    ]\n  },\n";
+    }
     {
         char buf[256];
         std::snprintf(buf, sizeof(buf),
@@ -747,6 +790,23 @@ baselineModelEvals(const std::string &text, const std::string &sweep,
     *out = std::strtoull(
         text.c_str() + key + std::strlen("\"model_evals\":"), nullptr,
         10);
+    return true;
+}
+
+/** The committed serve_load warm_speedup (schema 4). False on a
+ *  schema-3 baseline — the gate then simply doesn't arm. */
+bool
+baselineWarmSpeedup(const std::string &text, double *out)
+{
+    std::size_t at = text.find("\"serve_load\"");
+    if (at == std::string::npos)
+        return false;
+    std::size_t key = text.find("\"warm_speedup\":", at);
+    if (key == std::string::npos)
+        return false;
+    *out = std::strtod(
+        text.c_str() + key + std::strlen("\"warm_speedup\":"),
+        nullptr);
     return true;
 }
 
@@ -909,6 +969,52 @@ main(int argc, char **argv)
                 "p99 %.2fms\n",
                 serveSweep.p50Ms, serveSweep.p95Ms, serveSweep.p99Ms);
 
+    // The concurrent-serving matrix (schema 4's serve_load section):
+    // the duplicate-burst trace cold and warm at maxInFlight 1
+    // (historic loop) and 4 + coalescing. Bit-identical response
+    // sets and zero follower work are hard gates; the coalescing
+    // throughput payoff gates absolutely (>= 1.5x warm) and against
+    // the committed baseline (> 10% regression fails) — as a ratio,
+    // so the gate travels between machines.
+    const bench::ServeLoadNumbers load = bench::runLoadMatrix(
+        bench::loadTrace(2400), "bench_dse_perf_serve_load");
+    std::printf("serve_load: %llu requests, identical %s, follower "
+                "evals %llu, warm w4/w1 speedup %.2fx "
+                "(w4 warm: %.0f req/s, p99 %.2fms, coalesce "
+                "%.1f%%)\n",
+                (unsigned long long)load.requests,
+                load.identicalResponses ? "yes" : "NO",
+                (unsigned long long)load.followerEvals,
+                load.warmSpeedup, load.w4Warm.requestsPerSec,
+                load.w4Warm.p99Ms, 100.0 * load.w4Warm.coalesceRate);
+    if (!load.identicalResponses) {
+        std::printf("FAIL: serve_load response sets diverged across "
+                    "configurations\n");
+        ok = false;
+    }
+    if (load.followerEvals != 0) {
+        std::printf("FAIL: serve_load coalesced followers ran %llu "
+                    "model evaluations (want 0)\n",
+                    (unsigned long long)load.followerEvals);
+        ok = false;
+    }
+    if (load.warmSpeedup < 1.5) {
+        std::printf("FAIL: serve_load warm coalescing speedup "
+                    "%.2fx < 1.5x\n",
+                    load.warmSpeedup);
+        ok = false;
+    }
+    if (!baselineText.empty()) {
+        double base = 0;
+        if (baselineWarmSpeedup(baselineText, &base) &&
+            load.warmSpeedup < 0.90 * base) {
+            std::printf("FAIL: serve_load warm_speedup %.2fx "
+                        "regressed >10%% against baseline %.2fx\n",
+                        load.warmSpeedup, base);
+            ok = false;
+        }
+    }
+
     if (!statsOut.empty()) {
         std::ofstream stats(statsOut, std::ios::trunc);
         if (stats)
@@ -923,7 +1029,7 @@ main(int argc, char **argv)
                         statsOut.c_str());
     }
 
-    writeJson(outPath, sweeps, probe);
+    writeJson(outPath, sweeps, probe, load);
     std::printf("wrote %s\n", outPath.c_str());
     return ok ? 0 : 1;
 }

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Standalone serve-load generator: replays the fixed-seed
+ * duplicate-burst trace (bench/serve_load.hh) through the serving
+ * loop, cold and warm, at maxInFlight 1 (coalescing off — the
+ * historic single-dispatch loop) and maxInFlight 4 (coalescing on),
+ * and gates the concurrency contract:
+ *
+ *  - response-set identity across all four configurations, pairwise
+ *    (serve::sameResponse — the bit-reproducibility headline),
+ *  - zero model evaluations charged to coalesced followers,
+ *  - zero unexpected errors anywhere,
+ *  - full mode only: warm W4+coalesce throughput >= 1.5x warm W1.
+ *    On a single-core box the win is pure work reduction —
+ *    followers skip their sweep AND their compose — so the ratio
+ *    holds without any parallel speedup.
+ *
+ * Usage:
+ *   bench_serve_load [--smoke] [--requests N]
+ *
+ * --smoke shrinks the trace (240 requests) and drops the throughput
+ * gate — identity and zero-follower-work still gate — so it is cheap
+ * enough for every CI job including sanitizer builds. The default
+ * full run (2400 requests) is the Release-job gate; bench_dse_perf
+ * reruns the same matrix for the tracked BENCH_dse.json numbers.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "obs/build_info.hh"
+#include "serve_load.hh"
+
+using namespace lego;
+
+namespace
+{
+
+void
+printPass(const char *name, const bench::LoadPassResult &p)
+{
+    std::printf("%-8s %6zu req  %9.1f req/s  p50 %7.3fms  "
+                "p95 %7.3fms  p99 %7.3fms  coalesce %4.1f%%  "
+                "shed %4.1f%%\n",
+                name, p.responses.size(), p.requestsPerSec, p.p50Ms,
+                p.p95Ms, p.p99Ms, 100.0 * p.coalesceRate,
+                100.0 * p.shedRate);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool smoke = false;
+    std::size_t requests = 0;
+    for (int i = 1; i < argc; ++i) {
+        if (!std::strcmp(argv[i], "--smoke"))
+            smoke = true;
+        else if (!std::strcmp(argv[i], "--requests") && i + 1 < argc)
+            requests = std::size_t(std::strtoull(argv[++i], nullptr,
+                                                 10));
+    }
+    if (requests == 0)
+        requests = smoke ? 240 : 2400;
+    std::printf("%s\n", obs::buildInfo().oneLine().c_str());
+    std::printf("serve load: %zu requests (%s)\n", requests,
+                smoke ? "smoke" : "full");
+
+    const std::vector<serve::ServeRequest> trace =
+        bench::loadTrace(requests);
+    const bench::ServeLoadNumbers n =
+        bench::runLoadMatrix(trace, "bench_serve_load");
+
+    printPass("w1 cold", n.w1Cold);
+    printPass("w1 warm", n.w1Warm);
+    printPass("w4 cold", n.w4Cold);
+    printPass("w4 warm", n.w4Warm);
+    std::printf("identical responses: %s\n",
+                n.identicalResponses ? "yes" : "NO");
+    std::printf("follower model evals: %llu\n",
+                (unsigned long long)n.followerEvals);
+    std::printf("warm speedup (w4+coalesce / w1): %.2fx\n",
+                n.warmSpeedup);
+
+    bool ok = true;
+    if (!n.identicalResponses) {
+        std::printf("FAIL: response sets diverged across "
+                    "configurations\n");
+        ok = false;
+    }
+    if (n.followerEvals != 0) {
+        std::printf("FAIL: coalesced followers ran %llu model "
+                    "evaluations (want 0)\n",
+                    (unsigned long long)n.followerEvals);
+        ok = false;
+    }
+    const std::uint64_t errors = n.w1Cold.errors + n.w1Warm.errors +
+                                 n.w4Cold.errors + n.w4Warm.errors;
+    if (errors != 0) {
+        std::printf("FAIL: %llu unexpected error responses\n",
+                    (unsigned long long)errors);
+        ok = false;
+    }
+    // Throughput gates only in full mode: a 240-request smoke run on
+    // a loaded CI box is too short to time meaningfully, and the
+    // identity + zero-work gates above are the correctness story.
+    if (!smoke && n.warmSpeedup < 1.5) {
+        std::printf("FAIL: warm coalescing speedup %.2fx < 1.5x\n",
+                    n.warmSpeedup);
+        ok = false;
+    }
+    return ok ? 0 : 1;
+}

@@ -9,6 +9,7 @@
 #include <fcntl.h>
 #include <unistd.h>
 
+#include "dse/stats_scope.hh"
 #include "model/layer_class.hh"
 #include "obs/failpoint.hh"
 #include "obs/trace.hh"
@@ -431,10 +432,10 @@ CostCache::lookup(const CacheKey &key, LayerResult *out)
     std::lock_guard<std::mutex> lk(s.mu);
     auto it = s.map.find(key);
     if (it == s.map.end()) {
-        misses_.fetch_add(1, std::memory_order_relaxed);
+        bumpStat(misses_, &StatsContext::cacheMisses);
         return false;
     }
-    hits_.fetch_add(1, std::memory_order_relaxed);
+    bumpStat(hits_, &StatsContext::cacheHits);
     *out = it->second;
     return true;
 }
@@ -459,11 +460,11 @@ CostCache::lookupFast(const CacheKey &key, LayerResult *out)
     auto &slot = tlsL0().slotFor(key);
     if (slot.used && slot.owner == id_ && slot.epoch == epoch &&
         slot.key == key) {
-        l0Hits_.fetch_add(1, std::memory_order_relaxed);
+        bumpStat(l0Hits_, &StatsContext::l0Hits);
         *out = slot.val;
         return true;
     }
-    l0Misses_.fetch_add(1, std::memory_order_relaxed);
+    bumpStat(l0Misses_, &StatsContext::l0Misses);
     if (!lookup(key, out))
         return false;
     // Promote the L1 hit so this worker's next lookup is lock-free.
@@ -495,10 +496,10 @@ CostCache::lookupFrontier(const CacheKey &key,
     std::lock_guard<std::mutex> lk(s.mu);
     auto it = s.fronts.find(key);
     if (it == s.fronts.end()) {
-        frontMisses_.fetch_add(1, std::memory_order_relaxed);
+        bumpStat(frontMisses_, &StatsContext::frontMisses);
         return false;
     }
-    frontHits_.fetch_add(1, std::memory_order_relaxed);
+    bumpStat(frontHits_, &StatsContext::frontHits);
     *out = it->second;
     return true;
 }
@@ -525,7 +526,7 @@ CostCache::lookupFrontierFast(const CacheKey &key,
     auto &slot = tlsFrontL0().slotFor(key);
     if (slot.used && slot.owner == id_ && slot.epoch == epoch &&
         slot.key == key) {
-        frontHits_.fetch_add(1, std::memory_order_relaxed);
+        bumpStat(frontHits_, &StatsContext::frontHits);
         *out = slot.val;
         return true;
     }
@@ -561,10 +562,10 @@ CostCache::lookupSegment(const CacheKey &key,
     std::lock_guard<std::mutex> lk(s.mu);
     auto it = s.segs.find(key);
     if (it == s.segs.end() || !(it->second.id == stages)) {
-        segMisses_.fetch_add(1, std::memory_order_relaxed);
+        bumpStat(segMisses_, &StatsContext::segMisses);
         return false;
     }
-    segHits_.fetch_add(1, std::memory_order_relaxed);
+    bumpStat(segHits_, &StatsContext::segHits);
     *out = it->second;
     return true;
 }

@@ -95,13 +95,12 @@ DseEngine::publishMetrics(obs::MetricsRegistry &registry) const
         .set(ec.layersDeduped);
     registry.counter("dse.eval.cross_model_deduped")
         .set(ec.crossModelDeduped);
-    registry.counter("dse.segment.runs").set(segStats_.chainRuns);
-    registry.counter("dse.segment.moves").set(segStats_.movesTried);
-    registry.counter("dse.segment.plans")
-        .set(segStats_.plansEvaluated);
-    registry.counter("dse.segment.infeasible")
-        .set(segStats_.infeasible);
-    registry.counter("dse.segment.accepted").set(segStats_.accepted);
+    const SegmentSearchStats seg = segmentStats();
+    registry.counter("dse.segment.runs").set(seg.chainRuns);
+    registry.counter("dse.segment.moves").set(seg.movesTried);
+    registry.counter("dse.segment.plans").set(seg.plansEvaluated);
+    registry.counter("dse.segment.infeasible").set(seg.infeasible);
+    registry.counter("dse.segment.accepted").set(seg.accepted);
     registry.gauge("dse.cache.entries").set(double(cache_.size()));
     registry.gauge("dse.cache.frontier_entries")
         .set(double(cache_.frontierCount()));
@@ -220,6 +219,10 @@ DseEngine::searchSegmentPlan(const HardwareConfig &hw, const Model &m,
     SegmentSearchStats stats;
     SegmentPlan plan =
         searchSegments(hw, m, evaluator_, sopt, &stats, cancel);
+    // Overlapped serve requests run this from several threads; the
+    // plain-int accumulation must be serialized (the search itself
+    // is independent per call — only the roll-up is shared).
+    std::lock_guard<std::mutex> lk(segMu_);
     segStats_.chainRuns += stats.chainRuns;
     segStats_.movesTried += stats.movesTried;
     segStats_.plansEvaluated += stats.plansEvaluated;

@@ -18,6 +18,7 @@
 #define LEGO_DSE_ENGINE_HH
 
 #include <chrono>
+#include <mutex>
 
 #include "dse/evaluator.hh"
 #include "dse/segment_search.hh"
@@ -162,9 +163,13 @@ class DseEngine
                       const SegmentOptions &sopt,
                       const CancelToken *cancel = nullptr);
 
-    /** Cumulative segmentation-search work counters (all calls). */
-    const SegmentSearchStats &segmentStats() const
+    /** Cumulative segmentation-search work counters (all calls).
+     *  Returned by value: searchSegmentPlan may be accumulating
+     *  concurrently (overlapped serve requests), so a reference
+     *  would race. */
+    SegmentSearchStats segmentStats() const
     {
+        std::lock_guard<std::mutex> lk(segMu_);
         return segStats_;
     }
 
@@ -227,6 +232,10 @@ class DseEngine
     CostCache cache_;
     WorkerPool pool_;
     Evaluator evaluator_;
+    /** Guards segStats_: searchSegmentPlan runs on any serve thread
+     *  once requests overlap, and the plain-int accumulation below
+     *  would otherwise race. */
+    mutable std::mutex segMu_;
     SegmentSearchStats segStats_;
 };
 

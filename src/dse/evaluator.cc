@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <limits>
 
+#include "dse/stats_scope.hh"
 #include "obs/trace.hh"
 
 namespace lego
@@ -107,14 +108,14 @@ Evaluator::scoredRunLayer(const HardwareConfig &hw, const Layer &l,
                           const Mapping &map, double spatialEff) const
 {
     if (!cache_) {
-        modelEvals_.fetch_add(1, std::memory_order_relaxed);
+        bumpStat(modelEvals_, &StatsContext::modelEvals);
         return runLayerWithEff(hw, l, map, spatialEff);
     }
     CacheKey key = makeCacheKey(hw, l, map);
     LayerResult res;
     if (cache_->lookupFast(key, &res))
         return res;
-    modelEvals_.fetch_add(1, std::memory_order_relaxed);
+    bumpStat(modelEvals_, &StatsContext::modelEvals);
     res = runLayerWithEff(hw, l, map, spatialEff);
     cache_->insertFast(key, res);
     return res;
@@ -219,8 +220,9 @@ Evaluator::sweepFrontier(const HardwareConfig &hw, const Layer &l,
             const std::size_t i = order[oi];
             if (front.atCapacity() &&
                 bounds[i] > front.worst().result.cycles) {
-                mappingsPruned_.fetch_add(order.size() - oi,
-                                          std::memory_order_relaxed);
+                bumpStat(mappingsPruned_,
+                         &StatsContext::mappingsPruned,
+                         order.size() - oi);
                 break;
             }
             // Deadline check AFTER the bound cut: a sweep the cut
@@ -241,8 +243,8 @@ Evaluator::sweepFrontier(const HardwareConfig &hw, const Layer &l,
         // worth evaluating against the frontier.
         for (std::size_t s = 0; s < spans.size(); ++s)
             if (evalsPerSpan[s] == 0)
-                dataflowsPruned_.fetch_add(1,
-                                           std::memory_order_relaxed);
+                bumpStat(dataflowsPruned_,
+                         &StatsContext::dataflowsPruned);
     }
 
     if (front.empty()) {
@@ -323,6 +325,11 @@ Evaluator::mapModelFrontier(const HardwareConfig &hw, const Model &m,
     LEGO_TRACE_SPAN_ARG("dse.mapModelFrontier", "dse", "layers",
                         m.layers.size());
     const std::size_t cap = k == 0 ? 1 : k;
+    // Re-install the submitting thread's stats context inside each
+    // pool item: shared workers interleave items of overlapping
+    // requests, and each item's counters must credit the request
+    // that asked for it (stats_scope.hh).
+    StatsContext *const statsCtx = StatsContext::current();
     std::vector<MappingFrontier> fronts(m.layers.size(),
                                         MappingFrontier(cap));
     if (policy_.dedupLayerClasses) {
@@ -334,6 +341,7 @@ Evaluator::mapModelFrontier(const HardwareConfig &hw, const Model &m,
         std::vector<MappingFrontier> byClass(classes.size(),
                                              MappingFrontier(cap));
         auto mapOne = [&](std::size_t c) {
+            StatsContext::Scope scope(statsCtx);
             byClass[c] = searchMappingFrontier(
                 hw, m.layers[classes[c].representative], cap,
                 cancel);
@@ -347,10 +355,11 @@ Evaluator::mapModelFrontier(const HardwareConfig &hw, const Model &m,
         for (std::size_t c = 0; c < classes.size(); ++c)
             for (std::size_t idx : classes[c].members)
                 fronts[idx] = byClass[c];
-        layersDeduped_.fetch_add(m.layers.size() - classes.size(),
-                                 std::memory_order_relaxed);
+        bumpStat(layersDeduped_, &StatsContext::layersDeduped,
+                 m.layers.size() - classes.size());
     } else {
         auto mapOne = [&](std::size_t i) {
+            StatsContext::Scope scope(statsCtx);
             fronts[i] = searchMappingFrontier(hw, m.layers[i], cap,
                                               cancel);
         };
@@ -395,12 +404,16 @@ Evaluator::mapZooFrontier(const HardwareConfig &hw,
                           MappingFrontier(cap));
 
     // One class table across the whole zoo: shape-identical layers
-    // of *different* models broadcast from the same search.
+    // of *different* models broadcast from the same search. As in
+    // mapModelFrontier, each pool item re-installs the submitting
+    // thread's stats context for exact per-request attribution.
+    StatsContext *const statsCtx = StatsContext::current();
     const std::vector<ZooLayerClass> classes =
         groupLayerClassesZoo(zoo);
     std::vector<MappingFrontier> byClass(classes.size(),
                                          MappingFrontier(cap));
     auto mapOne = [&](std::size_t c) {
+        StatsContext::Scope scope(statsCtx);
         const ZooLayerRef &rep = classes[c].representative;
         byClass[c] = searchMappingFrontier(
             hw, zoo[rep.model]->layers[rep.layer], cap, cancel);
@@ -419,10 +432,10 @@ Evaluator::mapZooFrontier(const HardwareConfig &hw,
             fronts[ref.model][ref.layer] = byClass[c];
         crossModel += classes[c].distinctModels - 1;
     }
-    layersDeduped_.fetch_add(totalLayers - classes.size(),
-                             std::memory_order_relaxed);
-    crossModelDeduped_.fetch_add(crossModel,
-                                 std::memory_order_relaxed);
+    bumpStat(layersDeduped_, &StatsContext::layersDeduped,
+             totalLayers - classes.size());
+    bumpStat(crossModelDeduped_, &StatsContext::crossModelDeduped,
+             crossModel);
     return fronts;
 }
 

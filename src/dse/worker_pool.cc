@@ -57,22 +57,60 @@ WorkerPool::~WorkerPool()
         t.join();
 }
 
+std::size_t
+WorkerPool::runClaims(Job &job)
+{
+    std::size_t completed = 0;
+    for (;;) {
+        const std::size_t i =
+            job.next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= job.n)
+            break;
+        try {
+            (*job.fn)(i);
+        } catch (...) {
+            std::lock_guard<std::mutex> lk(mu_);
+            if (!job.error)
+                job.error = std::current_exception();
+        }
+        ++completed;
+    }
+    return completed;
+}
+
+void
+WorkerPool::removeJobLocked(const std::shared_ptr<Job> &job)
+{
+    for (auto it = jobs_.begin(); it != jobs_.end(); ++it) {
+        if (*it == job) {
+            jobs_.erase(it);
+            return;
+        }
+    }
+}
+
 void
 WorkerPool::workerLoop()
 {
-    std::uint64_t seen = 0;
     for (;;) {
         std::shared_ptr<Job> job;
         {
             std::unique_lock<std::mutex> lk(mu_);
-            workCv_.wait(lk, [&] {
-                return stop_ || (generation_ != seen && job_);
-            });
+            workCv_.wait(lk,
+                         [&] { return stop_ || !jobs_.empty(); });
             if (stop_)
                 return;
-            seen = generation_;
-            job = job_; // Pin THIS job; a newer one can't be stolen.
-            ++running_;
+            // Oldest job first: FIFO keeps earlier callers' latency
+            // bounded under a burst of concurrent parallelFors. Pin
+            // THIS job; jobs queued later can't be stolen from it.
+            job = jobs_.front();
+            if (job->next.load(std::memory_order_relaxed) >=
+                job->n) {
+                // Fully claimed already (its claimants are finishing
+                // the last items) — drop it and look again.
+                jobs_.pop_front();
+                continue;
+            }
         }
         // Dispatch latency: job publication -> this worker joining.
         const std::uint64_t pickedNs = obs::Tracer::nowNs();
@@ -80,26 +118,18 @@ WorkerPool::workerLoop()
             double(pickedNs - job->postNs) / 1000.0);
         LEGO_TRACE_COMPLETE("pool.wait", "pool", job->postNs,
                             pickedNs - job->postNs, "n", job->n);
+        std::size_t mine;
         {
             LEGO_TRACE_SPAN_ARG("pool.run", "pool", "n", job->n);
-            for (;;) {
-                std::size_t i = job->next.fetch_add(1);
-                if (i >= job->n)
-                    break;
-                try {
-                    (*job->fn)(i);
-                } catch (...) {
-                    std::lock_guard<std::mutex> lk(mu_);
-                    if (!error_)
-                        error_ = std::current_exception();
-                }
-            }
+            mine = runClaims(*job);
         }
         runHistogram().record(
             double(obs::Tracer::nowNs() - pickedNs) / 1000.0);
         {
             std::lock_guard<std::mutex> lk(mu_);
-            if (--running_ == 0)
+            removeJobLocked(job); // Exhausted: runClaims returned.
+            job->done += mine;
+            if (job->done >= job->n)
                 doneCv_.notify_all();
         }
     }
@@ -133,20 +163,32 @@ WorkerPool::parallelFor(std::size_t n,
     job->fn = &fn;
     job->n = n;
     job->postNs = obs::Tracer::nowNs();
-    std::unique_lock<std::mutex> lk(mu_);
-    job_ = job;
-    error_ = nullptr;
-    ++generation_;
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        jobs_.push_back(job);
+    }
     workCv_.notify_all();
-    // Complete when every index was claimed and every worker that
-    // claimed one checked back in. Stragglers that wake after this
-    // point drain the exhausted job's counter and touch nothing else.
-    doneCv_.wait(lk, [&] {
-        return running_ == 0 && job->next.load() >= job->n;
-    });
-    job_ = nullptr;
-    if (error_)
-        std::rethrow_exception(error_);
+    // The caller helps drain ITS OWN job rather than blocking: a
+    // concurrent caller's items can't starve this one, and a pool
+    // saturated by other jobs still makes progress on this job at
+    // caller speed (the inline path's guarantee, generalized).
+    const std::size_t mine = runClaims(*job);
+    std::unique_lock<std::mutex> lk(mu_);
+    removeJobLocked(job);
+    job->done += mine;
+    if (job->done < job->n) {
+        // Workers that claimed items of this job are still running
+        // them; completion is THIS job's done count, not pool
+        // idleness (other jobs may keep the pool busy forever).
+        doneCv_.wait(lk, [&] { return job->done >= job->n; });
+    } else {
+        doneCv_.notify_all();
+    }
+    if (job->error) {
+        std::exception_ptr err = job->error;
+        lk.unlock();
+        std::rethrow_exception(err);
+    }
 }
 
 } // namespace dse

@@ -5,6 +5,15 @@
  * result is written to its own slot, so reductions are ordered and the
  * outcome is identical for any worker count (the determinism
  * requirement of the DSE engine).
+ *
+ * parallelFor is safe for CONCURRENT callers: each invocation is its
+ * own job with its own claim counter, completion count, and error
+ * slot, queued FIFO behind any jobs already in flight. Workers drain
+ * the oldest unexhausted job first; the calling thread helps drain
+ * its own job while it waits (so a pool is never idle under a
+ * blocked caller, and the `threads <= 1` inline path is just the
+ * degenerate "caller does everything" case). The serving loop relies
+ * on this to overlap independent requests over one shared pool.
  */
 
 #ifndef LEGO_DSE_WORKER_POOL_HH
@@ -14,6 +23,7 @@
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <memory>
 #include <mutex>
@@ -45,8 +55,10 @@ class WorkerPool
 
     /**
      * Run fn(i) for every i in [0, n). Indices are claimed atomically
-     * by idle workers; the call returns once all n items completed.
-     * The first exception thrown by any item is rethrown here.
+     * by idle workers AND the calling thread; the call returns once
+     * all n items completed. The first exception thrown by any item
+     * of THIS job is rethrown here (concurrent jobs keep their errors
+     * separate). May be called from any number of threads at once.
      */
     void parallelFor(std::size_t n,
                      const std::function<void(std::size_t)> &fn);
@@ -64,15 +76,18 @@ class WorkerPool
   private:
     /**
      * One parallelFor invocation. Each job carries its own claim
-     * counter, so a worker that wakes late for an old generation can
-     * only drain its own (already exhausted) job — it can never steal
-     * or corrupt indices of a newer job.
+     * counter, completion count, and error slot, so any number of
+     * jobs can be in flight: a worker draining one job can never
+     * steal or corrupt indices of another, and one job's exception
+     * never fails a concurrent caller.
      */
     struct Job
     {
         const std::function<void(std::size_t)> *fn = nullptr;
         std::size_t n = 0;
-        std::atomic<std::size_t> next{0};
+        std::atomic<std::size_t> next{0}; //!< Claim counter.
+        std::size_t done = 0;             //!< Completed items (mu_).
+        std::exception_ptr error;         //!< First thrown (mu_).
         /** Publication timestamp (obs::Tracer::nowNs) — each
          *  worker's pickup delay against it is the queue-wait
          *  metric. Observability only; never read by the job. */
@@ -80,18 +95,22 @@ class WorkerPool
     };
 
     void workerLoop();
+    /** Claim-and-run items of `job` until exhausted; returns how
+     *  many THIS thread completed. Exceptions land in job.error. */
+    std::size_t runClaims(Job &job);
+    /** Drop `job` from the FIFO once fully claimed (idempotent). */
+    void removeJobLocked(const std::shared_ptr<Job> &job);
 
     int numThreads_ = 1;
     std::vector<std::thread> workers_;
 
     std::mutex mu_;
-    std::condition_variable workCv_;  //!< Signals a new job generation.
-    std::condition_variable doneCv_;  //!< Signals job completion.
-    std::shared_ptr<Job> job_;        //!< Current job (null when idle).
-    std::uint64_t generation_ = 0;
-    std::size_t running_ = 0;         //!< Workers inside a job.
+    std::condition_variable workCv_; //!< A job was queued / stopping.
+    std::condition_variable doneCv_; //!< Some job made completion
+                                     //!< progress (waiters check
+                                     //!< their own job).
+    std::deque<std::shared_ptr<Job>> jobs_; //!< FIFO, oldest first.
     bool stop_ = false;
-    std::exception_ptr error_;
 };
 
 } // namespace dse

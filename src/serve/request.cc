@@ -405,6 +405,35 @@ formatRequest(const ServeRequest &req)
     return out;
 }
 
+std::string
+coalesceKey(const ServeRequest &req)
+{
+    // Case-folded model names IN REQUEST ORDER: the response carries
+    // one schedule per model aligned with the request's list, so a
+    // permutation is a DIFFERENT response and must not coalesce.
+    // Budget/deadline doubles go through to_chars (shortest exact
+    // round trip) so distinct values never collide. The deadline
+    // contributes only its CLASS (none vs some): the leader's own
+    // deadline governs the shared computation, and a follower's
+    // tighter (even expired) deadline must neither cancel it nor
+    // fork a separate search.
+    std::string key;
+    for (const std::string &name : req.models) {
+        key += lowered(name);
+        key += ',';
+    }
+    key += req.objective == Objective::Latency ? "|l|" : "|e|";
+    char buf[64];
+    std::to_chars_result r =
+        std::to_chars(buf, buf + sizeof(buf), req.budget);
+    key.append(buf, r.ptr);
+    key += '|';
+    key += std::to_string(req.frontierK);
+    key += req.segment ? "|s1" : "|s0";
+    key += req.deadlineMs > 0 ? "|d1" : "|d0";
+    return key;
+}
+
 std::vector<ServeRequest>
 demoTrace()
 {

@@ -109,6 +109,21 @@ bool parseTraceFile(const std::string &path,
 std::string formatRequest(const ServeRequest &req);
 
 /**
+ * Canonical in-flight coalescing key (ServeOptions::coalesce):
+ * case-folded model names in request order, objective, exact budget,
+ * K, segment flag, and deadline CLASS (none vs some). Requests with
+ * equal keys produce bit-identical payloads under the determinism
+ * contract, so a duplicate may be answered from its leader's
+ * computation. The id and the deadline VALUE are deliberately
+ * excluded: the id is echo-only, and the leader's own deadline
+ * governs the shared search (a follower's expired deadline must not
+ * cancel the leader). Model order is preserved — schedules align
+ * with the request's model list, so permutations are distinct
+ * responses.
+ */
+std::string coalesceKey(const ServeRequest &req);
+
+/**
  * The checked-in demo trace (examples/serve_trace.jsonl): twelve
  * requests over MobileNetV2 + EfficientNetV2 + BERT with varying
  * objectives, budgets, and K — the workload lego_serve replays and

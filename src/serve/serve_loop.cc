@@ -8,6 +8,7 @@
 #include <utility>
 
 #include "dse/cancel.hh"
+#include "dse/stats_scope.hh"
 #include "obs/build_info.hh"
 #include "obs/failpoint.hh"
 #include "obs/trace.hh"
@@ -43,6 +44,35 @@ jsonEscaped(const std::string &s)
     return out;
 }
 
+/** Per-request stats out of the request's own StatsContext. The
+ *  overlap-safe successor of DseEngine::beginEpoch/statsSince:
+ *  deltas of GLOBAL counters stop being per-request the moment two
+ *  requests overlap, while the context was only ever credited by
+ *  work items carrying this request's scope. */
+dse::DseStats
+statsFrom(const dse::StatsContext &ctx, double wallSeconds)
+{
+    const auto get = [](const std::atomic<std::uint64_t> &v) {
+        return v.load(std::memory_order_relaxed);
+    };
+    dse::DseStats s;
+    s.cacheHits = get(ctx.cacheHits);
+    s.cacheMisses = get(ctx.cacheMisses);
+    s.l0Hits = get(ctx.l0Hits);
+    s.l0Misses = get(ctx.l0Misses);
+    s.frontHits = get(ctx.frontHits);
+    s.frontMisses = get(ctx.frontMisses);
+    s.segHits = get(ctx.segHits);
+    s.segMisses = get(ctx.segMisses);
+    s.modelEvals = get(ctx.modelEvals);
+    s.mappingsPruned = get(ctx.mappingsPruned);
+    s.dataflowsPruned = get(ctx.dataflowsPruned);
+    s.layersDeduped = get(ctx.layersDeduped);
+    s.crossModelDeduped = get(ctx.crossModelDeduped);
+    s.wallSeconds = wallSeconds;
+    return s;
+}
+
 } // namespace
 
 bool
@@ -50,7 +80,11 @@ sameResponse(const ServeResponse &a, const ServeResponse &b)
 {
     // degraded/shed are part of the comparable outcome (a degraded
     // answer is NOT the same response as the full search's);
-    // retryAfterMs is a load hint and deliberately excluded.
+    // retryAfterMs, latencyMs, and coalesced/leaderSeq are load
+    // artifacts and deliberately excluded — a coalesced follower's
+    // payload is bit-identical to recomputation by the determinism
+    // contract, so two passes may disagree on WHO coalesced while
+    // agreeing on every answer.
     if (a.ok != b.ok || a.seq != b.seq || a.id != b.id ||
         a.error != b.error || a.models != b.models ||
         a.degraded != b.degraded || a.shed != b.shed ||
@@ -73,14 +107,20 @@ ServeLoop::ServeLoop(ServeOptions opt)
     metrics_.counter("serve.degraded");
     metrics_.counter("serve.stalled");
     metrics_.counter("serve.internal_errors");
+    metrics_.counter("serve.coalesced");
     metrics_.gauge("serve.queue_depth");
+    metrics_.gauge("serve.in_flight");
     metrics_.histogram("serve.queue_us");
     metrics_.histogram("serve.request_us");
     metrics_.histogram("serve.sweep_us");
     metrics_.histogram("serve.compose_us");
     if (!opt_.accessLogPath.empty())
         accessLog_.open(opt_.accessLogPath, std::ios::app);
-    dispatcher_ = std::thread([this] { dispatcherLoop(); });
+    const std::size_t lanes =
+        std::max<std::size_t>(1, opt_.maxInFlight);
+    servers_.reserve(lanes);
+    for (std::size_t i = 0; i < lanes; ++i)
+        servers_.emplace_back([this] { serverLoop(); });
     if (opt_.stallTimeoutMs > 0)
         watchdog_ = std::thread([this] { watchdogLoop(); });
 }
@@ -93,14 +133,18 @@ ServeLoop::~ServeLoop()
 double
 ServeLoop::retryAfterHint(std::size_t depth)
 {
-    // Mean request latency observed so far, times the queue ahead of
-    // the caller (plus the slot it would take). Before any request
-    // has finished there is no estimate; 50 ms is a deliberate
-    // round number, not a measurement.
+    // Estimated drain time of the queue ahead of the caller (plus
+    // the slot it would take): mean observed request latency times
+    // the depth, divided by the in-flight lanes actually draining it
+    // — serial service would overestimate the wait maxInFlight-fold.
+    // Before any request has finished there is no estimate; 50 ms is
+    // a deliberate round number, not a measurement.
     const obs::Histogram::Snapshot s =
         metrics_.histogram("serve.request_us").snapshot();
     const double perReqMs = s.count ? s.mean() / 1000.0 : 50.0;
-    return std::max(1.0, perReqMs * double(depth + 1));
+    const double lanes =
+        double(std::max<std::size_t>(1, opt_.maxInFlight));
+    return std::max(1.0, perReqMs * double(depth + 1) / lanes);
 }
 
 std::uint64_t
@@ -113,6 +157,20 @@ ServeLoop::admit(Pending p)
         std::lock_guard<std::mutex> lk(mu_);
         if (!accepting_)
             return kRejected;
+        // Coalescing, checked BEFORE the shed bound: a duplicate of
+        // a queued or in-flight request joins that leader's
+        // computation, consumes no queue slot (so it cannot shed and
+        // cannot crowd distinct requests out), and is answered with
+        // the leader's bit-identical payload when it completes.
+        if (opt_.coalesce && p.parseOk && !p.shed) {
+            auto it = leaders_.find(coalesceKey(p.req));
+            if (it != leaders_.end()) {
+                seq = p.seq = nextSeq_++;
+                metrics_.counter("serve.coalesced").add(1);
+                it->second->followers.push_back(std::move(p));
+                return seq;
+            }
+        }
         // Overload shedding: past maxQueueDepth the entry still
         // takes a sequence slot and travels the queue — answered in
         // place with a structured rejection — so a replayed trace
@@ -124,7 +182,12 @@ ServeLoop::admit(Pending p)
             metrics_.counter("serve.shed").add(1);
         }
         seq = p.seq = nextSeq_++;
-        queue_.push_back(std::move(p));
+        auto sp = std::make_shared<Pending>(std::move(p));
+        if (opt_.coalesce && sp->parseOk && !sp->shed) {
+            sp->key = coalesceKey(sp->req);
+            leaders_[sp->key] = sp;
+        }
+        queue_.push_back(std::move(sp));
         metrics_.gauge("serve.queue_depth")
             .set(double(queue_.size()));
     }
@@ -162,34 +225,49 @@ ServeLoop::submitLine(const std::string &line, std::size_t lineNo)
 }
 
 void
-ServeLoop::dispatcherLoop()
+ServeLoop::pause()
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    paused_ = true;
+}
+
+void
+ServeLoop::resume()
+{
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        paused_ = false;
+    }
+    workCv_.notify_all();
+}
+
+void
+ServeLoop::serverLoop()
 {
     for (;;) {
-        Pending p;
+        std::shared_ptr<Pending> p;
+        std::uint64_t startNs;
         {
             std::unique_lock<std::mutex> lk(mu_);
-            workCv_.wait(lk,
-                         [this] { return stop_ || !queue_.empty(); });
+            workCv_.wait(lk, [this] {
+                return stop_ || (!paused_ && !queue_.empty());
+            });
             if (queue_.empty())
                 return; // stop_ set and nothing left to serve.
             p = std::move(queue_.front());
             queue_.pop_front();
             metrics_.gauge("serve.queue_depth")
                 .set(double(queue_.size()));
-            ++inFlight_;
             // Stamp the in-flight request for the watchdog.
-            inFlightSeq_ = p.seq;
-            inFlightStartNs_ = obs::Tracer::nowNs();
-            inFlightStalled_ = false;
+            startNs = obs::Tracer::nowNs();
+            inFlight_[p->seq] = InFlight{startNs, false};
+            metrics_.gauge("serve.in_flight")
+                .set(double(inFlight_.size()));
         }
-        ServeResponse r = serveOne(p);
-        {
-            std::lock_guard<std::mutex> lk(mu_);
-            responses_.push_back(std::move(r));
-            --inFlight_;
-            inFlightStartNs_ = 0;
-        }
-        idleCv_.notify_all();
+        Staged s;
+        s.queueUs = double(startNs - p->admitNs) / 1000.0;
+        s.r = serveOne(*p, s.queueUs, &s.wallUs);
+        finish(p, std::move(s));
     }
 }
 
@@ -207,34 +285,35 @@ ServeLoop::watchdogLoop()
         if (watchdogCv_.wait_for(lk, poll,
                                  [this] { return stop_; }))
             return;
-        if (inFlightStartNs_ == 0 || inFlightStalled_)
-            continue;
         const std::uint64_t nowNs = obs::Tracer::nowNs();
-        if (nowNs - inFlightStartNs_ < limitNs)
-            continue;
-        // Observational only: the sweep keeps running (deadlines are
-        // the cooperative bound); counted once per request.
-        inFlightStalled_ = true;
-        metrics_.counter("serve.stalled").add(1);
-        std::fprintf(stderr,
-                     "lego-serve: watchdog: request seq %llu in "
-                     "flight for %.1f s (threshold %.1f s)\n",
-                     static_cast<unsigned long long>(inFlightSeq_),
-                     double(nowNs - inFlightStartNs_) / 1e9,
-                     opt_.stallTimeoutMs / 1e3);
+        for (auto &entry : inFlight_) {
+            InFlight &f = entry.second;
+            if (f.stalled || nowNs - f.startNs < limitNs)
+                continue;
+            // Observational only: the sweep keeps running (deadlines
+            // are the cooperative bound); counted once per request.
+            f.stalled = true;
+            metrics_.counter("serve.stalled").add(1);
+            std::fprintf(
+                stderr,
+                "lego-serve: watchdog: request seq %llu in "
+                "flight for %.1f s (threshold %.1f s)\n",
+                static_cast<unsigned long long>(entry.first),
+                double(nowNs - f.startNs) / 1e9,
+                opt_.stallTimeoutMs / 1e3);
+        }
     }
 }
 
 ServeResponse
-ServeLoop::serveOne(const Pending &p)
+ServeLoop::serveOne(const Pending &p, double queueUs, double *wallUs)
 {
     // Observability shell around buildResponse: queue-wait and
     // whole-request latency into the loop registry, lifecycle spans
-    // into the tracer, one access-log line per answer. None of it
-    // feeds back into the response — the bit-identity contract.
+    // into the tracer. None of it feeds back into the response — the
+    // bit-identity contract. Emission (access log, response vector)
+    // happens later, in sequence order, under mu_.
     const std::uint64_t startNs = obs::Tracer::nowNs();
-    const double queueUs = double(startNs - p.admitNs) / 1000.0;
-    metrics_.counter("serve.requests").add(1);
     metrics_.histogram("serve.queue_us").record(queueUs);
     LEGO_TRACE_COMPLETE("serve.queued", "serve", p.admitNs,
                         startNs - p.admitNs, "seq", p.seq);
@@ -244,8 +323,8 @@ ServeLoop::serveOne(const Pending &p)
         // Containment boundary: an exception escaping one request's
         // build (an injected pool.dispatch fault, an OOM in a sweep)
         // becomes that request's error response — it must never
-        // unwind the dispatcher and take every queued request with
-        // it.
+        // unwind the server thread and take every queued request
+        // with it.
         try {
             r = buildResponse(p);
         } catch (const std::exception &e) {
@@ -259,15 +338,8 @@ ServeLoop::serveOne(const Pending &p)
             metrics_.counter("serve.internal_errors").add(1);
         }
     }
-    const double wallUs =
-        double(obs::Tracer::nowNs() - startNs) / 1000.0;
-    metrics_.histogram("serve.request_us").record(wallUs);
-    if (!r.ok)
-        metrics_.counter("serve.errors").add(1);
-    logAccess(r, queueUs, wallUs);
-    ++served_;
-    if ((opt_.statsEvery && served_ % opt_.statsEvery == 0))
-        writeStats();
+    *wallUs = double(obs::Tracer::nowNs() - startNs) / 1000.0;
+    metrics_.histogram("serve.request_us").record(*wallUs);
     return r;
 }
 
@@ -295,6 +367,15 @@ ServeLoop::buildResponse(const Pending &p)
         r.error = p.error;
         return r;
     }
+
+    // Per-request stats context: every counter bumped while this
+    // scope (or a pool item's re-installed copy of it) is current
+    // credits THIS request — exact even with other requests in
+    // flight, which the engine's global beginEpoch/statsSince deltas
+    // are not.
+    dse::StatsContext statsCtx;
+    dse::StatsContext::Scope statsScope(&statsCtx);
+    const auto buildStart = std::chrono::steady_clock::now();
 
     // Resolve the request's zoo from the registry. An unknown name
     // fails the whole request (never a partial zoo), but later
@@ -339,6 +420,8 @@ ServeLoop::buildResponse(const Pending &p)
     // Deadline: a stack token armed only when the request asked for
     // one. Deadline-free requests pass a null token everywhere —
     // sweeps compile to the exact historical path, bit for bit.
+    // Coalesced followers never reach this point, so a follower's
+    // deadline can never arm (or trip) the leader's token.
     dse::CancelToken deadline;
     const dse::CancelToken *cancel = nullptr;
     if (p.req.deadlineMs > 0) {
@@ -346,9 +429,6 @@ ServeLoop::buildResponse(const Pending &p)
         cancel = &deadline;
     }
 
-    // One stats epoch per request: requests never overlap on the
-    // dispatcher, so these deltas are exact per-request numbers.
-    const dse::StatsEpoch epoch = engine_.beginEpoch();
     std::vector<std::vector<dse::MappingFrontier>> fronts;
     {
         LEGO_TRACE_SPAN_ARG("serve.sweep", "serve", "k",
@@ -382,7 +462,10 @@ ServeLoop::buildResponse(const Pending &p)
         metrics_.histogram("serve.compose_us")
             .record(double(obs::Tracer::nowNs() - t0) / 1000.0);
     }
-    r.stats.dse = engine_.statsSince(epoch);
+    r.stats.dse = statsFrom(
+        statsCtx, std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - buildStart)
+                      .count());
     r.compose = copt;
     r.ok = true;
     // Best-so-far is never nothing: every frontier keeps >= 1 point
@@ -393,6 +476,78 @@ ServeLoop::buildResponse(const Pending &p)
         metrics_.counter("serve.degraded").add(1);
     }
     return r;
+}
+
+void
+ServeLoop::finish(const std::shared_ptr<Pending> &p, Staged s)
+{
+    const std::uint64_t doneNs = obs::Tracer::nowNs();
+    s.r.latencyMs = double(doneNs - p->admitNs) / 1e6;
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        inFlight_.erase(p->seq);
+        metrics_.gauge("serve.in_flight")
+            .set(double(inFlight_.size()));
+        // Retire the leadership BEFORE answering followers: a
+        // duplicate admitted from here on starts a fresh computation
+        // (which, by determinism, produces the same payload).
+        if (!p->key.empty()) {
+            auto it = leaders_.find(p->key);
+            if (it != leaders_.end() && it->second == p)
+                leaders_.erase(it);
+        }
+        std::vector<Pending> followers = std::move(p->followers);
+        p->followers.clear();
+        const std::uint64_t leaderSeq = s.r.seq;
+        // Followers: the leader's payload under the follower's own
+        // identity, zero work, zero stats. models comes from the
+        // FOLLOWER's request — the key is case-folded, so the two
+        // spellings may differ, and recomputation would have echoed
+        // the follower's.
+        for (Pending &fol : followers) {
+            Staged fs;
+            fs.r = s.r;
+            fs.r.seq = fol.seq;
+            fs.r.traceLine = fol.lineNo;
+            fs.r.id = fol.req.id.empty()
+                          ? "#" + std::to_string(fol.seq)
+                          : fol.req.id;
+            fs.r.models = fol.req.models;
+            fs.r.coalesced = true;
+            fs.r.leaderSeq = leaderSeq;
+            fs.r.stats = RequestStats{};
+            fs.r.latencyMs = double(doneNs - fol.admitNs) / 1e6;
+            fs.queueUs = double(doneNs - fol.admitNs) / 1000.0;
+            fs.wallUs = 0;
+            staged_.emplace(fs.r.seq, std::move(fs));
+        }
+        staged_.emplace(s.r.seq, std::move(s));
+        emitReadyLocked();
+    }
+    idleCv_.notify_all();
+}
+
+void
+ServeLoop::emitReadyLocked()
+{
+    // Strict sequence-order emission: whichever server thread
+    // completes the gating seq flushes every consecutively staged
+    // response — responses_, the access log, and the stats cadence
+    // all observe admission order no matter how builds overlapped.
+    while (!staged_.empty() &&
+           staged_.begin()->first == nextEmit_) {
+        Staged s = std::move(staged_.begin()->second);
+        staged_.erase(staged_.begin());
+        ++nextEmit_;
+        metrics_.counter("serve.requests").add(1);
+        if (!s.r.ok)
+            metrics_.counter("serve.errors").add(1);
+        logAccess(s.r, s.queueUs, s.wallUs);
+        responses_.push_back(std::move(s.r));
+        ++served_;
+        if (opt_.statsEvery && served_ % opt_.statsEvery == 0)
+            writeStats();
+    }
 }
 
 void
@@ -422,6 +577,12 @@ ServeLoop::logAccess(const ServeResponse &r, double queueUs,
         line += ", \"shed\": true";
         std::snprintf(num, sizeof(num), "%.1f", r.retryAfterMs);
         line += std::string(", \"retry_after_ms\": ") + num;
+    }
+    if (r.coalesced) {
+        // Per-line coalescing audit trail: which in-flight leader
+        // answered this request.
+        line += ", \"coalesced\": true";
+        line += ", \"leader_seq\": " + std::to_string(r.leaderSeq);
     }
     if (!r.error.empty())
         line += ", \"error\": \"" + jsonEscaped(r.error) + "\"";
@@ -459,7 +620,8 @@ ServeLoop::drain()
 {
     std::unique_lock<std::mutex> lk(mu_);
     idleCv_.wait(lk, [this] {
-        return queue_.empty() && inFlight_ == 0;
+        return queue_.empty() && inFlight_.empty() &&
+               staged_.empty();
     });
 }
 
@@ -469,15 +631,17 @@ ServeLoop::shutdown()
     // Whole-shutdown serialization: concurrent shutdown() calls (an
     // embedder reacting to a signal flag racing the destructor, say
     // — lego_serve's SIGINT path calls shutdown() from main while
-    // the destructor is still pending) must not both reach the join
+    // the destructor is still pending) must not both reach the joins
     // below — joining one std::thread from two threads is undefined.
-    // mu_ cannot be held across the join (the dispatcher needs it to
-    // finish), hence the dedicated mutex.
+    // mu_ cannot be held across the joins (the server threads need
+    // it to finish), hence the dedicated mutex.
     std::lock_guard<std::mutex> shutdownLk(shutdownMu_);
     {
         std::lock_guard<std::mutex> lk(mu_);
         accepting_ = false;
+        paused_ = false; // A paused loop must still drain to stop.
     }
+    workCv_.notify_all();
     drain();
     {
         std::lock_guard<std::mutex> lk(mu_);
@@ -485,8 +649,9 @@ ServeLoop::shutdown()
     }
     workCv_.notify_all();
     watchdogCv_.notify_all();
-    if (dispatcher_.joinable())
-        dispatcher_.join();
+    for (std::thread &t : servers_)
+        if (t.joinable())
+            t.join();
     if (watchdog_.joinable())
         watchdog_.join();
     {
@@ -496,8 +661,8 @@ ServeLoop::shutdown()
             flushOk_ = opt_.dse.cachePath.empty()
                            ? true
                            : engine_.saveCache();
-            // Final metrics snapshot: the dispatcher is joined, so
-            // served_ and the registry are quiescent here.
+            // Final metrics snapshot: the server threads are joined,
+            // so served_ and the registry are quiescent here.
             writeStats();
         }
         return flushOk_;

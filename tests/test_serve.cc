@@ -4,13 +4,19 @@
  * and the model registry, admission ordering and drain/shutdown
  * semantics, warm-vs-cold replay identity (same schedules
  * bit-for-bit with a >= 90% warm frontier hit rate and zero warm
- * model evaluations), replay determinism for 1 vs N workers, and the
- * CostCache::save/load failure paths serving makes routine
- * (unwritable cache paths, truncated or oversized v2 files).
+ * model evaluations), replay determinism for 1 vs N workers and for
+ * 1 vs N requests in flight (cold and warm), in-flight coalescing
+ * (followers answered from the leader's computation with zero work,
+ * follower deadlines isolated from the leader, dense sequence
+ * numbering under shed + coalesce), per-request stats exactness
+ * under overlapped execution, and the CostCache::save/load failure
+ * paths serving makes routine (unwritable cache paths, truncated or
+ * oversized v2 files).
  */
 
 #include <gtest/gtest.h>
 
+#include <cctype>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
@@ -65,14 +71,22 @@ using serve::sameResponse;
 std::vector<ServeResponse>
 replay(const std::vector<ServeRequest> &trace, int threads,
        const std::string &cachePath = std::string(),
-       bool *flushOk = nullptr)
+       bool *flushOk = nullptr, std::size_t maxInFlight = 1,
+       bool coalesce = false)
 {
     ServeOptions opt;
     opt.dse.threads = threads;
     opt.dse.cachePath = cachePath;
+    opt.maxInFlight = maxInFlight;
+    opt.coalesce = coalesce;
     ServeLoop loop(opt);
+    // Pause dispatch until the whole trace is admitted: with the
+    // queue fully loaded up front, every pass sees the same
+    // coalescing opportunities regardless of build speed.
+    loop.pause();
     for (const ServeRequest &req : trace)
         loop.submit(req);
+    loop.resume();
     loop.drain();
     std::vector<ServeResponse> responses = loop.responses();
     const bool flushed = loop.shutdown();
@@ -355,6 +369,273 @@ TEST(ServeLoop, ReplayDeterministicForAnyWorkerCount)
     ASSERT_EQ(one.size(), many.size());
     for (std::size_t i = 0; i < one.size(); ++i)
         EXPECT_TRUE(sameResponse(one[i], many[i])) << "request " << i;
+}
+
+/** tinyTrace with a duplicate burst folded in: every distinct
+ *  request repeated, some with different id / model-name casing
+ *  (coalesce-equal, response-visible spelling differences). */
+std::vector<ServeRequest>
+duplicateBurstTrace()
+{
+    std::vector<ServeRequest> t = tinyTrace();
+    const std::size_t distinct = t.size();
+    for (std::size_t i = 0; i < distinct; ++i) {
+        ServeRequest dup = t[i];
+        dup.id += "-again";
+        t.push_back(dup);
+    }
+    ServeRequest cased = t[0];
+    cased.id = "cased";
+    for (std::string &m : cased.models)
+        m[0] = char(std::toupper(static_cast<unsigned char>(m[0])));
+    t.push_back(cased);
+    return t;
+}
+
+TEST(ServeLoop, MaxInFlightReplayIdentityColdAndWarm)
+{
+    // The concurrency headline: overlapped dispatch with coalescing
+    // on answers the exact same response stream as the historical
+    // single-dispatcher loop — cold cache and warm cache alike.
+    const std::string p1 =
+        testing::TempDir() + "lego_serve_w1.cache";
+    const std::string p4 =
+        testing::TempDir() + "lego_serve_w4.cache";
+    std::remove(p1.c_str());
+    std::remove(p4.c_str());
+    const std::vector<ServeRequest> trace = duplicateBurstTrace();
+
+    std::vector<ServeResponse> cold1 = replay(trace, 2, p1);
+    std::vector<ServeResponse> warm1 = replay(trace, 2, p1);
+    std::vector<ServeResponse> cold4 =
+        replay(trace, 2, p4, nullptr, 4, true);
+    std::vector<ServeResponse> warm4 =
+        replay(trace, 2, p4, nullptr, 4, true);
+
+    ASSERT_EQ(cold1.size(), trace.size());
+    ASSERT_EQ(warm1.size(), trace.size());
+    ASSERT_EQ(cold4.size(), trace.size());
+    ASSERT_EQ(warm4.size(), trace.size());
+    for (std::size_t i = 0; i < trace.size(); ++i) {
+        EXPECT_TRUE(cold1[i].ok) << cold1[i].error;
+        EXPECT_TRUE(sameResponse(cold1[i], warm1[i])) << i;
+        EXPECT_TRUE(sameResponse(cold1[i], cold4[i])) << i;
+        EXPECT_TRUE(sameResponse(cold1[i], warm4[i])) << i;
+    }
+    std::remove(p1.c_str());
+    std::remove(p4.c_str());
+}
+
+TEST(ServeLoop, CoalescingJoinsDuplicatesWithZeroWork)
+{
+    ServeOptions opt;
+    opt.coalesce = true;
+    ServeLoop loop(opt);
+    loop.pause(); // Deterministic joins: all admitted while queued.
+
+    ServeRequest leader;
+    leader.id = "leader";
+    leader.models = {"lenet", "alexnet"};
+    leader.frontierK = 4;
+    ServeRequest dup = leader;
+    dup.id = "dup";
+    ServeRequest cased = leader;
+    cased.id = "cased";
+    cased.models = {"LeNet", "AlexNet"}; // Key is case-folded.
+    ServeRequest other; // Distinct key: must NOT coalesce.
+    other.id = "other";
+    other.models = {"lenet"};
+
+    EXPECT_EQ(loop.submit(leader), 0u);
+    EXPECT_EQ(loop.submit(dup), 1u);
+    EXPECT_EQ(loop.submit(cased), 2u);
+    EXPECT_EQ(loop.submit(other), 3u);
+    loop.resume();
+    loop.drain();
+
+    std::vector<ServeResponse> rs = loop.responses();
+    ASSERT_EQ(rs.size(), 4u);
+    for (std::size_t i = 0; i < rs.size(); ++i) {
+        EXPECT_EQ(rs[i].seq, i);
+        EXPECT_TRUE(rs[i].ok) << rs[i].error;
+    }
+    EXPECT_FALSE(rs[0].coalesced);
+    EXPECT_FALSE(rs[3].coalesced);
+    for (std::size_t i : {std::size_t(1), std::size_t(2)}) {
+        EXPECT_TRUE(rs[i].coalesced) << i;
+        EXPECT_EQ(rs[i].leaderSeq, 0u) << i;
+        // The leader's payload, bit for bit...
+        ASSERT_EQ(rs[i].schedules.size(), rs[0].schedules.size());
+        for (std::size_t s = 0; s < rs[i].schedules.size(); ++s)
+            EXPECT_TRUE(
+                sameSchedule(rs[i].schedules[s], rs[0].schedules[s]))
+                << i << "/" << s;
+        // ...under the follower's own identity and zero work.
+        EXPECT_EQ(rs[i].stats.dse.modelEvals, 0u) << i;
+        EXPECT_EQ(rs[i].stats.dse.cacheHits, 0u) << i;
+        EXPECT_EQ(rs[i].stats.dse.frontHits, 0u) << i;
+    }
+    EXPECT_EQ(rs[1].id, "dup");
+    EXPECT_EQ(rs[2].id, "cased");
+    ASSERT_EQ(rs[2].models.size(), 2u);
+    EXPECT_EQ(rs[2].models[0], "LeNet"); // Its own spelling echoed.
+    EXPECT_EQ(
+        loop.metrics().counter("serve.coalesced").value(), 2.0);
+
+    // A duplicate arriving AFTER the leader completed starts a fresh
+    // computation — which, by determinism, answers identically.
+    ServeRequest late = leader;
+    late.id = "late";
+    loop.submit(late);
+    loop.drain();
+    rs = loop.responses();
+    ASSERT_EQ(rs.size(), 5u);
+    EXPECT_FALSE(rs[4].coalesced);
+    // Fresh computation ≠ zero stats: warm K = 4 traffic shows up
+    // as frontier-memo hits (a coalesced copy records none at all).
+    EXPECT_GT(rs[4].stats.dse.frontHits +
+                  rs[4].stats.dse.frontMisses +
+                  rs[4].stats.dse.modelEvals,
+              0u);
+    ASSERT_EQ(rs[4].schedules.size(), rs[0].schedules.size());
+    for (std::size_t s = 0; s < rs[4].schedules.size(); ++s)
+        EXPECT_TRUE(
+            sameSchedule(rs[4].schedules[s], rs[0].schedules[s]));
+}
+
+TEST(ServeLoop, FollowerDeadlineNeverCancelsLeader)
+{
+    ServeOptions opt;
+    opt.coalesce = true;
+    ServeLoop loop(opt);
+    loop.pause();
+
+    // Leader with a generous deadline; follower coalesce-equal (the
+    // key folds the deadline to its CLASS, not its value) but
+    // already expired at admission. The follower must ride the
+    // leader's computation — never arm a token that degrades it.
+    ServeRequest leader;
+    leader.id = "leader";
+    leader.models = {"lenet"};
+    leader.frontierK = 4;
+    leader.deadlineMs = 1e9;
+    ServeRequest expired = leader;
+    expired.id = "expired";
+    expired.deadlineMs = 1e-6;
+
+    EXPECT_EQ(loop.submit(leader), 0u);
+    EXPECT_EQ(loop.submit(expired), 1u);
+    loop.resume();
+    loop.drain();
+
+    std::vector<ServeResponse> rs = loop.responses();
+    ASSERT_EQ(rs.size(), 2u);
+    EXPECT_TRUE(rs[0].ok) << rs[0].error;
+    EXPECT_FALSE(rs[0].degraded); // 1e9 ms never expires in-test.
+    EXPECT_FALSE(rs[0].coalesced);
+    EXPECT_TRUE(rs[1].coalesced);
+    EXPECT_TRUE(rs[1].ok);
+    // The follower's expired deadline neither degraded the shared
+    // computation nor its own copy of the answer.
+    EXPECT_FALSE(rs[1].degraded);
+    EXPECT_EQ(
+        loop.metrics().counter("serve.degraded").value(), 0.0);
+}
+
+TEST(ServeLoop, DenseSequenceNumberingUnderShedAndCoalesce)
+{
+    ServeOptions opt;
+    opt.coalesce = true;
+    opt.maxQueueDepth = 1;
+    ServeLoop loop(opt);
+    loop.pause(); // Keep the leader queued while the burst arrives.
+
+    ServeRequest leader;
+    leader.id = "leader";
+    leader.models = {"lenet"};
+    ServeRequest dup1 = leader, dup2 = leader, distinct;
+    dup1.id = "dup1";
+    dup2.id = "dup2";
+    distinct.id = "distinct";
+    distinct.models = {"alexnet"};
+
+    EXPECT_EQ(loop.submit(leader), 0u);   // Queued (depth 1).
+    EXPECT_EQ(loop.submit(dup1), 1u);     // Joins: no queue slot.
+    EXPECT_EQ(loop.submit(distinct), 2u); // Over depth: shed.
+    EXPECT_EQ(loop.submit(dup2), 3u);     // Still joins, never shed.
+    loop.resume();
+    loop.drain();
+
+    std::vector<ServeResponse> rs = loop.responses();
+    ASSERT_EQ(rs.size(), 4u);
+    // Dense 0..n-1 sequence numbering in emission order, exactly as
+    // a shed-free, coalesce-free pass would number them.
+    for (std::size_t i = 0; i < rs.size(); ++i)
+        EXPECT_EQ(rs[i].seq, i);
+    EXPECT_TRUE(rs[0].ok);
+    EXPECT_TRUE(rs[1].coalesced && rs[1].ok);
+    EXPECT_TRUE(rs[2].shed);
+    EXPECT_FALSE(rs[2].ok);
+    EXPECT_GT(rs[2].retryAfterMs, 0.0);
+    EXPECT_TRUE(rs[3].coalesced && rs[3].ok);
+    EXPECT_EQ(loop.metrics().counter("serve.shed").value(), 1.0);
+    EXPECT_EQ(
+        loop.metrics().counter("serve.coalesced").value(), 2.0);
+}
+
+TEST(ServeLoop, PerRequestStatsExactUnderOverlap)
+{
+    // Two requests over DISJOINT models build concurrently (the
+    // serial reference is a maxInFlight = 1 loop): per-request
+    // counters attributed through StatsContext must match the serial
+    // numbers exactly — global-epoch deltas would smear them.
+    ServeRequest a;
+    a.id = "a";
+    a.models = {"lenet"};
+    a.frontierK = 4;
+    ServeRequest b;
+    b.id = "b";
+    b.models = {"alexnet"};
+    b.frontierK = 4;
+    const std::vector<ServeRequest> trace = {a, b};
+
+    std::vector<ServeResponse> serial = replay(trace, 2);
+    std::vector<ServeResponse> overlapped =
+        replay(trace, 2, std::string(), nullptr, 2);
+    ASSERT_EQ(serial.size(), 2u);
+    ASSERT_EQ(overlapped.size(), 2u);
+    std::uint64_t totalEvals = 0;
+    for (std::size_t i = 0; i < 2; ++i) {
+        EXPECT_TRUE(sameResponse(serial[i], overlapped[i])) << i;
+        EXPECT_GT(serial[i].stats.dse.modelEvals, 0u) << i;
+        EXPECT_EQ(overlapped[i].stats.dse.modelEvals,
+                  serial[i].stats.dse.modelEvals)
+            << i;
+        EXPECT_EQ(overlapped[i].stats.dse.cacheMisses,
+                  serial[i].stats.dse.cacheMisses)
+            << i;
+        EXPECT_EQ(overlapped[i].stats.dse.mappingsPruned,
+                  serial[i].stats.dse.mappingsPruned)
+            << i;
+        totalEvals += overlapped[i].stats.dse.modelEvals;
+    }
+    // Conservation: per-request attribution partitions the engine
+    // total (disjoint models, so no request's work is shared).
+    ServeOptions opt;
+    opt.dse.threads = 2;
+    opt.maxInFlight = 2;
+    ServeLoop loop(opt);
+    loop.pause();
+    loop.submit(a);
+    loop.submit(b);
+    loop.resume();
+    loop.drain();
+    std::uint64_t perReq = 0;
+    for (const ServeResponse &r : loop.responses())
+        perReq += r.stats.dse.modelEvals;
+    EXPECT_EQ(perReq,
+              loop.engine().evaluator().counters().modelEvals);
+    EXPECT_EQ(perReq, totalEvals);
 }
 
 TEST(ServeLoop, UnwritableCachePathFailsFlushNotServing)

@@ -16,7 +16,12 @@ dse.segment.* segmentation-search family and the
 dse.cache.quarantined corruption counter; snapshots carrying serve.*
 counters must include the robustness family (serve.shed,
 serve.degraded, serve.stalled, serve.internal_errors counters and
-the serve.queue_depth gauge). --expect-failpoints N requires >= N
+the serve.queue_depth gauge) and the concurrency family
+(serve.coalesced counter, serve.in_flight gauge). --bench
+additionally validates BENCH_dse.json's serve_load section
+(schema 4): response-set identity across the cold/warm x
+maxInFlight {1, 4} matrix, zero coalesced-follower model evals, and
+a >= 1.5x warm coalescing speedup. --expect-failpoints N requires >= N
 distinct failpoint.* counters with >= 1 hit each — the chaos-smoke
 proof that the fault-injection replay actually fired its seams.
 --require-segment-dominance additionally gates BENCH_dse.json's
@@ -106,12 +111,13 @@ def check_stats(path, expect_failpoints=None):
     # whether the loop predates hardened serving.
     if any(name.startswith("serve.") for name in counters):
         for name in ("serve.shed", "serve.degraded",
-                     "serve.stalled", "serve.internal_errors"):
+                     "serve.stalled", "serve.internal_errors",
+                     "serve.coalesced"):
             if name not in counters:
                 return fail(f"{path}: counters missing {name!r}")
-        if "serve.queue_depth" not in serve["gauges"]:
-            return fail(f"{path}: gauges missing "
-                        "'serve.queue_depth'")
+        for name in ("serve.queue_depth", "serve.in_flight"):
+            if name not in serve["gauges"]:
+                return fail(f"{path}: gauges missing {name!r}")
     if expect_failpoints is not None:
         # Failpoint hit counters land in the process-global registry;
         # accept them from either object so bench-style snapshots
@@ -176,6 +182,40 @@ def check_bench(path, max_overhead_pct, require_segment_dominance):
     for key in ("p50_ms", "p95_ms", "p99_ms"):
         if key not in serve:
             return fail(f"{path}: serve_replay missing {key!r}")
+    # Schema 4: the concurrent-serving load matrix. Identity and
+    # zero follower work are correctness gates; the coalescing
+    # speedup gates as a ratio (machine-independent).
+    load = doc.get("serve_load")
+    if not isinstance(load, dict):
+        return fail(f"{path}: missing serve_load section (schema 4)")
+    for key in ("requests", "identical_responses",
+                "follower_model_evals", "warm_speedup", "configs"):
+        if key not in load:
+            return fail(f"{path}: serve_load missing {key!r}")
+    if not load["identical_responses"]:
+        fail(f"{path}: serve_load response sets diverged across "
+             "configurations")
+    if load["follower_model_evals"] != 0:
+        fail(f"{path}: serve_load coalesced followers ran "
+             f"{load['follower_model_evals']} model evals (want 0)")
+    if load["warm_speedup"] < 1.5:
+        fail(f"{path}: serve_load warm_speedup "
+             f"{load['warm_speedup']}x < 1.5x")
+    configs = {c.get("name"): c for c in load["configs"]}
+    for name in ("w1_cold", "w1_warm", "w4_cold", "w4_warm"):
+        cfg = configs.get(name)
+        if cfg is None:
+            fail(f"{path}: serve_load missing config {name!r}")
+            continue
+        for key in ("requests_per_sec", "p50_ms", "p95_ms",
+                    "p99_ms", "coalesce_rate", "shed_rate"):
+            if key not in cfg:
+                fail(f"{path}: serve_load config {name}: missing "
+                     f"{key!r}")
+    if not FAILURES:
+        print(f"ok: {path}: serve_load: {load['requests']} requests,"
+              f" warm speedup {load['warm_speedup']}x, w4 warm "
+              f"p99 {configs['w4_warm']['p99_ms']} ms")
     if require_segment_dominance:
         seg = sweeps.get("segment_pipeline_rn50")
         if seg is None:
