@@ -46,6 +46,21 @@
  * drains what was admitted, flushes the cache and stats, and exits
  * with 128 + signo.
  *
+ * Multi-process shared-cache mode:
+ *   --shared-cache FILE  single-pass READER replay: attach FILE as
+ *                        the mmap'd read-mostly cache tier (no
+ *                        private cache file, L0/L1 start empty) and
+ *                        replay the trace once. Exit 0 requires
+ *                        every request ok, zero model evaluations,
+ *                        >= 90% frontier hit rate, and >= 1 frontier
+ *                        hit actually served from the mapped tier —
+ *                        i.e. all warmth demonstrably came from the
+ *                        published snapshot. A writer publishes that
+ *                        snapshot with the normal two-pass mode plus
+ *                        --keep-cache; CI runs one writer then N
+ *                        concurrent readers and cmps their
+ *                        --responses-out dumps bit-for-bit.
+ *
  * Observability (all optional, all off the result path — the replay
  * gates above hold bit-exactly with these on or off):
  *   --trace-out FILE   enable tracing and write a Chrome trace_event
@@ -56,6 +71,12 @@
  *                      each pass's shutdown
  *   --access-log FILE  one JSON line per answered request, both
  *                      passes appended, rejected requests included
+ *   --responses-out FILE  canonical response dump (one line per
+ *                      response; doubles as raw bit patterns), the
+ *                      byte-comparable form behind the
+ *                      multi-process bit-identity gate. Two-pass
+ *                      mode dumps the warm pass; --shared-cache
+ *                      mode dumps its single pass.
  */
 
 #include <csignal>
@@ -93,6 +114,7 @@ struct PassNumbers
     std::uint64_t modelEvals = 0;
     std::uint64_t frontHits = 0;
     std::uint64_t frontMisses = 0;
+    std::uint64_t sharedFrontHits = 0;
     double wallSeconds = 0;
 
     double frontierHitRate() const
@@ -101,6 +123,56 @@ struct PassNumbers
         return total ? double(frontHits) / double(total) : 0.0;
     }
 };
+
+/** A double's exact bit pattern, so the canonical dump compares
+ *  bit-for-bit instead of through decimal round-trips. */
+std::uint64_t
+bitsOf(double d)
+{
+    std::uint64_t u = 0;
+    std::memcpy(&u, &d, sizeof(u));
+    return u;
+}
+
+/**
+ * Canonical response dump: one line per response carrying the full
+ * comparable payload (the sameResponse fields — outcome, identity,
+ * flags, every per-layer mapping and result, every summary) with
+ * doubles as raw bit patterns. Two readers of the same snapshot must
+ * produce byte-identical dumps; `cmp` is the multi-process gate.
+ */
+bool
+dumpResponses(const std::string &path,
+              const std::vector<serve::ServeResponse> &responses)
+{
+    std::ofstream out(path, std::ios::trunc);
+    if (!out)
+        return false;
+    for (const serve::ServeResponse &r : responses) {
+        out << r.seq << ' ' << r.id << " ok=" << r.ok
+            << " degraded=" << r.degraded << " shed=" << r.shed
+            << " err=\"" << r.error << "\" models=";
+        for (const std::string &m : r.models)
+            out << m << ',';
+        for (const ScheduleResult &s : r.schedules) {
+            out << " | " << std::hex;
+            for (const MappedLayer &ml : s.perLayer)
+                out << int(ml.mapping.dataflow) << '.'
+                    << ml.mapping.tm << '.' << ml.mapping.tn << '.'
+                    << ml.mapping.tk << '.' << ml.result.cycles
+                    << '.' << bitsOf(ml.result.energyPj) << '.'
+                    << ml.result.dramBytes << ' ';
+            out << "sum=" << s.summary.totalCycles << '.'
+                << s.summary.tensorCycles << '.'
+                << s.summary.ppuCycles << '.'
+                << bitsOf(s.summary.totalEnergyPj) << '.'
+                << s.summary.totalMacs << '.' << s.summary.dramBytes
+                << " segs=" << s.segments.size() << std::dec;
+        }
+        out << '\n';
+    }
+    return static_cast<bool>(out);
+}
 
 HardwareConfig
 servingConfig()
@@ -150,12 +222,17 @@ struct ObsPaths
 PassNumbers
 runPass(const char *label, const std::vector<TraceLine> &lines,
         const std::string &cachePath, int threads,
-        const ObsPaths &obsPaths)
+        const ObsPaths &obsPaths,
+        const std::string &sharedCachePath = "")
 {
     serve::ServeOptions sopt;
     sopt.hw = servingConfig();
     sopt.dse.threads = threads;
-    sopt.dse.cachePath = cachePath;
+    // Reader mode: no private cache file at all — every warm answer
+    // must come through the mmap'd shared tier.
+    if (sharedCachePath.empty())
+        sopt.dse.cachePath = cachePath;
+    sopt.sharedCachePath = sharedCachePath;
     sopt.accessLogPath = obsPaths.accessLog;
     sopt.statsPath = obsPaths.stats;
     serve::ServeLoop loop(sopt);
@@ -173,6 +250,7 @@ runPass(const char *label, const std::vector<TraceLine> &lines,
         pass.modelEvals += s.modelEvals;
         pass.frontHits += s.frontHits;
         pass.frontMisses += s.frontMisses;
+        pass.sharedFrontHits += s.sharedFrontHits;
         pass.wallSeconds += s.wallSeconds;
         double cycles = 0, energy = 0;
         for (const ScheduleResult &sched : r.schedules) {
@@ -491,6 +569,8 @@ main(int argc, char **argv)
     bool keepCache = false, printTrace = false, doCalibrate = false;
     bool doChaos = false;
     std::string traceOut;
+    std::string sharedCachePath;
+    std::string responsesOut;
     ObsPaths obsPaths;
     for (int i = 1; i < argc; ++i) {
         if (!std::strcmp(argv[i], "--trace") && i + 1 < argc) {
@@ -509,6 +589,12 @@ main(int argc, char **argv)
             doCalibrate = true;
         } else if (!std::strcmp(argv[i], "--chaos")) {
             doChaos = true;
+        } else if (!std::strcmp(argv[i], "--shared-cache") &&
+                   i + 1 < argc) {
+            sharedCachePath = argv[++i];
+        } else if (!std::strcmp(argv[i], "--responses-out") &&
+                   i + 1 < argc) {
+            responsesOut = argv[++i];
         } else if (!std::strcmp(argv[i], "--trace-out") &&
                    i + 1 < argc) {
             traceOut = argv[++i];
@@ -573,6 +659,53 @@ main(int argc, char **argv)
     if (doChaos)
         return runChaos(lines, cachePath, threads, keepCache,
                         obsPaths.stats);
+
+    if (!sharedCachePath.empty()) {
+        // Reader replay: one pass, warmth only through the mapped
+        // snapshot. The gates mirror the two-pass warm gates, plus
+        // the attribution proof that the mmap tier actually served.
+        std::printf("— reader pass (shared cache %s) —\n",
+                    sharedCachePath.c_str());
+        PassNumbers pass = runPass("read", lines, "", threads,
+                                   obsPaths, sharedCachePath);
+        if (g_signal)
+            return 128 + g_signal;
+        bool ok = true;
+        for (const serve::ServeResponse &r : pass.responses)
+            if (!r.ok) {
+                std::printf("FAIL: request %llu (%s): %s\n",
+                            (unsigned long long)r.seq, r.id.c_str(),
+                            r.error.c_str());
+                ok = false;
+            }
+        if (pass.modelEvals != 0) {
+            std::printf("FAIL: reader ran %llu model evaluations "
+                        "(want 0 — every answer from the shared "
+                        "snapshot)\n",
+                        (unsigned long long)pass.modelEvals);
+            ok = false;
+        }
+        if (pass.frontierHitRate() < 0.90) {
+            std::printf("FAIL: reader frontier hit rate %.1f%% < "
+                        "90%%\n",
+                        100.0 * pass.frontierHitRate());
+            ok = false;
+        }
+        if (pass.sharedFrontHits == 0) {
+            std::printf("FAIL: no frontier hit was served from the "
+                        "mapped tier\n");
+            ok = false;
+        }
+        if (!responsesOut.empty() &&
+            !dumpResponses(responsesOut, pass.responses)) {
+            std::printf("FAIL: cannot write responses to %s\n",
+                        responsesOut.c_str());
+            ok = false;
+        }
+        std::printf("%s\n", ok ? "shared-cache reader OK"
+                               : "shared-cache reader FAILED");
+        return ok ? 0 : 1;
+    }
 
     // Pass 1 must be genuinely cold: a stale cache file would turn
     // the cold pass into a warm one and hide regressions.
@@ -650,6 +783,12 @@ main(int argc, char **argv)
     } else if (warm.frontierHitRate() < 0.90) {
         std::printf("FAIL: warm frontier hit rate %.1f%% < 90%%\n",
                     100.0 * warm.frontierHitRate());
+        ok = false;
+    }
+    if (!responsesOut.empty() &&
+        !dumpResponses(responsesOut, warm.responses)) {
+        std::printf("FAIL: cannot write responses to %s\n",
+                    responsesOut.c_str());
         ok = false;
     }
     std::printf("%s\n", ok ? "serve replay OK" : "serve replay FAILED");

@@ -16,6 +16,21 @@
  * stage mappings + pipelined cost) memoize the segmentation search
  * the same way and joined the file in format version 3.
  *
+ * Production-scale behaviors (format v5):
+ *  - **Bounded memory** — setCapacity() bounds the sharded (L1)
+ *    tier by resident bytes and/or entry count; inserts past the
+ *    bound trigger epoch-batched, cost-aware LRU eviction (scalar
+ *    entries first, then frontiers, then segments — LRU order
+ *    within each kind), with exact evictions()/residentBytes()
+ *    counters.
+ *  - **Shared read-mostly tier** — the persistent file is an
+ *    mmap-able, offset-based, CRC-covered snapshot holding
+ *    open-addressed hash tables, so N processes attachShared() the
+ *    same published file and probe it copy-free after an L0+L1
+ *    miss. A writer republishes via the tmp+fsync+rename discipline
+ *    with a monotonic generation stamp; refreshShared() atomically
+ *    remaps when the generation changes.
+ *
  * Layer *names* and repeat counts are deliberately excluded from the
  * keys: two layers with identical shapes hit the same entry even
  * when the model zoo lists them as distinct instances.
@@ -142,13 +157,26 @@ struct CacheCounters
     std::uint64_t l0Hits = 0;      //!< Thread-local scalar hits.
     std::uint64_t l0Misses = 0;    //!< Thread-local scalar misses.
     std::uint64_t inserts = 0;     //!< Scalar entries created.
-    std::uint64_t frontHits = 0;   //!< Frontier hits (either level).
+    std::uint64_t frontHits = 0;   //!< Frontier hits (any level).
     std::uint64_t frontMisses = 0; //!< Frontier full-sweep misses.
     std::uint64_t frontInserts = 0;//!< Frontier entries created.
     std::uint64_t segHits = 0;     //!< Segment-record hits.
     std::uint64_t segMisses = 0;   //!< Segment-record misses.
     std::uint64_t segInserts = 0;  //!< Segment entries created.
     std::uint64_t quarantined = 0; //!< Corrupt files set aside.
+    std::uint64_t evictions = 0;   //!< Entries evicted (all kinds).
+    /** Shared mmap-tier hits; each is also counted in the matching
+     *  hits/frontHits/segHits total, so hit-rate math is unchanged
+     *  and these attribute WHERE the hit was served from. */
+    std::uint64_t sharedHits = 0;
+    std::uint64_t sharedFrontHits = 0;
+    std::uint64_t sharedSegHits = 0;
+    std::uint64_t remaps = 0;      //!< Shared-snapshot remaps.
+    /** Gauges (point-in-time values, not monotonic): a counter
+     *  subtraction carries the minuend's current reading instead of
+     *  differencing, so a shrinking resident set can never wrap. */
+    std::uint64_t residentBytes = 0; //!< L1 serialized footprint.
+    std::uint64_t generation = 0;    //!< Mapped snapshot generation.
 
     CacheCounters operator-(const CacheCounters &o) const
     {
@@ -165,6 +193,13 @@ struct CacheCounters
         d.segMisses = segMisses - o.segMisses;
         d.segInserts = segInserts - o.segInserts;
         d.quarantined = quarantined - o.quarantined;
+        d.evictions = evictions - o.evictions;
+        d.sharedHits = sharedHits - o.sharedHits;
+        d.sharedFrontHits = sharedFrontHits - o.sharedFrontHits;
+        d.sharedSegHits = sharedSegHits - o.sharedSegHits;
+        d.remaps = remaps - o.remaps;
+        d.residentBytes = residentBytes; // Gauge: carry, don't diff.
+        d.generation = generation;       // Gauge: carry, don't diff.
         return d;
     }
 };
@@ -180,39 +215,80 @@ enum class CacheLoadStatus
              //!< nonsense — the file cannot be trusted.
 };
 
+/** The mmap'd read-mostly snapshot tier (defined in cost_cache.cc);
+ *  opaque to clients — CostCache probes it internally. */
+class SharedSnapshot;
+
 /**
- * Sharded, thread-safe memo table with thread-local L0s in front,
- * holding both (key -> LayerResult) scalar entries and
- * (key -> frontier point list) frontier entries.
+ * Sharded, thread-safe memo table with thread-local L0s in front and
+ * an optional mmap'd read-mostly snapshot behind, holding scalar
+ * (key -> LayerResult), frontier (key -> point list), and segment
+ * entries.
  *
- * Two levels:
+ * Three levels:
  *  - **L0** — fixed-size, open-addressed (direct-mapped) tables in
  *    thread-local storage (one for scalar entries, one for
  *    frontiers). The common per-worker re-lookup takes zero locks:
  *    one hash index, one exact key compare. Entries are tagged with
  *    the owning cache's id and clear()-epoch, so a thread serving
  *    several caches (or a cache that was cleared) can never read a
- *    stale result.
+ *    stale result. A stale L0 entry surviving an L1 eviction is
+ *    benign: cached values are pure functions of their keys.
  *  - **L1** — the sharded mutex-protected tables (one mutex per
- *    shard, keys distributed by hash). This is the level that
- *    persists via save()/load(); L0 is never serialized.
+ *    shard, keys distributed by hash). This is the level save()
+ *    serializes and setCapacity() bounds; L0 is never serialized.
+ *  - **Shared** — an optional read-only mmap of a published v5
+ *    snapshot (attachShared), probed copy-free after an L1 miss.
+ *    Hits promote into L0 only — never into L1 — so the snapshot's
+ *    pages stay shared across every process mapping it.
  *
  * Counter contract (exact under any worker count; all relaxed
  * atomics): every lookupFast counts exactly one of l0Hits/l0Misses;
  * every L0 miss falls through to one L1 lookup, which counts exactly
  * one of hits/misses — so hits() + misses() == l0Misses() when all
- * traffic goes through lookupFast. inserts() counts entries actually
- * created (losing racers of a duplicate insert are not counted), so
- * inserts() == size() on a cache that was never cleared. Frontier
- * counters are coarser: frontHits() counts successful frontier
- * lookups at either level, frontMisses() counts lookups that had to
- * fall through to a full sweep, frontInserts() counts frontier
- * entries actually created.
+ * traffic goes through lookupFast. A shared-tier hit counts in BOTH
+ * hits() and sharedHits() (attribution, not a new denominator);
+ * misses() therefore still means "missed every tier". inserts()
+ * counts entries actually created (losing racers of a duplicate
+ * insert are not counted), so inserts() == size() on a cache that
+ * was never cleared or bounded; with a capacity set,
+ * inserts() - evictions() == size(). Frontier counters are coarser:
+ * frontHits() counts successful frontier lookups at any level,
+ * frontMisses() counts lookups that had to fall through to a full
+ * sweep, frontInserts() counts frontier entries actually created.
  */
 class CostCache
 {
   public:
     explicit CostCache(int shards = 16);
+    ~CostCache();
+
+    /**
+     * @name Bounded L1 (eviction)
+     * @{
+     */
+
+    /**
+     * Bound the sharded tier: `maxBytes` caps the total serialized
+     * footprint (the exact bytes save() would write per entry, key
+     * included), `maxEntries` caps the entry count across all three
+     * kinds; 0 = unbounded (the default). An insert that exceeds a
+     * bound triggers one epoch-batched eviction: entries are ranked
+     * (kind priority, last use) — scalars evicted first, then
+     * frontiers, then segments, LRU within each kind — and evicted
+     * until the tier is back under 7/8 of each bound, so inserts
+     * amortize to O(1) between batches. Rationale: a frontier entry
+     * reconstructs from hundreds of scalar evaluations and a
+     * segment record from whole per-stage searches, while scalar
+     * entries dominate the byte budget — evicting cheap-to-rebuild
+     * bulk first is what keeps the warm frontier-hit rate alive
+     * under memory pressure (bench_dse_perf's cache_eviction sweep
+     * gates this).
+     */
+    void setCapacity(std::uint64_t maxBytes,
+                     std::uint64_t maxEntries);
+
+    /** @} */
 
     /** Returns true and fills *out on a hit (counts a hit/miss). */
     bool lookup(const CacheKey &key, LayerResult *out);
@@ -266,6 +342,37 @@ class CostCache
 
     /** @} */
 
+    /**
+     * @name Shared read-mostly tier (mmap'd published snapshots)
+     *
+     * attachShared(path) remembers the snapshot path and maps it
+     * read-only if a valid v5 file is already there (a missing or
+     * invalid file just means "not yet published" — the next
+     * refreshShared() picks it up). Probes hit the mapped image
+     * in place: open-addressed in-file hash tables, no
+     * deserialization, pages shared with every other process mapping
+     * the same file. refreshShared() re-reads the published header
+     * and atomically swaps in a new mapping when the generation
+     * stamp changed (counted in remaps()); in-flight probes keep
+     * using the old mapping until they finish — readers never block
+     * writers and vice versa.
+     * @{
+     */
+
+    /** Attach (and map, if possible) a published snapshot. Returns
+     *  true when a snapshot is mapped after the call. */
+    bool attachShared(const std::string &path);
+
+    /** Re-check the published generation; remap on change. Returns
+     *  true when a new snapshot was mapped by this call. */
+    bool refreshShared();
+
+    /** Generation stamp of the currently mapped snapshot (0 = none
+     *  mapped). */
+    std::uint64_t sharedGeneration() const;
+
+    /** @} */
+
     std::uint64_t hits() const { return hits_.load(); }
     std::uint64_t misses() const { return misses_.load(); }
     std::uint64_t l0Hits() const { return l0Hits_.load(); }
@@ -278,6 +385,22 @@ class CostCache
     std::uint64_t segMisses() const { return segMisses_.load(); }
     std::uint64_t segInserts() const { return segInserts_.load(); }
     std::uint64_t quarantined() const { return quarantined_.load(); }
+    std::uint64_t evictions() const { return evictions_.load(); }
+    std::uint64_t sharedHits() const { return sharedHits_.load(); }
+    std::uint64_t sharedFrontHits() const
+    {
+        return sharedFrontHits_.load();
+    }
+    std::uint64_t sharedSegHits() const
+    {
+        return sharedSegHits_.load();
+    }
+    std::uint64_t remaps() const { return remaps_.load(); }
+    /** Exact serialized footprint of the resident L1 entries. */
+    std::uint64_t residentBytes() const
+    {
+        return residentBytes_.load();
+    }
 
     /** Snapshot of all counters in one call (relaxed loads; exact
      *  when no lookup is concurrently in flight, e.g. between
@@ -297,6 +420,13 @@ class CostCache
         c.segMisses = segMisses();
         c.segInserts = segInserts();
         c.quarantined = quarantined();
+        c.evictions = evictions();
+        c.sharedHits = sharedHits();
+        c.sharedFrontHits = sharedFrontHits();
+        c.sharedSegHits = sharedSegHits();
+        c.remaps = remaps();
+        c.residentBytes = residentBytes();
+        c.generation = sharedGeneration();
         return c;
     }
 
@@ -309,20 +439,23 @@ class CostCache
     void clear();
 
     /**
-     * @name Persistence (warm-starting model-zoo sweeps)
+     * @name Persistence (warm-starting model-zoo sweeps, and the
+     * published form of the shared tier)
      *
      * Versioned binary serialization of every scalar, frontier, and
      * segment entry. The file header carries a magic word, a format
      * version, and a schema hash over the serialized field layout,
      * so a file written by an older build — different version OR
      * different schema — is *rejected* (cold start), never misread.
-     * Format v4 additionally appends a CRC32 checksum word to each
-     * of the three sections, so silent corruption (bit rot, a torn
-     * write that the size prechecks happen to accept) is detected,
-     * and save() fsyncs the temp file before the rename — a crash at
-     * any point leaves either the old valid file or the new valid
-     * file, never a torn one. Entries are host-endian; the magic
-     * word doubles as the endianness check.
+     * Format v5 is an mmap-able snapshot: a fixed header (with a
+     * monotonic generation stamp and header/body CRC32 words),
+     * per-kind open-addressed slot tables, fixed-stride entry
+     * arrays, and a variable-length heap — the same bytes serve
+     * loadEx() (merge into L1) and attachShared() (probe in place).
+     * save() fsyncs the temp file before the rename — a crash at any
+     * point leaves either the old valid file or the new valid file,
+     * never a torn one. Entries are host-endian; the magic word
+     * doubles as the endianness check.
      * @{
      */
 
@@ -337,8 +470,12 @@ class CostCache
     /**
      * Write all entries to `path`: serialize to a sibling temp file,
      * fsync it, rename over the target, then fsync the directory —
-     * crash-durable at every step. False on any I/O failure (the
-     * previous file at `path` is left untouched).
+     * crash-durable at every step. The written generation stamp is
+     * the current file's generation + 1 (1 on a fresh path), so
+     * attached readers observe every publish (single-writer
+     * protocol; see serve/README.md "Multi-process deployment").
+     * False on any I/O failure (the previous file at `path` is left
+     * untouched).
      */
     bool save(const std::string &path) const;
 
@@ -367,23 +504,75 @@ class CostCache
     /** @} */
 
   private:
+    /** One L1 entry: the value plus its recency stamp and exact
+     *  serialized footprint (key included) for eviction ranking and
+     *  byte accounting. */
+    template <class V>
+    struct Entry
+    {
+        V val;
+        std::uint64_t lastUse = 0;
+        std::uint64_t bytes = 0;
+    };
+
     struct Shard
     {
         std::mutex mu;
-        std::unordered_map<CacheKey, LayerResult, CacheKeyHash> map;
-        std::unordered_map<CacheKey, std::vector<FrontierPoint>,
+        std::unordered_map<CacheKey, Entry<LayerResult>, CacheKeyHash>
+            map;
+        std::unordered_map<CacheKey, Entry<std::vector<FrontierPoint>>,
                            CacheKeyHash>
             fronts;
-        std::unordered_map<CacheKey, SegmentRecord, CacheKeyHash> segs;
+        std::unordered_map<CacheKey, Entry<SegmentRecord>,
+                           CacheKeyHash>
+            segs;
     };
 
     Shard &shardFor(const CacheKey &key);
+
+    /** Next global recency stamp (relaxed; ordering between stamps
+     *  taken under different shard locks only matters to eviction
+     *  ranking, where approximate interleaving is acceptable). */
+    std::uint64_t tick()
+    {
+        return tick_.fetch_add(1, std::memory_order_relaxed);
+    }
+
+    bool overCapacity() const;
+    /** One epoch-batched eviction pass (serialized on evictMu_). */
+    void enforceCapacity();
+
+    /** Mutex-protected copy of the current snapshot pointer (null
+     *  when none is mapped). */
+    std::shared_ptr<const SharedSnapshot> sharedSnapshot() const;
+    /** Map `sharedPath_` and swap it in if its generation differs
+     *  from the mapped one. Returns true on a fresh map. */
+    bool mapShared(bool countRemap);
 
     std::vector<std::unique_ptr<Shard>> shards_;
     /** Process-unique instance id tagged into L0 slots. */
     std::uint64_t id_;
     /** Bumped by clear() so stale L0 entries die everywhere. */
     std::atomic<std::uint64_t> epoch_{0};
+    std::atomic<std::uint64_t> tick_{0};
+
+    /** Capacity bounds (0 = unbounded) and exact usage gauges. */
+    std::atomic<std::uint64_t> maxBytes_{0};
+    std::atomic<std::uint64_t> maxEntries_{0};
+    std::atomic<std::uint64_t> residentBytes_{0};
+    std::atomic<std::uint64_t> entryCount_{0};
+    /** Serializes eviction batches (inserts from other threads
+     *  proceed concurrently; they just can't start a second batch). */
+    std::mutex evictMu_;
+
+    /** Shared-tier state: the snapshot pointer swaps under
+     *  sharedMu_; probes copy the shared_ptr and read lock-free. */
+    mutable std::mutex sharedMu_;
+    std::string sharedPath_;
+    std::shared_ptr<const SharedSnapshot> shared_;
+    std::atomic<bool> sharedAttached_{false};
+    std::atomic<std::uint64_t> sharedGen_{0};
+
     std::atomic<std::uint64_t> hits_{0};
     std::atomic<std::uint64_t> misses_{0};
     std::atomic<std::uint64_t> l0Hits_{0};
@@ -396,6 +585,11 @@ class CostCache
     std::atomic<std::uint64_t> segMisses_{0};
     std::atomic<std::uint64_t> segInserts_{0};
     std::atomic<std::uint64_t> quarantined_{0};
+    std::atomic<std::uint64_t> evictions_{0};
+    std::atomic<std::uint64_t> sharedHits_{0};
+    std::atomic<std::uint64_t> sharedFrontHits_{0};
+    std::atomic<std::uint64_t> sharedSegHits_{0};
+    std::atomic<std::uint64_t> remaps_{0};
 };
 
 } // namespace dse

@@ -15,12 +15,21 @@ DseEngine::DseEngine(DseOptions opt)
     : opt_(std::move(opt)), cache_(), pool_(opt_.threads),
       evaluator_(&cache_, opt_.eval)
 {
+    // Capacity first, so even the warm-start load below respects the
+    // bound (a persisted cache larger than the budget evicts down
+    // during the merge instead of overshooting).
+    if (opt_.cacheMaxBytes != 0 || opt_.cacheMaxEntries != 0)
+        cache_.setCapacity(opt_.cacheMaxBytes, opt_.cacheMaxEntries);
     // Warm-start from the persisted cache when one is configured; a
     // missing or stale (schema-mismatched) file is just a cold
     // start, and a CORRUPT file is quarantined to `<path>.corrupt`
     // so the next saveCache() starts from a clean slate.
     if (!opt_.cachePath.empty())
         cache_.loadOrQuarantine(opt_.cachePath);
+    // Attach the read-mostly mmap tier last: a not-yet-published
+    // snapshot is fine (refreshShared picks it up later).
+    if (!opt_.sharedCachePath.empty())
+        cache_.attachShared(opt_.sharedCachePath);
 }
 
 bool
@@ -54,6 +63,14 @@ DseEngine::statsSince(const StatsEpoch &e) const
     s.frontMisses = cc.frontMisses;
     s.segHits = cc.segHits;
     s.segMisses = cc.segMisses;
+    s.evictions = cc.evictions;
+    s.sharedHits = cc.sharedHits;
+    s.sharedFrontHits = cc.sharedFrontHits;
+    s.sharedSegHits = cc.sharedSegHits;
+    // Gauges carry the window-close reading (CacheCounters::operator-
+    // does not difference them).
+    s.residentBytes = cc.residentBytes;
+    s.generation = cc.generation;
     const EvalCounters ec = evaluator_.counters();
     s.modelEvals = ec.modelEvals - e.eval.modelEvals;
     s.mappingsPruned = ec.mappingsPruned - e.eval.mappingsPruned;
@@ -84,6 +101,13 @@ DseEngine::publishMetrics(obs::MetricsRegistry &registry) const
     registry.counter("dse.cache.seg_misses").set(cc.segMisses);
     registry.counter("dse.cache.seg_inserts").set(cc.segInserts);
     registry.counter("dse.cache.quarantined").set(cc.quarantined);
+    registry.counter("dse.cache.evictions").set(cc.evictions);
+    registry.counter("dse.cache.shared_hits").set(cc.sharedHits);
+    registry.counter("dse.cache.shared_front_hits")
+        .set(cc.sharedFrontHits);
+    registry.counter("dse.cache.shared_seg_hits")
+        .set(cc.sharedSegHits);
+    registry.counter("dse.cache.remaps").set(cc.remaps);
     const EvalCounters ec = evaluator_.counters();
     registry.counter("dse.eval.searches").set(ec.searches);
     registry.counter("dse.eval.model_evals").set(ec.modelEvals);
@@ -106,6 +130,9 @@ DseEngine::publishMetrics(obs::MetricsRegistry &registry) const
         .set(double(cache_.frontierCount()));
     registry.gauge("dse.cache.segment_entries")
         .set(double(cache_.segmentCount()));
+    registry.gauge("dse.cache.resident_bytes")
+        .set(double(cc.residentBytes));
+    registry.gauge("dse.cache.generation").set(double(cc.generation));
 }
 
 DseResult

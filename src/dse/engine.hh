@@ -47,6 +47,21 @@ struct DseOptions
      */
     std::string cachePath;
     /**
+     * Bounds on the in-memory (L1) cache tier, applied before the
+     * warm-start load: total serialized footprint in bytes and entry
+     * count across all record kinds; 0 = unbounded (the historical
+     * behavior). See CostCache::setCapacity for the eviction policy.
+     */
+    std::uint64_t cacheMaxBytes = 0;
+    std::uint64_t cacheMaxEntries = 0;
+    /**
+     * Optional published shared-cache snapshot to attach as the
+     * read-mostly mmap tier (CostCache::attachShared). Independent
+     * of cachePath: a serve worker typically sets ONLY this, so it
+     * starts cold in L1 but warm through the mapped snapshot.
+     */
+    std::string sharedCachePath;
+    /**
      * Evaluator reuse/pruning switches. The defaults (all on) keep
      * results bit-identical to the naive sweep; turning them off
      * exists for equivalence tests and perf baselines
@@ -80,6 +95,17 @@ struct DseStats
      *  both zero when segmentation is off). */
     std::uint64_t segHits = 0;
     std::uint64_t segMisses = 0;
+    /** L1 entries evicted by the capacity bound in this window. */
+    std::uint64_t evictions = 0;
+    /** Hits served from the shared mmap tier (each also counted in
+     *  the matching cacheHits/frontHits/segHits total). */
+    std::uint64_t sharedHits = 0;
+    std::uint64_t sharedFrontHits = 0;
+    std::uint64_t sharedSegHits = 0;
+    /** Gauges at window close (not deltas): L1 serialized footprint
+     *  and the mapped shared-snapshot generation (0 = none). */
+    std::uint64_t residentBytes = 0;
+    std::uint64_t generation = 0;
     /** runLayerWithEff invocations issued by this engine's
      *  evaluator — the hot-path unit of work. Per-engine exact. */
     std::uint64_t modelEvals = 0;

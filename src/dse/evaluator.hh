@@ -25,7 +25,9 @@
  *  - spatialEfficiency is computed once per (hw, layer, dataflow)
  *    and shared by every tiling candidate of that dataflow;
  *  - each (hw, layer, mapping) evaluation is memoized in an optional
- *    CostCache (thread-local L0 in front of the sharded table), and
+ *    CostCache — a three-level lookup: thread-local L0, the bounded
+ *    sharded L1 (LRU-evicted past its setCapacity budget), then the
+ *    optional mmap'd shared snapshot tier probed copy-free — and
  *    whole frontiers are memoized per (hw, layer, K) for K > 1 —
  *    K = 1 sweeps keep the exact scalar cache behavior.
  *

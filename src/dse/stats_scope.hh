@@ -48,6 +48,12 @@ class StatsContext
     std::atomic<std::uint64_t> frontMisses{0};
     std::atomic<std::uint64_t> segHits{0};     //!< Segment memo.
     std::atomic<std::uint64_t> segMisses{0};
+    std::atomic<std::uint64_t> evictions{0};   //!< L1 LRU evictions.
+    /** Shared mmap-tier attribution (each also counts in the
+     *  matching cacheHits/frontHits/segHits slot). */
+    std::atomic<std::uint64_t> sharedHits{0};
+    std::atomic<std::uint64_t> sharedFrontHits{0};
+    std::atomic<std::uint64_t> sharedSegHits{0};
     std::atomic<std::uint64_t> modelEvals{0};
     std::atomic<std::uint64_t> mappingsPruned{0};
     std::atomic<std::uint64_t> dataflowsPruned{0};

@@ -64,6 +64,10 @@ statsFrom(const dse::StatsContext &ctx, double wallSeconds)
     s.frontMisses = get(ctx.frontMisses);
     s.segHits = get(ctx.segHits);
     s.segMisses = get(ctx.segMisses);
+    s.evictions = get(ctx.evictions);
+    s.sharedHits = get(ctx.sharedHits);
+    s.sharedFrontHits = get(ctx.sharedFrontHits);
+    s.sharedSegHits = get(ctx.sharedSegHits);
     s.modelEvals = get(ctx.modelEvals);
     s.mappingsPruned = get(ctx.mappingsPruned);
     s.dataflowsPruned = get(ctx.dataflowsPruned);
@@ -99,6 +103,11 @@ sameResponse(const ServeResponse &a, const ServeResponse &b)
 ServeLoop::ServeLoop(ServeOptions opt)
     : opt_(std::move(opt)), engine_(opt_.dse)
 {
+    // Reader side of the multi-process shared cache: map the
+    // published snapshot (when one exists — an unpublished path just
+    // means the per-request refresh below will pick it up later).
+    if (!opt_.sharedCachePath.empty())
+        engine_.cache().attachShared(opt_.sharedCachePath);
     // Pre-register every serve metric so snapshots carry the full
     // schema even before the first request (or first error).
     metrics_.counter("serve.requests");
@@ -377,6 +386,12 @@ ServeLoop::buildResponse(const Pending &p)
     dse::StatsContext::Scope statsScope(&statsCtx);
     const auto buildStart = std::chrono::steady_clock::now();
 
+    // Pick up a republished shared snapshot before any lookups: one
+    // cheap header read per request (no-op when nothing is
+    // attached); a generation change atomically remaps while
+    // concurrent requests finish their probes on the old mapping.
+    engine_.cache().refreshShared();
+
     // Resolve the request's zoo from the registry. An unknown name
     // fails the whole request (never a partial zoo), but later
     // requests are unaffected.
@@ -466,6 +481,10 @@ ServeLoop::buildResponse(const Pending &p)
         statsCtx, std::chrono::duration<double>(
                       std::chrono::steady_clock::now() - buildStart)
                       .count());
+    // Gauges are whole-cache readings, not per-request attributions
+    // (a StatsContext cannot carry a point-in-time footprint).
+    r.stats.dse.residentBytes = engine_.cache().residentBytes();
+    r.stats.dse.generation = engine_.cache().sharedGeneration();
     r.compose = copt;
     r.ok = true;
     // Best-so-far is never nothing: every frontier keeps >= 1 point

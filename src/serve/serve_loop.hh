@@ -170,6 +170,18 @@ struct ServeOptions
     std::size_t statsEvery = 0;
     /** @} */
     /**
+     * Published shared-cache snapshot to attach as the read-mostly
+     * mmap tier ("" = none): N serve processes on one box map the
+     * same file and share its warm entries copy-free. The loop
+     * re-checks the published generation before building each
+     * request and atomically remaps when a writer republished
+     * (counted in dse.cache.remaps). Reader role only — the loop
+     * never writes this path; publishing stays the single writer's
+     * job via DseOptions::cachePath + saveCache(). See
+     * serve/README.md "Multi-process deployment".
+     */
+    std::string sharedCachePath;
+    /**
      * @name Concurrency
      * @{
      */

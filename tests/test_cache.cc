@@ -1,0 +1,368 @@
+/**
+ * @file
+ * Production-scale CostCache behaviors: bounded-memory LRU eviction
+ * (capacity boundaries, eviction order, exact counters, warm-hit
+ * survival), the v5 on-disk format's compatibility classification
+ * against committed fixtures (v4 → Stale cold start, corrupt v5 →
+ * byte-verbatim quarantine), and the mmap'd shared read-mostly tier
+ * (attach, copy-free probes, generation-stamped atomic remap,
+ * per-request attribution through dse::StatsContext).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+#include "dse/stats_scope.hh"
+#include "lego.hh"
+
+namespace lego
+{
+namespace
+{
+
+using dse::CacheCounters;
+using dse::CacheKey;
+using dse::CacheLoadStatus;
+using dse::CostCache;
+using dse::StatsContext;
+
+/** Serialized footprint of one scalar entry: 32 key words + 6
+ *  result words (must match the save() layout — the eviction byte
+ *  accounting is defined as exactly what save() would write). */
+constexpr std::uint64_t kScalarBytes = (32 + 6) * 8;
+
+std::string
+slurp(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    std::stringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+}
+
+bool
+fileExists(const std::string &path)
+{
+    return static_cast<bool>(std::ifstream(path));
+}
+
+bool
+copyFile(const std::string &from, const std::string &to)
+{
+    std::ifstream in(from, std::ios::binary);
+    std::ofstream out(to, std::ios::binary | std::ios::trunc);
+    out << in.rdbuf();
+    return static_cast<bool>(in) && static_cast<bool>(out);
+}
+
+/** A synthetic scalar key: distinct, hash-correct, hardware-free —
+ *  eviction mechanics don't care what the words mean. */
+CacheKey
+syntheticKey(std::uint64_t n)
+{
+    CacheKey k;
+    k.words[0] = n + 1;
+    k.words[1] = n * 2654435761ull;
+    k.hashValue = k.computeHash();
+    return k;
+}
+
+LayerResult
+syntheticResult(std::uint64_t n)
+{
+    LayerResult r;
+    r.cycles = Int(n + 100);
+    r.energyPj = double(n) * 1.5;
+    r.macs = Int(n);
+    return r;
+}
+
+TEST(CacheEviction, EntryExactlyAtCapacityIsNotEvicted)
+{
+    CostCache cache;
+    cache.setCapacity(kScalarBytes * 4, 0);
+    for (std::uint64_t i = 0; i < 4; ++i)
+        cache.insert(syntheticKey(i), syntheticResult(i));
+    // Exactly AT the byte bound: the contract is "evict past", not
+    // "evict at" — a capacity equal to the working set must hold it.
+    EXPECT_EQ(cache.residentBytes(), kScalarBytes * 4);
+    EXPECT_EQ(cache.evictions(), 0u);
+    EXPECT_EQ(cache.size(), 4u);
+
+    // One entry beyond trips a batch: down to <= 7/8 of the bound.
+    cache.insert(syntheticKey(4), syntheticResult(4));
+    EXPECT_GT(cache.evictions(), 0u);
+    EXPECT_LE(cache.residentBytes(),
+              kScalarBytes * 4 - (kScalarBytes * 4) / 8);
+    EXPECT_EQ(cache.inserts() - cache.evictions(), cache.size());
+}
+
+TEST(CacheEviction, LruOrderRespectsLookupRecency)
+{
+    CostCache cache;
+    for (std::uint64_t i = 0; i < 8; ++i)
+        cache.insert(syntheticKey(i), syntheticResult(i));
+    // Refresh 0..3 via lookup() — recency is an L1 property (L0
+    // hits deliberately don't touch L1 stamps), so lookup() is the
+    // recency driver.
+    LayerResult out;
+    for (std::uint64_t i = 0; i < 4; ++i)
+        ASSERT_TRUE(cache.lookup(syntheticKey(i), &out));
+
+    // Bound to 5 entries: the batch evicts down to 7/8 * 5 = 5, so
+    // exactly the 3 least-recently-used (4, 5, 6) go.
+    cache.setCapacity(0, 5);
+    EXPECT_EQ(cache.evictions(), 3u);
+    EXPECT_EQ(cache.size(), 5u);
+    for (std::uint64_t i : {4ull, 5ull, 6ull})
+        EXPECT_FALSE(cache.lookup(syntheticKey(i), &out)) << i;
+    for (std::uint64_t i : {0ull, 1ull, 2ull, 3ull, 7ull})
+        EXPECT_TRUE(cache.lookup(syntheticKey(i), &out)) << i;
+}
+
+TEST(CacheEviction, CountersStayExactUnderTwoThreadInterleaving)
+{
+    CostCache cache;
+    cache.setCapacity(kScalarBytes * 64, 0);
+    // Two threads interleave disjoint lookup/insert traffic far past
+    // capacity; whatever the interleaving, the accounting identities
+    // must hold exactly afterwards.
+    auto worker = [&](std::uint64_t base) {
+        LayerResult out;
+        for (std::uint64_t i = 0; i < 600; ++i) {
+            const CacheKey k = syntheticKey(base + i);
+            if (!cache.lookup(k, &out))
+                cache.insert(k, syntheticResult(base + i));
+            if (i % 3 == 0)
+                cache.lookup(syntheticKey(base + i / 2), &out);
+        }
+    };
+    std::thread a(worker, 0), b(worker, 10000);
+    a.join();
+    b.join();
+    EXPECT_GT(cache.evictions(), 0u);
+    EXPECT_EQ(cache.inserts() - cache.evictions(), cache.size());
+    EXPECT_EQ(cache.residentBytes(), cache.size() * kScalarBytes);
+    EXPECT_LE(cache.residentBytes(), kScalarBytes * 64);
+}
+
+TEST(CacheEviction, WarmFrontierHitRateSurvivesBoundedReplay)
+{
+    // Unbounded baseline: how many bytes does a frontier-valued
+    // model sweep resident?
+    HardwareConfig hw;
+    Model m = makeLeNet();
+    CostCache unbounded;
+    {
+        dse::Evaluator ev(&unbounded);
+        ev.mapModelFrontier(hw, m, 4);
+    }
+    const std::uint64_t full = unbounded.residentBytes();
+    ASSERT_GT(full, 0u);
+
+    // Replay at HALF the working set (the "2x over capacity" shape):
+    // scalars are sacrificed, frontier entries must survive, so the
+    // warm pass still answers every frontier lookup from memory.
+    CostCache bounded;
+    bounded.setCapacity(full / 2, 0);
+    dse::Evaluator ev(&bounded);
+    ev.mapModelFrontier(hw, m, 4); // Cold: fills + evicts.
+    EXPECT_GT(bounded.evictions(), 0u);
+    EXPECT_LE(bounded.residentBytes(), full / 2);
+
+    const CacheCounters before = bounded.counters();
+    std::vector<dse::MappingFrontier> warm =
+        ev.mapModelFrontier(hw, m, 4);
+    const CacheCounters delta = bounded.counters() - before;
+    EXPECT_GT(delta.frontHits, 0u);
+    EXPECT_EQ(delta.frontMisses, 0u); // 100% warm frontier hits.
+    ASSERT_EQ(warm.size(), m.layers.size());
+}
+
+TEST(CacheCompat, V4FixtureIsStaleNeverQuarantined)
+{
+    const std::string fixture =
+        std::string(LEGO_SOURCE_DIR) + "/tests/fixtures/cache_v4.bin";
+    const std::string path =
+        testing::TempDir() + "lego_cache_v4_compat.bin";
+    ASSERT_TRUE(copyFile(fixture, path));
+
+    // A v4 file is a valid artifact of an older build: deliberate
+    // cold start (Stale), never treated as damage — the file must
+    // survive untouched, with no quarantine side effects.
+    CostCache cache;
+    EXPECT_EQ(cache.loadOrQuarantine(path), CacheLoadStatus::Stale);
+    EXPECT_EQ(cache.quarantined(), 0u);
+    EXPECT_EQ(cache.size(), 0u);
+    EXPECT_TRUE(fileExists(path));
+    EXPECT_FALSE(fileExists(path + ".corrupt"));
+    EXPECT_EQ(slurp(path), slurp(fixture)); // Byte-untouched.
+    std::remove(path.c_str());
+}
+
+TEST(CacheCompat, CorruptV5FixtureQuarantinesByteVerbatim)
+{
+    const std::string fixture = std::string(LEGO_SOURCE_DIR) +
+                                "/tests/fixtures/cache_v5_corrupt.bin";
+    const std::string path =
+        testing::TempDir() + "lego_cache_v5_compat.bin";
+    const std::string aside = path + ".corrupt";
+    ASSERT_TRUE(copyFile(fixture, path));
+    std::remove(aside.c_str());
+
+    CostCache cache;
+    EXPECT_EQ(cache.loadOrQuarantine(path), CacheLoadStatus::Corrupt);
+    EXPECT_EQ(cache.quarantined(), 1u);
+    EXPECT_EQ(cache.size(), 0u);
+    EXPECT_FALSE(fileExists(path)); // Moved aside, not deleted.
+    ASSERT_TRUE(fileExists(aside));
+    // The quarantined bytes are the damaged file verbatim — the
+    // post-mortem evidence contract.
+    EXPECT_EQ(slurp(aside), slurp(fixture));
+    std::remove(aside.c_str());
+}
+
+/** Writer cache with all three entry kinds, saved to `path`. */
+void
+publishSnapshot(const std::string &path, CostCache *cache)
+{
+    HardwareConfig hw;
+    hw.dram.bandwidthGBs = 4.0; // Starved DRAM: segments form.
+    Model m = makeLeNet();
+    dse::Evaluator ev(cache);
+    ev.mapModel(hw, m);
+    ev.mapModelFrontier(hw, m, 4);
+    SegmentOptions sopt;
+    sopt.enable = true;
+    dse::searchSegments(hw, m, ev, sopt);
+    ASSERT_GT(cache->size(), 0u);
+    ASSERT_GT(cache->frontierCount(), 0u);
+    ASSERT_GT(cache->segmentCount(), 0u);
+    ASSERT_TRUE(cache->save(path));
+}
+
+TEST(SharedCache, ReaderServesEntirelyFromMappedSnapshot)
+{
+    const std::string path =
+        testing::TempDir() + "lego_shared_snapshot.bin";
+    std::remove(path.c_str());
+    CostCache writer;
+    publishSnapshot(path, &writer);
+
+    // Reader: empty L0/L1, warmth only through the mapped tier.
+    CostCache reader;
+    ASSERT_TRUE(reader.attachShared(path));
+    EXPECT_EQ(reader.sharedGeneration(), 1u);
+
+    HardwareConfig hw;
+    hw.dram.bandwidthGBs = 4.0;
+    Model m = makeLeNet();
+    dse::Evaluator ev(&reader);
+    ScheduleResult viaShared = ev.mapModel(hw, m);
+    EXPECT_EQ(ev.counters().modelEvals, 0u)
+        << "every evaluation should have come from the snapshot";
+    EXPECT_GT(reader.sharedHits(), 0u);
+    // Shared hits never copy into L1 (pages must stay shared):
+    // inserts would be the tell.
+    EXPECT_EQ(reader.inserts(), 0u);
+    EXPECT_EQ(reader.residentBytes(), 0u);
+
+    // Frontier + segment kinds probe the snapshot too.
+    const dse::CacheCounters before = reader.counters();
+    ev.mapModelFrontier(hw, m, 4);
+    SegmentOptions sopt;
+    sopt.enable = true;
+    dse::searchSegments(hw, m, ev, sopt);
+    const dse::CacheCounters delta = reader.counters() - before;
+    EXPECT_GT(delta.sharedFrontHits, 0u);
+    EXPECT_GT(delta.sharedSegHits, 0u);
+    EXPECT_EQ(delta.frontMisses, 0u);
+
+    // And the answers are the writer's, bit for bit.
+    dse::Evaluator wev(&writer);
+    EXPECT_TRUE(sameSchedule(viaShared, wev.mapModel(hw, m)));
+    std::remove(path.c_str());
+}
+
+TEST(SharedCache, GenerationChangeRemapsAtomically)
+{
+    const std::string path =
+        testing::TempDir() + "lego_shared_remap.bin";
+    std::remove(path.c_str());
+    CostCache writer;
+    HardwareConfig hw;
+    Model m = makeLeNet();
+    {
+        dse::Evaluator ev(&writer);
+        ev.mapModel(hw, m);
+    }
+    ASSERT_TRUE(writer.save(path));
+
+    CostCache reader;
+    ASSERT_TRUE(reader.attachShared(path));
+    EXPECT_EQ(reader.sharedGeneration(), 1u);
+    // No republish → refresh is a cheap no-op (header read only).
+    EXPECT_FALSE(reader.refreshShared());
+    EXPECT_EQ(reader.remaps(), 0u);
+
+    // Idempotent republish (identical content) keeps the generation:
+    // readers must not churn mappings for bytes they already have.
+    ASSERT_TRUE(writer.save(path));
+    EXPECT_FALSE(reader.refreshShared());
+    EXPECT_EQ(reader.sharedGeneration(), 1u);
+
+    // A real republish (new frontier entries) bumps the generation
+    // and the reader atomically remaps on its next refresh.
+    {
+        dse::Evaluator ev(&writer);
+        ev.mapModelFrontier(hw, m, 4);
+    }
+    ASSERT_TRUE(writer.save(path));
+    EXPECT_TRUE(reader.refreshShared());
+    EXPECT_EQ(reader.sharedGeneration(), 2u);
+    EXPECT_EQ(reader.remaps(), 1u);
+
+    // The new entries are visible through the new mapping.
+    std::vector<dse::FrontierPoint> pts;
+    EXPECT_TRUE(reader.lookupFrontier(
+        dse::makeFrontierKey(hw, m.layers[0], 4), &pts));
+    EXPECT_GT(reader.sharedFrontHits(), 0u);
+    std::remove(path.c_str());
+}
+
+TEST(SharedCache, StatsContextAttributesEvictionsAndSharedHits)
+{
+    const std::string path =
+        testing::TempDir() + "lego_shared_attrib.bin";
+    std::remove(path.c_str());
+    CostCache writer;
+    for (std::uint64_t i = 0; i < 8; ++i)
+        writer.insert(syntheticKey(i), syntheticResult(i));
+    ASSERT_TRUE(writer.save(path));
+
+    // The per-request idiom: both the shared-tier hit and the
+    // eviction land in the installed context, exactly — this is what
+    // keeps serve's per-request stats exact under overlap.
+    CostCache reader;
+    ASSERT_TRUE(reader.attachShared(path));
+    StatsContext ctx;
+    StatsContext::Scope scope(&ctx);
+    LayerResult out;
+    ASSERT_TRUE(reader.lookup(syntheticKey(3), &out));
+    EXPECT_EQ(ctx.sharedHits.load(), 1u);
+    EXPECT_EQ(ctx.cacheHits.load(), 1u); // Attribution, not a new
+                                         // denominator.
+    reader.setCapacity(0, 4);
+    for (std::uint64_t i = 100; i < 110; ++i)
+        reader.insert(syntheticKey(i), syntheticResult(i));
+    EXPECT_GT(ctx.evictions.load(), 0u);
+    EXPECT_EQ(ctx.evictions.load(), reader.evictions());
+    std::remove(path.c_str());
+}
+
+} // namespace
+} // namespace lego

@@ -6,7 +6,7 @@ disabled-tracing overhead gate in BENCH_dse.json.
 
 Usage:
   check_obs.py [--trace FILE] [--stats FILE
-                [--expect-failpoints N]]
+                [--expect-failpoints N] [--require-shared-cache]]
                [--access-log FILE --expect-requests N]
                [--bench FILE --max-overhead-pct PCT
                 [--require-segment-dominance]]
@@ -26,7 +26,15 @@ distinct failpoint.* counters with >= 1 hit each — the chaos-smoke
 proof that the fault-injection replay actually fired its seams.
 --require-segment-dominance additionally gates BENCH_dse.json's
 segment_pipeline_rn50 sweep (>= 1 pipelined segment, latency/energy
-ratios < 1, disabled-path identity).
+ratios < 1, disabled-path identity). --require-shared-cache asserts
+the stats snapshot came from a pure shared-cache reader: zero model
+evaluations, zero frontier misses, >= 1 frontier hit served from the
+mmap'd snapshot tier, and a mapped generation >= 1 — the
+multi-process smoke proof that every answer came copy-free out of
+the published file. --bench also validates the cache_eviction
+section (schema 5): nonzero evictions, resident bytes within the
+cap, and a bounded warm frontier-hit rate within 10 points of the
+unbounded ideal.
 
 Every given artifact is validated; any violation exits 1 with a
 message. Stdlib only — runs on a bare CI python3.
@@ -76,7 +84,8 @@ def check_trace(path):
           f"{other.get('dropped_events', 0)} dropped")
 
 
-def check_stats(path, expect_failpoints=None):
+def check_stats(path, expect_failpoints=None,
+                require_shared_cache=False):
     with open(path) as f:
         doc = json.load(f)
     build = doc.get("build")
@@ -103,9 +112,17 @@ def check_stats(path, expect_failpoints=None):
                      "dse.segment.plans", "dse.segment.infeasible",
                      "dse.segment.accepted", "dse.cache.seg_hits",
                      "dse.cache.seg_misses",
-                     "dse.cache.quarantined"):
+                     "dse.cache.quarantined", "dse.cache.evictions",
+                     "dse.cache.shared_hits",
+                     "dse.cache.shared_front_hits",
+                     "dse.cache.shared_seg_hits",
+                     "dse.cache.remaps"):
             if name not in counters:
                 return fail(f"{path}: counters missing {name!r}")
+        for name in ("dse.cache.resident_bytes",
+                     "dse.cache.generation"):
+            if name not in serve["gauges"]:
+                return fail(f"{path}: gauges missing {name!r}")
     # A serving snapshot must carry the full robustness family, so
     # dashboards can alert on shed/degraded/stalled without probing
     # whether the loop predates hardened serving.
@@ -131,6 +148,29 @@ def check_stats(path, expect_failpoints=None):
             return fail(f"{path}: {len(fired)} failpoint counters "
                         f"with hits, expected >= {expect_failpoints}"
                         f" ({sorted(fired)})")
+    if require_shared_cache:
+        # A pure reader process: every answer out of the mmap'd
+        # snapshot, nothing recomputed, nothing missed.
+        evals = counters.get("dse.eval.model_evals")
+        if evals != 0:
+            fail(f"{path}: shared-cache reader ran {evals} model "
+                 "evals (want 0)")
+        misses = counters.get("dse.cache.front_misses")
+        if misses != 0:
+            fail(f"{path}: shared-cache reader had {misses} "
+                 "frontier misses (want 0)")
+        shared = counters.get("dse.cache.shared_front_hits", 0)
+        if shared < 1:
+            fail(f"{path}: no frontier hits served from the mapped "
+                 "tier")
+        gen = serve["gauges"].get("dse.cache.generation", 0)
+        if gen < 1:
+            fail(f"{path}: mapped snapshot generation {gen} < 1 "
+                 "(reader not attached?)")
+        if not FAILURES:
+            print(f"ok: {path}: shared-cache reader: 0 evals, "
+                  f"{shared} mapped frontier hits, generation "
+                  f"{gen}")
     nc = len(counters)
     nh = len(serve["histograms"])
     print(f"ok: {path}: {nc} counters, {nh} histograms")
@@ -216,6 +256,40 @@ def check_bench(path, max_overhead_pct, require_segment_dominance):
         print(f"ok: {path}: serve_load: {load['requests']} requests,"
               f" warm speedup {load['warm_speedup']}x, w4 warm "
               f"p99 {configs['w4_warm']['p99_ms']} ms")
+    # Schema 5: the bounded-cache eviction sweep. The bound must be
+    # real (evictions fired, footprint within cap) and must not cost
+    # warm frontier hits (within 10 points of the unbounded ideal).
+    evict = doc.get("cache_eviction")
+    if not isinstance(evict, dict):
+        return fail(f"{path}: missing cache_eviction section "
+                    "(schema 5)")
+    for key in ("working_set_bytes", "cap_bytes",
+                "unbounded_warm_front_hit_rate",
+                "bounded_warm_front_hit_rate", "evictions",
+                "resident_bytes", "ok"):
+        if key not in evict:
+            return fail(f"{path}: cache_eviction missing {key!r}")
+    if evict["evictions"] < 1:
+        fail(f"{path}: cache_eviction replay evicted nothing")
+    if evict["resident_bytes"] > evict["cap_bytes"]:
+        fail(f"{path}: cache_eviction resident "
+             f"{evict['resident_bytes']} B over cap "
+             f"{evict['cap_bytes']} B")
+    if (evict["bounded_warm_front_hit_rate"]
+            < evict["unbounded_warm_front_hit_rate"] - 0.10):
+        fail(f"{path}: bounded warm frontier-hit rate "
+             f"{evict['bounded_warm_front_hit_rate']} fell more "
+             f"than 10 points below unbounded "
+             f"{evict['unbounded_warm_front_hit_rate']}")
+    if not evict["ok"]:
+        fail(f"{path}: cache_eviction self-reported failure")
+    if not FAILURES:
+        print(f"ok: {path}: cache_eviction: "
+              f"{evict['evictions']} evictions, "
+              f"{evict['resident_bytes']}/{evict['cap_bytes']} B "
+              f"resident, warm frontier rate "
+              f"{evict['bounded_warm_front_hit_rate']} vs "
+              f"{evict['unbounded_warm_front_hit_rate']} unbounded")
     if require_segment_dominance:
         seg = sweeps.get("segment_pipeline_rn50")
         if seg is None:
@@ -262,6 +336,12 @@ def main():
                     help="fail unless segment_pipeline_rn50 shows "
                          ">= 1 pipelined segment with latency and "
                          "energy ratios < 1")
+    ap.add_argument("--require-shared-cache",
+                    action="store_true",
+                    help="fail unless the stats snapshot shows a "
+                         "pure shared-cache reader (0 model evals, "
+                         "0 frontier misses, >= 1 mapped frontier "
+                         "hit, generation >= 1)")
     args = ap.parse_args()
     if not (args.trace or args.stats or args.access_log
             or args.bench):
@@ -269,7 +349,8 @@ def main():
     if args.trace:
         check_trace(args.trace)
     if args.stats:
-        check_stats(args.stats, args.expect_failpoints)
+        check_stats(args.stats, args.expect_failpoints,
+                    args.require_shared_cache)
     if args.access_log:
         check_access_log(args.access_log, args.expect_requests)
     if args.bench:
